@@ -1,0 +1,131 @@
+(* Regenerate every table and figure from the paper's evaluation section.
+
+   Usage:
+     midway-experiments                       # all experiments, default scale
+     midway-experiments --only table2,fig4   # a subset
+     midway-experiments --scale 1.0          # the paper's problem sizes
+     midway-experiments --nprocs 8           # processor count *)
+
+let experiments =
+  [ "table1"; "fig2"; "table2"; "table3"; "fig3"; "table4"; "fig4"; "table5"; "speedup" ]
+
+let run only scale nprocs apps csv_file md_file =
+  (* the scaling sweep is opt-in: it reruns each application eight times *)
+  let default = List.filter (fun e -> e <> "speedup") experiments in
+  let only = match only with [] -> default | l -> l in
+  List.iter
+    (fun e ->
+      if not (List.mem e experiments) then begin
+        Printf.eprintf "unknown experiment %S (expected: %s)\n" e (String.concat ", " experiments);
+        exit 2
+      end)
+    only;
+  let apps =
+    match apps with
+    | [] -> Midway_report.Suite.apps
+    | names ->
+        List.map
+          (fun n ->
+            match Midway_report.Suite.app_of_string n with
+            | Ok a -> a
+            | Error msg ->
+                Printf.eprintf "%s\n" msg;
+                exit 2)
+          names
+  in
+  let needs_suite = List.exists (fun e -> e <> "table1") only in
+  Printf.printf
+    "Midway write-detection experiments (scale %.2f, %d processors)\n\
+     Reproduction of: Software Write Detection for a Distributed Shared Memory (OSDI '94)\n\n"
+    scale nprocs;
+  if List.mem "table1" only then
+    print_endline (Midway_report.Table1.render Midway_stats.Cost_model.default);
+  if needs_suite then begin
+    Printf.printf "Running the application suite (RT, VM and standalone per application)...\n%!";
+    let t0 = Unix.gettimeofday () in
+    let suite = Midway_report.Suite.run ~apps ~nprocs ~scale () in
+    Printf.printf "...suite complete in %.1f s of host time.\n\n%!" (Unix.gettimeofday () -. t0);
+    let emit name render = if List.mem name only then print_endline (render suite) in
+    emit "fig2" Midway_report.Fig2.render;
+    emit "table2" Midway_report.Table2.render;
+    emit "table3" Midway_report.Table3.render;
+    emit "fig3" (fun s ->
+        Midway_report.Sweep.render ~title:"Figure 3: write trapping cost vs page-fault time" s
+          (Midway_report.Sweep.trapping_lines s));
+    emit "table4" Midway_report.Table4.render;
+    emit "fig4" (fun s ->
+        Midway_report.Sweep.render
+          ~title:"Figure 4: total write detection cost vs page-fault time" s
+          (Midway_report.Sweep.total_lines s));
+    emit "table5" Midway_report.Table5.render;
+    (match csv_file with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Midway_report.Csv.of_suite suite);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    (match md_file with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Midway_report.Markdown.of_suite suite);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    | None -> ())
+  end;
+  if List.mem "speedup" only then begin
+    Printf.printf "Scaling sweep (extension; not a paper figure)...\n%!";
+    List.iter
+      (fun app ->
+        print_endline
+          (Midway_report.Speedup.render ~app ~scale:(min scale 0.5) ~procs:[ 1; 2; 4; 8 ]))
+      apps
+  end
+
+open Cmdliner
+
+let only =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "only" ] ~docv:"EXPERIMENTS"
+        ~doc:"Comma-separated subset of: table1, fig2, table2, table3, fig3, table4, fig4, table5.")
+
+let scale =
+  Arg.(
+    value & opt float 0.25
+    & info [ "scale" ] ~docv:"S"
+        ~doc:
+          "Problem scale relative to the paper's parameters (1.0 = 343-molecule water, 250k \
+           quicksort, 512x512 matmul, 1000x1000 sor, 32x32-grid cholesky).")
+
+let nprocs =
+  Arg.(value & opt int 8 & info [ "nprocs" ] ~docv:"N" ~doc:"Simulated processors.")
+
+let apps =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "apps" ] ~docv:"APPS"
+        ~doc:"Comma-separated subset of: water, quicksort, matrix, sor, cholesky.")
+
+let csv_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the suite's counters as CSV to $(docv).")
+
+let md_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "md" ] ~docv:"FILE"
+        ~doc:"Also write a markdown summary (measured vs paper) to $(docv).")
+
+let cmd =
+  let doc = "regenerate the paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "midway-experiments" ~doc)
+    Term.(const run $ only $ scale $ nprocs $ apps $ csv_file $ md_file)
+
+let () = exit (Cmd.eval cmd)

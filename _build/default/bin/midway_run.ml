@@ -1,0 +1,125 @@
+(* Run one benchmark application on the simulated DSM and report its
+   statistics.
+
+   Usage:
+     midway-run sor --backend rt --nprocs 8 --scale 0.5
+     midway-run water --backend vm
+     midway-run cholesky --backend standalone *)
+
+module Counters = Midway_stats.Counters
+
+let print_stats outcome =
+  let machine = outcome.Midway_apps.Outcome.machine in
+  let avg = Midway_apps.Outcome.avg_counters outcome in
+  let net = Midway.Runtime.net machine in
+  Printf.printf "simulated time      : %s\n"
+    (Midway_util.Units.pp_time (Midway.Runtime.elapsed_ns machine));
+  Printf.printf "messages            : %d\n" (Midway_simnet.Net.total_messages net);
+  Printf.printf "payload on the wire : %s\n"
+    (Midway_util.Units.pp_bytes (Midway_simnet.Net.total_payload_bytes net));
+  Printf.printf "per-processor averages:\n";
+  Printf.printf "  data received          : %s\n"
+    (Midway_util.Units.pp_bytes avg.Counters.data_received_bytes);
+  Printf.printf "  lock acquires          : %d local, %d remote\n"
+    avg.Counters.lock_acquires_local avg.Counters.lock_acquires_remote;
+  Printf.printf "  barrier crossings      : %d\n" avg.Counters.barrier_crossings;
+  Printf.printf "  dirtybits set          : %d (%d misclassified)\n" avg.Counters.dirtybits_set
+    avg.Counters.dirtybits_misclassified;
+  Printf.printf "  dirtybits read         : %d clean, %d dirty\n"
+    avg.Counters.clean_dirtybits_read avg.Counters.dirty_dirtybits_read;
+  Printf.printf "  dirtybits updated      : %d\n" avg.Counters.dirtybits_updated;
+  Printf.printf "  write faults           : %d\n" avg.Counters.write_faults;
+  Printf.printf "  pages diffed/protected : %d / %d\n" avg.Counters.pages_diffed
+    avg.Counters.pages_write_protected;
+  Printf.printf "  twin bytes updated     : %s\n"
+    (Midway_util.Units.pp_bytes avg.Counters.twin_update_bytes);
+  Printf.printf "  percent dirty data     : %.1f%%\n" (Counters.percent_dirty_data avg);
+  Printf.printf "  trapping time          : %s\n"
+    (Midway_util.Units.pp_time avg.Counters.trap_time_ns);
+  Printf.printf "  collection time        : %s\n"
+    (Midway_util.Units.pp_time avg.Counters.collect_time_ns)
+
+let run app_name backend_name nprocs scale rt_mode_name untargetted trace_n =
+  let app =
+    match Midway_report.Suite.app_of_string app_name with
+    | Ok a -> a
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+  in
+  let backend =
+    match Midway.Config.backend_of_string backend_name with
+    | Ok b -> b
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+  in
+  let rt_mode =
+    match rt_mode_name with
+    | "plain" -> Midway.Config.Plain
+    | "two-level" -> Midway.Config.Two_level
+    | "update-queue" -> Midway.Config.Update_queue
+    | s ->
+        Printf.eprintf "unknown rt mode %S (expected plain|two-level|update-queue)\n" s;
+        exit 2
+  in
+  let nprocs = if backend = Midway.Config.Standalone then 1 else nprocs in
+  let cfg =
+    {
+      (Midway.Config.make backend ~nprocs) with
+      Midway.Config.rt_mode;
+      untargetted;
+      trace_capacity = trace_n;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Midway_report.Suite.run_app app cfg ~scale in
+  let host = Unix.gettimeofday () -. t0 in
+  Format.printf "%a@.@." Midway_apps.Outcome.pp outcome;
+  print_stats outcome;
+  Printf.printf "host time           : %.2f s\n" host;
+  if trace_n > 0 then begin
+    let tr = Midway.Runtime.trace outcome.Midway_apps.Outcome.machine in
+    Printf.printf "\nlast %d of %d protocol events:\n%s" (Midway.Trace.length tr)
+      (Midway.Trace.total tr) (Midway.Trace.dump tr)
+  end;
+  if not outcome.Midway_apps.Outcome.ok then exit 1
+
+open Cmdliner
+
+let app_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"APP")
+
+let backend =
+  Arg.(
+    value & opt string "rt"
+    & info [ "backend"; "b" ] ~docv:"BACKEND" ~doc:"rt, vm, blast or standalone.")
+
+let nprocs = Arg.(value & opt int 8 & info [ "nprocs"; "n" ] ~docv:"N")
+
+let scale =
+  Arg.(
+    value & opt float 0.25
+    & info [ "scale"; "s" ] ~docv:"S" ~doc:"Problem scale (1.0 = paper parameters).")
+
+let rt_mode =
+  Arg.(
+    value & opt string "plain"
+    & info [ "rt-mode" ] ~docv:"MODE"
+        ~doc:"RT trapping organization: plain, two-level or update-queue.")
+
+let untargetted =
+  Arg.(
+    value & flag
+    & info [ "untargetted" ]
+        ~doc:"Use the untargetted consistency model (RT backend, lock-based programs only).")
+
+let trace_n =
+  Arg.(
+    value & opt int 0
+    & info [ "trace" ] ~docv:"N" ~doc:"Print the last N protocol events of the run.")
+
+let cmd =
+  let doc = "run one DSM benchmark application" in
+  Cmd.v (Cmd.info "midway-run" ~doc) Term.(const run $ app_arg $ backend $ nprocs $ scale $ rt_mode $ untargetted $ trace_n)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/false_sharing.ml: List Midway Midway_stats Midway_util Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Midway Midway_memory Midway_simnet Midway_stats Midway_util Printf

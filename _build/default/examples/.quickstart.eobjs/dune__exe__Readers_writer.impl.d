@@ -1,0 +1,1 @@
+examples/readers_writer.ml: Array Midway Midway_stats Midway_util Printf

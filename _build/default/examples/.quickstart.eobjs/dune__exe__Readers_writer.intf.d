@@ -1,0 +1,1 @@
+examples/readers_writer.mli:

@@ -1,0 +1,1 @@
+examples/stencil.ml: Array List Midway Midway_stats Midway_util Printf

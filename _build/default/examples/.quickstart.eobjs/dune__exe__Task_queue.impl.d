@@ -1,0 +1,1 @@
+examples/task_queue.ml: Array List Midway Midway_memory Midway_simnet Midway_stats Midway_util Printf

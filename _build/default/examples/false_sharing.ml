@@ -1,0 +1,58 @@
+(* False sharing: two processors repeatedly update *adjacent* words, each
+   under its own lock.
+
+   Under VM-DSM both words live on the same 4 KB page, so every transfer
+   twins and diffs the whole page — the page bounces between the
+   processors paying the fault + diff machinery although the processors
+   never touch each other's data.  Under RT-DSM the unit of coherency is
+   an 8-byte line, so each lock moves exactly its own word.  This is the
+   paper's core argument against page-granularity detection.
+
+     dune exec examples/false_sharing.exe
+*)
+
+module R = Midway.Runtime
+module Range = Midway.Range
+
+let rounds = 50
+
+let run backend =
+  let cfg = Midway.Config.make backend ~nprocs:2 in
+  let machine = R.create cfg in
+  (* two adjacent 8-byte words on the same page, separate locks *)
+  let a = R.alloc machine ~line_size:8 8 in
+  let b = R.alloc machine ~line_size:8 8 in
+  let la = R.new_lock machine [ Range.v a 8 ] in
+  let lb = R.new_lock machine [ Range.v b 8 ] in
+  R.run machine (fun c ->
+      let lock, addr = if R.id c = 0 then (la, a) else (lb, b) in
+      (* ping-pong ownership: release and re-acquire so the data moves *)
+      let other, other_addr = if R.id c = 0 then (lb, b) else (la, a) in
+      for i = 1 to rounds do
+        R.acquire c lock;
+        R.write_int c addr i;
+        R.release c lock;
+        (* briefly peek at the neighbour's word to force its transfer *)
+        R.acquire c other;
+        ignore (R.read_int c other_addr);
+        R.release c other;
+        R.work_ns c 10_000
+      done);
+  let avg = Midway_stats.Counters.average (R.all_counters machine) in
+  let open Midway_stats.Counters in
+  Printf.printf
+    "%-6s: %9s simulated | %7.1f KB/proc moved | %4d faults | %4d pages diffed | %5d dirtybit scans\n"
+    (Midway.Config.backend_name backend)
+    (Midway_util.Units.pp_time (R.elapsed_ns machine))
+    (Midway_util.Units.kb_of_bytes avg.data_received_bytes)
+    avg.write_faults avg.pages_diffed
+    (avg.clean_dirtybits_read + avg.dirty_dirtybits_read)
+
+let () =
+  Printf.printf
+    "false sharing: 2 processors, adjacent words, separate locks, %d rounds each\n\n" rounds;
+  List.iter run [ Midway.Config.Rt; Midway.Config.Vm ];
+  print_newline ();
+  Printf.printf
+    "VM-DSM pays a write fault and a whole-page twin/diff for every round although\n\
+     the processors share no data; RT-DSM moves one 8-byte line per transfer.\n"

@@ -1,0 +1,59 @@
+(* Non-exclusive (read-mode) locks — Midway's second acquisition mode.
+
+   A writer periodically publishes a snapshot of market data; several
+   reader processors acquire the guarding lock in *shared* mode, so they
+   hold it concurrently and each receives exactly the updates it has not
+   seen.  An exclusive re-acquisition by the writer waits until all
+   readers have released.
+
+     dune exec examples/readers_writer.exe
+*)
+
+module R = Midway.Runtime
+module Range = Midway.Range
+
+let nprocs = 5 (* one writer, four readers *)
+
+let fields = 8
+
+let snapshots = 6
+
+let () =
+  let cfg = Midway.Config.make Midway.Config.Rt ~nprocs in
+  let machine = R.create cfg in
+  let table = R.alloc machine ~line_size:8 (fields * 8) in
+  let lock = R.new_lock machine [ Range.v table (fields * 8) ] in
+  let reads = Array.make nprocs 0 in
+  R.run machine (fun c ->
+      let me = R.id c in
+      if me = 0 then
+        for version = 1 to snapshots do
+          R.acquire c lock;
+          for f = 0 to fields - 1 do
+            R.write_int c (table + (f * 8)) ((version * 100) + f)
+          done;
+          R.release c lock;
+          (* let the readers pile in before the next snapshot *)
+          R.work_ns c 3_000_000
+        done
+      else
+        for _ = 1 to snapshots do
+          R.acquire_read c lock;
+          (* all fields must belong to one consistent snapshot *)
+          let v0 = R.read_int c table / 100 in
+          for f = 0 to fields - 1 do
+            let v = R.read_int c (table + (f * 8)) in
+            if v <> (v0 * 100) + f then
+              Printf.printf "TORN SNAPSHOT at reader %d: field %d = %d under version %d\n" me
+                f v v0
+          done;
+          reads.(me) <- reads.(me) + 1;
+          R.work_ns c 2_000_000;
+          R.release c lock
+        done);
+  Printf.printf "readers completed %d consistent snapshot reads in %s simulated\n"
+    (Array.fold_left ( + ) 0 reads)
+    (Midway_util.Units.pp_time (R.elapsed_ns machine));
+  let avg = Midway_stats.Counters.average (R.all_counters machine) in
+  Printf.printf "data moved per processor: %s (readers fetch only the fields they miss)\n"
+    (Midway_util.Units.pp_bytes avg.Midway_stats.Counters.data_received_bytes)

@@ -1,0 +1,1 @@
+lib/apps/cholesky.ml: Array Common Float Hashtbl List Midway Outcome Printf

@@ -1,0 +1,1 @@
+lib/apps/cholesky.mli: Midway Outcome

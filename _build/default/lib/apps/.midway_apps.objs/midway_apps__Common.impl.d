@@ -1,0 +1,1 @@
+lib/apps/common.ml: Float Midway Midway_memory

@@ -1,0 +1,1 @@
+lib/apps/granularity.ml: Array Common List Midway Outcome Printf

@@ -1,0 +1,1 @@
+lib/apps/granularity.mli: Midway Outcome

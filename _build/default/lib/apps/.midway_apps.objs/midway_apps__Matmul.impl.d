@@ -1,0 +1,1 @@
+lib/apps/matmul.ml: Array Common Midway Midway_memory Midway_util Outcome Printf

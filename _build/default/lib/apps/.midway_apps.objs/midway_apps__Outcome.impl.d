@@ -1,0 +1,1 @@
+lib/apps/outcome.ml: Format Midway Midway_stats Midway_util String

@@ -1,0 +1,1 @@
+lib/apps/outcome.mli: Format Midway Midway_stats

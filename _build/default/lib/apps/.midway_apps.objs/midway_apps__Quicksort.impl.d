@@ -1,0 +1,1 @@
+lib/apps/quicksort.ml: Array Common Int32 List Midway Outcome Printf

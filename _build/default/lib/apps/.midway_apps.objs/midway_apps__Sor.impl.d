@@ -1,0 +1,1 @@
+lib/apps/sor.ml: Array Common List Midway Outcome Printf

@@ -1,0 +1,1 @@
+lib/apps/water.ml: Array Common Midway Outcome Printf

@@ -1,0 +1,51 @@
+(** Sparse Cholesky factorization: the fine-grained benchmark (SPLASH).
+
+    Given a positive definite matrix [A], finds the lower triangular [L]
+    with [A = L L^T].  The matrix is the 5-point Laplacian of a [k x k]
+    grid (deterministically perturbed for diagonal dominance) — the
+    classic sparse SPD test problem, substituting for the paper's
+    proprietary SPLASH input matrices.
+
+    The build has two stages, as a real sparse solver does:
+
+    - {e symbolic analysis} (host-side, replicated read-only): the fill
+      pattern of [L] and the update counts per column, via boolean
+      column-merge elimination;
+    - {e numeric factorization} (on the DSM): a right-looking fan-out
+      scheme.  Each column's values plus a remaining-updates counter are
+      bound to a per-column lock; a worker pops a ready column from the
+      shared task queue, performs [cdiv], then applies [cmod] updates to
+      every affected column under that column's lock, enqueueing columns
+      whose counters reach zero.
+
+    Column updates arrive in a data-dependent order, so the result is
+    verified against the sequential oracle within floating-point
+    tolerance rather than bitwise. *)
+
+type params = { grid : int }
+
+val default : params
+(** A 32 x 32 grid: n = 1,024 columns. *)
+
+val scaled : float -> params
+
+val run : Midway.Config.t -> params -> Outcome.t
+
+(** {1 Exposed for tests} *)
+
+type symbolic = {
+  n : int;
+  pattern : int array array;  (** per column: sorted rows of L (diagonal first) *)
+  nmod : int array;  (** per column: number of cmod updates it receives *)
+}
+
+val laplacian_entry : int -> int -> int -> float
+(** [laplacian_entry k i j]: the test matrix entry [A(i,j)] on a [k x k]
+    grid (0 outside the pattern). *)
+
+val symbolic_analyse : int -> symbolic
+(** Fill pattern of the [k x k] grid problem. *)
+
+val oracle_factor : int -> symbolic -> float array array
+(** Sequential right-looking factorization; per-column value arrays
+    aligned with [pattern]. *)

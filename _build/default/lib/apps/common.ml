@@ -1,0 +1,27 @@
+let band ~n ~nprocs p =
+  if p < 0 || p >= nprocs then invalid_arg "Common.band: processor out of range";
+  let base = n / nprocs and extra = n mod nprocs in
+  let lo = (p * base) + min p extra in
+  let hi = lo + base + if p < extra then 1 else 0 in
+  (lo, hi)
+
+let owner_of ~n ~nprocs i =
+  if i < 0 || i >= n then invalid_arg "Common.owner_of: index out of range";
+  (* Linear scan is fine: nprocs is small. *)
+  let rec go p =
+    let lo, hi = band ~n ~nprocs p in
+    if i >= lo && i < hi then p else go (p + 1)
+  in
+  go 0
+
+let approx_equal ?(rel = 1e-9) ?(abs = 1e-12) a b =
+  let d = Float.abs (a -. b) in
+  d <= abs || d <= rel *. Float.max (Float.abs a) (Float.abs b)
+
+let read_f64_direct machine ~proc addr =
+  Midway_memory.Space.get_f64 (Midway.Runtime.space machine) ~proc addr
+
+let read_int_direct machine ~proc addr =
+  Midway_memory.Space.get_int (Midway.Runtime.space machine) ~proc addr
+
+let cycles_flop = 8

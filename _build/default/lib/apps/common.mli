@@ -1,0 +1,22 @@
+(** Shared scaffolding for the benchmark applications. *)
+
+val band : n:int -> nprocs:int -> int -> int * int
+(** [band ~n ~nprocs p] is processor [p]'s contiguous share [lo, hi)
+    of [0, n), distributing the remainder over the first processors. *)
+
+val owner_of : n:int -> nprocs:int -> int -> int
+(** Inverse of {!band}: which processor owns index [i]. *)
+
+val approx_equal : ?rel:float -> ?abs:float -> float -> float -> bool
+(** Tolerant float comparison for oracle checks (defaults
+    [rel = 1e-9], [abs = 1e-12]). *)
+
+val read_f64_direct : Midway.Runtime.t -> proc:int -> int -> float
+(** Read a value from one processor's physical copy, outside the simulated
+    timeline — verification only. *)
+
+val read_int_direct : Midway.Runtime.t -> proc:int -> int -> int
+
+val cycles_flop : int
+(** Modelled cycles per floating point operation on the 25 MHz R3000
+    (no FP pipelining, includes the surrounding loads): 8. *)

@@ -1,0 +1,26 @@
+(** Matrix multiply: the coarse-grained benchmark (paper, section 4).
+
+    Multiplies two [n x n] double matrices (the paper uses 512 x 512).
+    The data is partitioned to minimize sharing — each processor owns a
+    band of result rows — and every word of the result is written, which
+    lets VM-DSM amortize each page fault over a full page of stores.
+    This is the expected best case for VM-DSM and worst case for RT-DSM.
+
+    Decomposition: [A]'s band [p] and [C]'s band [p] are bound to a
+    per-processor lock; processor 0 initializes [A] through the DSM, each
+    worker acquires its lock (receiving its operands), computes, releases,
+    and processor 0 reacquires all locks to gather the result.  [B] is
+    needed read-only by everyone and is initialized identically on every
+    processor before the run (documented substitution: Midway programs
+    preload such read-only data; shipping it would only add a constant to
+    both systems). *)
+
+type params = { n : int; verify_samples : int }
+
+val default : params
+(** The paper's 512 x 512, with 2,000 sampled result checks. *)
+
+val scaled : float -> params
+(** [scaled f] shrinks the matrix dimension to [max 16 (512 * f)]. *)
+
+val run : Midway.Config.t -> params -> Outcome.t

@@ -1,0 +1,26 @@
+type t = {
+  app : string;
+  machine : Midway.Runtime.t;
+  ok : bool;
+  notes : string list;
+}
+
+let v ~app ~machine ~ok ~notes = { app; machine; ok; notes }
+
+let elapsed_s t = Midway_util.Units.s_of_ns (Midway.Runtime.elapsed_ns t.machine)
+
+let avg_counters t = Midway_stats.Counters.average (Midway.Runtime.all_counters t.machine)
+
+let data_received_kb_per_proc t =
+  let c = avg_counters t in
+  Midway_util.Units.kb_of_bytes c.Midway_stats.Counters.data_received_bytes
+
+let total_data_mb t =
+  let c = Midway_stats.Counters.total (Midway.Runtime.all_counters t.machine) in
+  Midway_util.Units.mb_of_bytes c.Midway_stats.Counters.data_received_bytes
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %s, %.3f s simulated, %.1f KB/proc received%s" t.app
+    (if t.ok then "OK" else "FAILED")
+    (elapsed_s t) (data_received_kb_per_proc t)
+    (match t.notes with [] -> "" | notes -> "\n  " ^ String.concat "\n  " notes)

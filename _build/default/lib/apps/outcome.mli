@@ -1,0 +1,33 @@
+(** The result of one application run: the machine (for its counters and
+    network statistics), the verification verdict and human-readable
+    notes.
+
+    Every application verifies its own output against a sequential oracle
+    computed outside the simulated machine, so a consistency-protocol bug
+    shows up as [ok = false] rather than as a silently wrong benchmark
+    number. *)
+
+type t = {
+  app : string;
+  machine : Midway.Runtime.t;
+  ok : bool;
+  notes : string list;
+}
+
+val v : app:string -> machine:Midway.Runtime.t -> ok:bool -> notes:string list -> t
+
+val elapsed_s : t -> float
+(** Simulated execution time in seconds. *)
+
+val avg_counters : t -> Midway_stats.Counters.t
+(** Per-processor average counters (the paper's Table 2 convention). *)
+
+val data_received_kb_per_proc : t -> float
+(** Application payload applied per processor, KB — the paper's "data
+    transferred" metric. *)
+
+val total_data_mb : t -> float
+(** Total application payload moved, MB (Figure 2's data-transferred
+    bars). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** Parallel quicksort: the dynamic lock re-binding benchmark.
+
+    Sorts an array of integers (the paper uses 250,000) with a shared
+    task queue: workers pop a task, partition its subarray, push one half
+    back as a new task and keep the other, switching to a bubble sort
+    below a threshold (1,000 elements in the paper).  The array is
+    partitioned dynamically, so the lock binding the data to a task-queue
+    element is *rebound* to a new address range for every task created —
+    the pattern that favours VM-DSM: on a rebound lock the incarnation
+    bump ships all bound data without diffing, while RT-DSM still scans
+    dirtybits on every transfer (paper, section 4).
+
+    The program does little computation between writes to shared memory:
+    the inner loop compares and swaps adjacent elements. *)
+
+type params = { n : int; threshold : int; slots : int }
+
+val default : params
+(** 250,000 integers, threshold 1,000, 1,024 task slots. *)
+
+val scaled : float -> params
+
+val run : Midway.Config.t -> params -> Outcome.t

@@ -1,0 +1,39 @@
+(** Water: the N-body molecular dynamics benchmark (SPLASH).
+
+    Evaluates forces and potentials for a system of water molecules in a
+    liquid state (the paper: 343 molecules, 5 steps, medium-grained
+    sharing).  Each molecule is a 576-byte record (72 doubles: positions,
+    velocities, forces and higher-order terms for three atoms).  The
+    molecule array is bound to the phase barrier; molecules are
+    partitioned over processors, owner-computes.
+
+    The port includes the optimization the paper takes from the SPLASH
+    report: force contributions are accumulated in *private* memory
+    during a time step and the shared molecule records are updated once
+    per step, so only one consistency point per step is required.  A
+    global potential-energy accumulator guarded by a lock provides the
+    per-step lock traffic.
+
+    The simplified pair interaction keeps the arithmetic deterministic
+    and the evaluation order identical to the sequential oracle, so
+    positions and velocities verify bitwise. *)
+
+type sync_style =
+  | Barrier_phases
+      (** one consistency point per step: the molecule array is bound to
+          the phase barrier (our default port) *)
+  | Molecule_locks
+      (** SPLASH water's structure: every record bound to its own lock;
+          owners update under exclusive acquisitions, the force phase
+          fetches foreign molecules through non-exclusive (read)
+          acquisitions.  Exercises fine-grained lock traffic and, under
+          VM-DSM, the incarnation redundancy the paper measured. *)
+
+type params = { molecules : int; steps : int; sync : sync_style }
+
+val default : params
+(** 343 molecules, 5 steps, barrier phases. *)
+
+val scaled : float -> params
+
+val run : Midway.Config.t -> params -> Outcome.t

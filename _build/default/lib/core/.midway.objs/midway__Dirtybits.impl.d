@@ -1,0 +1,1 @@
+lib/core/dirtybits.ml: Array Bytes Config List Midway_memory Range Timestamp

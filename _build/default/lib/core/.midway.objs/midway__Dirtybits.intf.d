@@ -1,0 +1,1 @@
+lib/core/dirtybits.mli: Config Midway_memory Range Timestamp

@@ -1,0 +1,1 @@
+lib/core/payload.mli: Bytes Midway_memory Range Timestamp

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Bytes Config Midway_memory Midway_simnet Midway_stats Range Sync Trace

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array Buffer Format List Midway_util

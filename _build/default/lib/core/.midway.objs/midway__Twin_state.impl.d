@@ -1,0 +1,1 @@
+lib/core/twin_state.ml: Bytes Hashtbl List Midway_memory Midway_stats Midway_vmem Payload Range

@@ -1,0 +1,1 @@
+lib/core/twin_state.mli: Midway_memory Midway_stats Payload Range

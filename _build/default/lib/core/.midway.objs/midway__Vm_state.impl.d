@@ -1,0 +1,1 @@
+lib/core/vm_state.ml: Bytes Hashtbl List Midway_memory Midway_stats Midway_vmem Payload Printf Range Sys

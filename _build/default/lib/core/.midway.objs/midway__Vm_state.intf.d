@@ -1,0 +1,1 @@
+lib/core/vm_state.mli: Midway_memory Midway_stats Midway_vmem Payload Range

@@ -1,0 +1,69 @@
+type backend = Rt | Vm | Blast | Twin | Vm_fine | Standalone
+
+let backend_name = function
+  | Rt -> "rt"
+  | Vm -> "vm"
+  | Blast -> "blast"
+  | Twin -> "twin"
+  | Vm_fine -> "vm-fine"
+  | Standalone -> "standalone"
+
+let backend_of_string = function
+  | "rt" -> Ok Rt
+  | "vm" -> Ok Vm
+  | "blast" -> Ok Blast
+  | "twin" -> Ok Twin
+  | "vm-fine" | "vmfine" -> Ok Vm_fine
+  | "standalone" | "uni" -> Ok Standalone
+  | s -> Error (Printf.sprintf "unknown backend %S (expected rt|vm|blast|twin|vm-fine|standalone)" s)
+
+type rt_mode = Plain | Two_level | Update_queue
+
+let rt_mode_name = function
+  | Plain -> "plain"
+  | Two_level -> "two-level"
+  | Update_queue -> "update-queue"
+
+type t = {
+  backend : backend;
+  nprocs : int;
+  cost : Midway_stats.Cost_model.t;
+  net_latency_ns : int;
+  net_ns_per_byte : int;
+  net_header_bytes : int;
+  line_descriptor_bytes : int;
+  region_size : int;
+  default_line_size : int;
+  untargetted : bool;
+  rt_mode : rt_mode;
+  two_level_group : int;
+  update_log_window : int;
+  trace_capacity : int;
+  local_lock_ns : int;
+  release_ns : int;
+  apply_line_ns : int;
+  seed : int;
+}
+
+let make ?(cost = Midway_stats.Cost_model.default) backend ~nprocs =
+  if nprocs <= 0 then invalid_arg "Config.make: nprocs must be positive";
+  {
+    backend;
+    nprocs;
+    cost;
+    net_latency_ns = 150_000;
+    net_ns_per_byte = 57;
+    net_header_bytes = 64;
+    line_descriptor_bytes = 8;
+    region_size = 16 * 1024 * 1024;
+    default_line_size = 64;
+    untargetted = false;
+    rt_mode = Plain;
+    two_level_group = 64;
+    update_log_window = 16;
+    trace_capacity = 0;
+    local_lock_ns = 2_000;
+    release_ns = 1_000;
+    apply_line_ns = 100;
+    seed = 0x5EED;
+  }

@@ -1,0 +1,64 @@
+(** Run configuration: which write-detection backend, which machine model.
+
+    A single Midway build can be configured as an RT-DSM or a VM-DSM
+    (paper, section 3); this record selects the backend and fixes every
+    machine parameter so experiments are reproducible. *)
+
+type backend =
+  | Rt  (** compiler/runtime write detection: per-line dirtybit timestamps *)
+  | Vm  (** virtual-memory write detection: page faults, twins and diffs *)
+  | Blast  (** no detection: ship all bound data on every transfer (section 3.5 straw man) *)
+  | Twin  (** no detection: twin all bound data and compare it at every synchronization point (the second section 3.5 alternative) *)
+  | Vm_fine  (** VM trapping with an RT-style per-line timestamp history, the finer-grained variant section 3.4 describes and rejects: "at least the same data collection overhead as the RT-DSM ... and the additional overhead of trapping and detection for VM-DSM" *)
+  | Standalone  (** no detection and no consistency: the uniprocessor baseline *)
+
+val backend_name : backend -> string
+
+val backend_of_string : string -> (backend, string) result
+
+type rt_mode =
+  | Plain  (** one dirtybit (timestamp word) per line — the paper's main scheme *)
+  | Two_level  (** section 3.5: a first-level bit covers a group of lines; one extra store per write (~10%), collection skips clean groups *)
+  | Update_queue  (** section 3.5: writes append to a coalescing queue; trapping roughly triples, collection is proportional to dirty data *)
+
+val rt_mode_name : rt_mode -> string
+
+type t = {
+  backend : backend;
+  nprocs : int;
+  cost : Midway_stats.Cost_model.t;
+  (* network *)
+  net_latency_ns : int;
+  net_ns_per_byte : int;
+  net_header_bytes : int;
+  line_descriptor_bytes : int;  (** per-line/per-run wire overhead in update messages *)
+  (* memory layout *)
+  region_size : int;
+  default_line_size : int;
+  (* consistency model *)
+  untargetted : bool;
+      (** section 3.5 "other memory models": when true, every lock
+          transfer makes the *entire* shared space consistent (as an
+          untargetted model such as release consistency requires), so RT
+          write collection must scan the dirtybit of every shared line —
+          the case the two-level and update-queue organizations exist
+          for.  RT backend only; barriers may carry no bound data. *)
+  (* RT options *)
+  rt_mode : rt_mode;
+  two_level_group : int;  (** lines covered by one first-level bit *)
+  (* VM options *)
+  update_log_window : int;  (** incarnations of saved updates kept per lock *)
+  trace_capacity : int;
+      (** protocol events retained for {!Trace}; 0 disables tracing *)
+  (* synchronization costs *)
+  local_lock_ns : int;  (** acquire of a lock already owned by this processor *)
+  release_ns : int;  (** local bookkeeping at release *)
+  apply_line_ns : int;  (** fixed per-line cost of applying an incoming update *)
+  seed : int;
+}
+
+val make : ?cost:Midway_stats.Cost_model.t -> backend -> nprocs:int -> t
+(** Defaults model the paper's testbed: 4 KB pages, 16 MiB regions, 64 B
+    default lines, 150 us message latency, 57 ns/byte, 8-byte line
+    descriptors, [Plain] RT trapping, an update-log window of 16
+    incarnations. *)

@@ -1,0 +1,213 @@
+module Region = Midway_memory.Region
+
+type region_table = {
+  ts : int array;  (* per line: Timestamp.t *)
+  l1 : Bytes.t;  (* two-level: dirty flag per group *)
+  group_max : int array;  (* two-level: max stamp installed in the group *)
+}
+
+type t = {
+  mode : Config.rt_mode;
+  group : int;
+  mutable tables : region_table option array;  (* by region index *)
+  mutable queue : Range.t list;  (* update-queue mode, newest first *)
+  mutable queue_len : int;
+}
+
+type scan_counts = {
+  mutable clean_reads : int;
+  mutable dirty_reads : int;
+  mutable groups_skipped : int;
+  mutable group_checks : int;
+  mutable queue_entries : int;
+}
+
+type selection = Transfer of Timestamp.t | Fresh_only
+
+let create ~mode ~group =
+  if group <= 0 then invalid_arg "Dirtybits.create: group must be positive";
+  { mode; group; tables = Array.make 16 None; queue = []; queue_len = 0 }
+
+let mode t = t.mode
+
+let table_for t (r : Region.t) =
+  let idx = r.index in
+  if idx >= Array.length t.tables then begin
+    let fresh = Array.make (max (idx + 1) (2 * Array.length t.tables)) None in
+    Array.blit t.tables 0 fresh 0 (Array.length t.tables);
+    t.tables <- fresh
+  end;
+  match t.tables.(idx) with
+  | Some tbl -> tbl
+  | None ->
+      let lines = Region.lines r in
+      let two_level = t.mode = Config.Two_level in
+      let groups = if two_level then (lines + t.group - 1) / t.group else 0 in
+      let tbl =
+        {
+          ts = Array.make lines Timestamp.initial;
+          l1 = Bytes.make groups '\000';
+          group_max = Array.make groups Timestamp.initial;
+        }
+      in
+      t.tables.(idx) <- Some tbl;
+      tbl
+
+let line_index (r : Region.t) addr = (addr - Region.base r) / r.line_size
+
+let note_write t ~region ~addr ~len =
+  match t.mode with
+  | Config.Update_queue ->
+      (* Coalesce with the most recent entry when the new write extends or
+         repeats it — the sequential-write heuristic from section 3.5. *)
+      let entry = Range.v addr (max len 1) in
+      (match t.queue with
+      | prev :: rest
+        when entry.Range.addr <= Range.limit prev && prev.Range.addr <= Range.limit entry
+        ->
+          let lo = min prev.Range.addr entry.Range.addr in
+          let hi = max (Range.limit prev) (Range.limit entry) in
+          t.queue <- Range.v lo (hi - lo) :: rest
+      | q ->
+          t.queue <- entry :: q;
+          t.queue_len <- t.queue_len + 1)
+  | Config.Plain | Config.Two_level ->
+      let tbl = table_for t region in
+      let first = line_index region addr in
+      let last = line_index region (addr + max len 1 - 1) in
+      for line = first to last do
+        tbl.ts.(line) <- Timestamp.locally_dirty;
+        if t.mode = Config.Two_level then Bytes.set tbl.l1 (line / t.group) '\001'
+      done
+
+let line_ts t ~region ~addr =
+  let tbl = table_for t region in
+  tbl.ts.(line_index region addr)
+
+let bump_group_max t tbl line ts =
+  if t.mode = Config.Two_level then begin
+    let g = line / t.group in
+    if ts > tbl.group_max.(g) then tbl.group_max.(g) <- ts
+  end
+
+let set_ts t ~region ~addr ~ts =
+  let tbl = table_for t region in
+  let line = line_index region addr in
+  tbl.ts.(line) <- ts;
+  bump_group_max t tbl line ts
+
+let fresh_counts () =
+  { clean_reads = 0; dirty_reads = 0; groups_skipped = 0; group_checks = 0; queue_entries = 0 }
+
+(* Scan one line: stamp if locally dirty, emit per the selection. *)
+let visit_line t tbl counts ~region ~stamp ~select ~emit line =
+  let addr = Region.base region + (line * region.Region.line_size) in
+  let len = region.Region.line_size in
+  let v = tbl.ts.(line) in
+  if v = Timestamp.locally_dirty then begin
+    counts.dirty_reads <- counts.dirty_reads + 1;
+    tbl.ts.(line) <- stamp;
+    bump_group_max t tbl line stamp;
+    match select with
+    | Transfer last_seen -> if stamp > last_seen then emit ~addr ~len ~ts:stamp ~fresh:true
+    | Fresh_only -> emit ~addr ~len ~ts:stamp ~fresh:true
+  end
+  else begin
+    counts.clean_reads <- counts.clean_reads + 1;
+    match select with
+    | Transfer last_seen -> if v > last_seen then emit ~addr ~len ~ts:v ~fresh:false
+    | Fresh_only -> ()
+  end
+
+(* Two-level first-level check: may the whole group be skipped? *)
+let group_skippable tbl ~select g =
+  Bytes.get tbl.l1 g = '\000'
+  &&
+  match select with
+  | Fresh_only -> true  (* nothing locally dirty in the group *)
+  | Transfer last_seen -> tbl.group_max.(g) <= last_seen
+
+let scan_range t counts ~region ~range ~stamp ~select ~emit =
+  let tbl = table_for t region in
+  let first = line_index region range.Range.addr in
+  let last = line_index region (Range.limit range - 1) in
+  match t.mode with
+  | Config.Plain | Config.Update_queue ->
+      for line = first to last do
+        visit_line t tbl counts ~region ~stamp ~select ~emit line
+      done
+  | Config.Two_level ->
+      let line = ref first in
+      while !line <= last do
+        let g = !line / t.group in
+        let g_first = g * t.group in
+        let g_last = min (g_first + t.group - 1) (Array.length tbl.ts - 1) in
+        if !line = g_first && g_last <= last then begin
+          (* Group fully covered by the scan: the first level applies. *)
+          counts.group_checks <- counts.group_checks + 1;
+          if group_skippable tbl ~select g then
+            counts.groups_skipped <- counts.groups_skipped + 1
+          else begin
+            for l = g_first to g_last do
+              visit_line t tbl counts ~region ~stamp ~select ~emit l
+            done;
+            (* Every sentinel in the group has been stamped. *)
+            Bytes.set tbl.l1 g '\000'
+          end;
+          line := g_last + 1
+        end
+        else begin
+          visit_line t tbl counts ~region ~stamp ~select ~emit !line;
+          incr line
+        end
+      done
+
+let scan_queue t counts ~region_of ~ranges ~stamp ~emit =
+  let keep = ref [] and consumed = ref [] in
+  List.iter
+    (fun entry ->
+      let inside = Range.clip entry ~within:ranges in
+      if inside = [] then keep := entry :: !keep
+      else begin
+        consumed := inside @ !consumed;
+        keep := Range.subtract entry ~minus:ranges @ !keep
+      end)
+    t.queue;
+  t.queue <- List.rev !keep;
+  t.queue_len <- List.length t.queue;
+  List.iter
+    (fun (piece : Range.t) ->
+      counts.queue_entries <- counts.queue_entries + 1;
+      let region = region_of piece.Range.addr in
+      let tbl = table_for t region in
+      let first = line_index region piece.Range.addr in
+      let last = line_index region (Range.limit piece - 1) in
+      for line = first to last do
+        if tbl.ts.(line) <> stamp then begin
+          (* A queued entry means this processor wrote the line; stamp it
+             and emit (a transfer cursor is always below a fresh stamp). *)
+          counts.dirty_reads <- counts.dirty_reads + 1;
+          tbl.ts.(line) <- stamp;
+          emit
+            ~addr:(Region.base region + (line * region.Region.line_size))
+            ~len:region.Region.line_size ~ts:stamp ~fresh:true
+        end
+      done)
+    !consumed;
+  counts
+
+let scan t ~region_of ~ranges ~stamp ~select ~emit =
+  let counts = fresh_counts () in
+  let ranges = Range.normalize ranges in
+  match t.mode with
+  | Config.Update_queue -> scan_queue t counts ~region_of ~ranges ~stamp ~emit
+  | Config.Plain | Config.Two_level ->
+      List.iter
+        (fun range ->
+          if not (Range.is_empty range) then
+            let region = region_of range.Range.addr in
+            scan_range t counts ~region ~range ~stamp ~select ~emit)
+        ranges;
+      counts
+
+let queue_length t = t.queue_len

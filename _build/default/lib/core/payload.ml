@@ -1,0 +1,40 @@
+module Space = Midway_memory.Space
+
+type rt_line = { addr : int; len : int; ts : Timestamp.t; data : Bytes.t }
+
+type vm_piece = { addr : int; data : Bytes.t }
+
+type vm_update = { incarnation : int; producer : int; pieces : vm_piece list }
+
+type t =
+  | Rt_lines of rt_line list
+  | Vm_updates of vm_update list
+  | Vm_full of vm_piece list
+  | Blast_data of vm_piece list
+  | Empty
+
+let pieces_bytes pieces =
+  List.fold_left (fun acc p -> acc + Bytes.length p.data) 0 pieces
+
+let app_bytes = function
+  | Rt_lines lines -> List.fold_left (fun acc l -> acc + l.len) 0 lines
+  | Vm_updates updates ->
+      List.fold_left (fun acc u -> acc + pieces_bytes u.pieces) 0 updates
+  | Vm_full pieces | Blast_data pieces -> pieces_bytes pieces
+  | Empty -> 0
+
+let descriptors = function
+  | Rt_lines lines -> List.length lines
+  | Vm_updates updates -> List.fold_left (fun acc u -> acc + List.length u.pieces) 0 updates
+  | Vm_full pieces | Blast_data pieces -> List.length pieces
+  | Empty -> 0
+
+let read_pieces space ~proc ranges =
+  List.filter_map
+    (fun (r : Range.t) ->
+      if Range.is_empty r then None
+      else Some { addr = r.Range.addr; data = Space.read_bytes space ~proc r.Range.addr ~len:r.Range.len })
+    ranges
+
+let write_pieces space ~proc pieces =
+  List.iter (fun p -> Space.write_bytes space ~proc p.addr p.data) pieces

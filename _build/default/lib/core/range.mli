@@ -1,0 +1,41 @@
+(** Address ranges: the unit of entry-consistency data binding.
+
+    The programmer associates a lock or barrier with the ranges of shared
+    memory it protects; collection scans exactly these ranges.  Ranges are
+    half-open byte intervals [\[addr, addr+len)]. *)
+
+type t = { addr : int; len : int }
+
+val v : int -> int -> t
+(** [v addr len]; raises [Invalid_argument] on negative values. *)
+
+val limit : t -> int
+(** One past the last byte. *)
+
+val is_empty : t -> bool
+
+val normalize : t list -> t list
+(** Sort by address and merge overlapping or adjacent ranges. *)
+
+val total_bytes : t list -> int
+(** Sum of lengths (after normalization overlaps are not double counted;
+    this function assumes a normalized list). *)
+
+val overlaps : t -> t -> bool
+
+val intersect : t -> t -> t option
+
+val clip : t -> within:t list -> t list
+(** Pieces of [t] that fall inside the (normalized) range list. *)
+
+val subtract : t -> minus:t list -> t list
+(** Pieces of [t] not covered by the (normalized) range list. *)
+
+val contains : t list -> addr:int -> len:int -> bool
+(** Whether the (normalized) list fully covers [addr, addr+len). *)
+
+val iter_lines : t -> line_size:int -> f:(addr:int -> len:int -> unit) -> unit
+(** Visit the cache lines overlapping the range: calls [f] once per line
+    with the line's full extent (aligned start, [line_size] bytes), i.e.
+    partially covered lines are widened to line granularity, because a
+    dirtybit describes the whole line. *)

@@ -1,0 +1,1074 @@
+module Engine = Midway_sched.Engine
+module Space = Midway_memory.Space
+module Region = Midway_memory.Region
+module Net = Midway_simnet.Net
+module Counters = Midway_stats.Counters
+module Cost_model = Midway_stats.Cost_model
+
+type backend_state =
+  | B_rt of Dirtybits.t
+  | B_vm of Vm_state.t
+  | B_twin of Twin_state.t  (* section 3.5: no detection, diff everything bound *)
+  | B_vmfine of Vm_state.t * Dirtybits.t
+      (* section 3.4's rejected variant: VM trapping feeding an RT-style
+         per-line timestamp history *)
+  | B_none  (* blast and standalone: no write detection *)
+
+type ctx = {
+  cid : int;
+  machine : t;
+  proc : Engine.proc;
+  counters : Counters.t;
+  mutable lamport : int;
+  mutable rt_global_seen : Timestamp.t;  (* untargetted mode: everything-consistent-as-of cursor *)
+  backend : backend_state;
+}
+
+and t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  space : Space.t;
+  net : Net.t;
+  mutable ctxs : ctx array;  (* filled right after construction *)
+  rt_untargetted_history : (int, Timestamp.t) Hashtbl.t;
+      (* untargetted update-queue mode: global line -> stamp history *)
+  trace : Trace.t;
+  mutable locks : Sync.lock list;
+  mutable barriers : Sync.barrier list;
+  mutable next_sync_id : int;
+  mutable ran : bool;
+}
+
+let create (cfg : Config.t) =
+  if cfg.backend = Config.Standalone && cfg.nprocs > 1 then
+    invalid_arg "Runtime.create: the standalone backend is uniprocessor only";
+  if cfg.untargetted && cfg.backend <> Config.Rt then
+    invalid_arg "Runtime.create: the untargetted model is implemented for the RT backend only";
+  let engine = Engine.create ~nprocs:cfg.nprocs in
+  let space = Space.create ~region_size:cfg.region_size ~nprocs:cfg.nprocs () in
+  let net =
+    Net.create ~latency_ns:cfg.net_latency_ns ~ns_per_byte:cfg.net_ns_per_byte
+      ~header_bytes:cfg.net_header_bytes ~nprocs:cfg.nprocs ()
+  in
+  let machine =
+    {
+      cfg;
+      engine;
+      space;
+      net;
+      ctxs = [||];
+      rt_untargetted_history = Hashtbl.create 64;
+      trace = Trace.create ~capacity:cfg.trace_capacity;
+      locks = [];
+      barriers = [];
+      next_sync_id = 0;
+      ran = false;
+    }
+  in
+  machine.ctxs <-
+    Array.init cfg.nprocs (fun cid ->
+        {
+          cid;
+          machine;
+          proc = Engine.proc engine cid;
+          counters = Counters.create ();
+          lamport = 1;
+          rt_global_seen = Timestamp.never_seen;
+          backend =
+            (match cfg.backend with
+            | Config.Rt -> B_rt (Dirtybits.create ~mode:cfg.rt_mode ~group:cfg.two_level_group)
+            | Config.Vm -> B_vm (Vm_state.create ~page_size:cfg.cost.page_size)
+            | Config.Twin -> B_twin (Twin_state.create ())
+            | Config.Vm_fine ->
+                B_vmfine
+                  ( Vm_state.create ~page_size:cfg.cost.page_size,
+                    Dirtybits.create ~mode:Config.Plain ~group:cfg.two_level_group )
+            | Config.Blast | Config.Standalone -> B_none);
+        });
+  machine
+
+let config t = t.cfg
+
+let space t = t.space
+
+let net t = t.net
+
+let counters t i = t.ctxs.(i).counters
+
+let trace t = t.trace
+
+let all_counters t = Array.map (fun c -> c.counters) t.ctxs
+
+let alloc t ?line_size ?(private_ = false) bytes =
+  let line_size = Option.value line_size ~default:t.cfg.default_line_size in
+  let kind = if private_ then Region.Private else Region.Shared in
+  Space.alloc t.space ~kind ~line_size bytes
+
+let new_lock t ?(owner = 0) ranges =
+  let lid = t.next_sync_id in
+  t.next_sync_id <- lid + 1;
+  let l = Sync.make_lock ~lid ~nprocs:t.cfg.nprocs ~owner ~ranges in
+  t.locks <- l :: t.locks;
+  l
+
+let new_barrier t ?participants ?(manager = 0) ranges =
+  let participants = Option.value participants ~default:t.cfg.nprocs in
+  let bid = t.next_sync_id in
+  t.next_sync_id <- bid + 1;
+  let b = Sync.make_barrier ~bid ~nprocs:t.cfg.nprocs ~participants ~manager ~ranges in
+  t.barriers <- b :: t.barriers;
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Processor basics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let id c = c.cid
+
+let nprocs c = c.machine.cfg.nprocs
+
+let now_ns c = Engine.clock c.proc
+
+let work_ns c ns = Engine.charge c.proc ns
+
+let work_cycles c cycles = Engine.charge c.proc (cycles * c.machine.cfg.cost.cycle_ns)
+
+let region_of c addr = Space.region_of_addr c.machine.space addr
+
+(* ------------------------------------------------------------------ *)
+(* Write trapping                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let lines_touched (region : Region.t) addr len =
+  let first = (addr - Region.base region) / region.line_size in
+  let last = (addr + max len 1 - 1 - Region.base region) / region.line_size in
+  last - first + 1
+
+let vm_trap c vm addr len =
+  let cost = c.machine.cfg.cost in
+  let region = region_of c addr in
+  match region.Region.kind with
+  | Region.Private -> ()
+  | Region.Shared ->
+      (* One protection check (and possibly one fault) per page touched;
+         stores of <= 8 bytes touch one page because allocations are
+         8-byte aligned. *)
+      let psize = cost.page_size in
+      let first = addr / psize and last = (addr + max len 1 - 1) / psize in
+      for page = first to last do
+        let page_addr = max addr (page * psize) in
+        let ns =
+          Vm_state.on_write vm ~space:c.machine.space ~proc:c.cid ~counters:c.counters ~cost
+            ~addr:page_addr
+        in
+        if ns > 0 then begin
+          c.counters.trap_time_ns <- c.counters.trap_time_ns + ns;
+          Engine.charge c.proc ns
+        end
+      done
+
+let trap c addr len =
+  let cfg = c.machine.cfg in
+  let cost = cfg.cost in
+  match c.backend with
+  | B_none | B_twin _ -> ()
+  | B_vmfine (vm, _) -> vm_trap c vm addr len
+  | B_rt db -> begin
+      let region = region_of c addr in
+      match region.Region.kind with
+      | Region.Private ->
+          (* Misclassified write: the region's null template returns after
+             six instructions. *)
+          c.counters.dirtybits_misclassified <- c.counters.dirtybits_misclassified + 1;
+          c.counters.trap_time_ns <- c.counters.trap_time_ns + cost.dirtybit_set_private_ns;
+          Engine.charge c.proc cost.dirtybit_set_private_ns
+      | Region.Shared ->
+          let n = lines_touched region addr len in
+          Dirtybits.note_write db ~region ~addr ~len;
+          c.counters.dirtybits_set <- c.counters.dirtybits_set + n;
+          let per_line =
+            match cfg.rt_mode with
+            | Config.Plain -> cost.dirtybit_set_ns
+            | Config.Two_level -> cost.dirtybit_set_ns + cost.cycle_ns
+            | Config.Update_queue -> 3 * cost.dirtybit_set_ns
+          in
+          let ns = n * per_line in
+          c.counters.trap_time_ns <- c.counters.trap_time_ns + ns;
+          Engine.charge c.proc ns
+    end
+  | B_vm vm -> vm_trap c vm addr len
+
+(* ------------------------------------------------------------------ *)
+(* Typed access                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let read_f64 c addr = Space.get_f64 c.machine.space ~proc:c.cid addr
+
+let read_int c addr = Space.get_int c.machine.space ~proc:c.cid addr
+
+let read_i32 c addr = Space.get_i32 c.machine.space ~proc:c.cid addr
+
+let read_u8 c addr = Space.get_u8 c.machine.space ~proc:c.cid addr
+
+let read_bytes c addr ~len = Space.read_bytes c.machine.space ~proc:c.cid addr ~len
+
+let write_f64 c addr v =
+  trap c addr 8;
+  Space.set_f64 c.machine.space ~proc:c.cid addr v
+
+let write_int c addr v =
+  trap c addr 8;
+  Space.set_int c.machine.space ~proc:c.cid addr v
+
+let write_i32 c addr v =
+  trap c addr 4;
+  Space.set_i32 c.machine.space ~proc:c.cid addr v
+
+let write_u8 c addr v =
+  trap c addr 1;
+  Space.set_u8 c.machine.space ~proc:c.cid addr v
+
+let write_bytes c addr buf =
+  trap c addr (Bytes.length buf);
+  Space.write_bytes c.machine.space ~proc:c.cid addr buf
+
+let write_f64_private c addr v = Space.set_f64 c.machine.space ~proc:c.cid addr v
+
+let write_int_private c addr v = Space.set_int c.machine.space ~proc:c.cid addr v
+
+(* ------------------------------------------------------------------ *)
+(* Write collection: RT                                                *)
+(* ------------------------------------------------------------------ *)
+
+let scan_cost (cfg : Config.t) (counts : Dirtybits.scan_counts) =
+  let cost = cfg.cost in
+  (counts.clean_reads * cost.dirtybit_read_clean_ns)
+  + (counts.dirty_reads * cost.dirtybit_read_dirty_ns)
+  + (counts.group_checks * cost.dirtybit_read_clean_ns)
+  + (counts.queue_entries * cost.dirtybit_read_dirty_ns)
+
+(* Collect the update set a requester is missing, stamping this
+   processor's fresh modifications.  [select] distinguishes lock
+   transfers from barrier arrivals. *)
+let rt_collect (c : ctx) db ~ranges ~select =
+  let cfg = c.machine.cfg in
+  c.lamport <- c.lamport + 1;
+  let stamp = Timestamp.make ~time:c.lamport ~proc:c.cid ~nprocs:cfg.nprocs in
+  let lines = ref [] in
+  let bytes = ref 0 in
+  let emit ~addr ~len ~ts ~fresh:_ =
+    let data = Space.read_bytes c.machine.space ~proc:c.cid addr ~len in
+    bytes := !bytes + len;
+    lines := { Payload.addr; len; ts; data } :: !lines
+  in
+  let counts = Dirtybits.scan db ~region_of:(region_of c) ~ranges ~stamp ~select ~emit in
+  c.counters.clean_dirtybits_read <- c.counters.clean_dirtybits_read + counts.clean_reads;
+  c.counters.dirty_dirtybits_read <- c.counters.dirty_dirtybits_read + counts.dirty_reads;
+  c.counters.bound_bytes_scanned <-
+    c.counters.bound_bytes_scanned + Range.total_bytes (Range.normalize ranges);
+  c.counters.dirty_bytes_found <- c.counters.dirty_bytes_found + !bytes;
+  (List.rev !lines, scan_cost cfg counts, stamp)
+
+(* Untargetted consistency: the whole allocated shared space is the
+   collection target of every transfer. *)
+let shared_ranges (t : t) =
+  Midway_memory.Space.regions t.space
+  |> List.filter_map (fun (r : Region.t) ->
+         match r.Region.kind with
+         | Region.Shared when r.Region.used > 0 -> Some (Range.v (Region.base r) r.Region.used)
+         | Region.Shared | Region.Private -> None)
+
+(* Update-queue trapping keeps no full scan, so third-party history comes
+   from the lock's sparse history table. *)
+let rt_collect_lock (c : ctx) db (l : Sync.lock) ~for_ =
+  let cfg = c.machine.cfg in
+  let targetted = not cfg.untargetted in
+  let ranges = if targetted then l.Sync.ranges else shared_ranges c.machine in
+  let last_seen =
+    if targetted then l.Sync.rt_last_seen.(for_)
+    else c.machine.ctxs.(for_).rt_global_seen
+  in
+  let lines, cost_ns, stamp = rt_collect c db ~ranges ~select:(Transfer last_seen) in
+  match cfg.rt_mode with
+  | Config.Plain | Config.Two_level -> (lines, cost_ns, stamp)
+  | Config.Update_queue ->
+      (* Record fresh lines, then add history lines the requester missed.
+         Under the untargetted model the history spans the whole space,
+         so it lives on the machine rather than per lock. *)
+      let history =
+        if targetted then l.Sync.rt_history else c.machine.rt_untargetted_history
+      in
+      List.iter (fun (ln : Payload.rt_line) -> Hashtbl.replace history ln.addr ln.ts) lines;
+      let extra = ref [] in
+      let extra_count = ref 0 in
+      Hashtbl.iter
+        (fun addr ts ->
+          incr extra_count;
+          if ts > last_seen && ts <> stamp then begin
+            let region = region_of c addr in
+            let len = region.Region.line_size in
+            if Range.clip (Range.v addr len) ~within:ranges <> [] then
+              extra :=
+                {
+                  Payload.addr;
+                  len;
+                  ts;
+                  data = Space.read_bytes c.machine.space ~proc:c.cid addr ~len;
+                }
+                :: !extra
+          end)
+        history;
+      c.counters.clean_dirtybits_read <- c.counters.clean_dirtybits_read + !extra_count;
+      let cost_ns = cost_ns + (!extra_count * cfg.cost.dirtybit_read_clean_ns) in
+      (lines @ List.rev !extra, cost_ns, stamp)
+
+let rt_apply (c : ctx) db (lines : Payload.rt_line list) =
+  let cfg = c.machine.cfg in
+  let cost = cfg.cost in
+  let apply_ns = ref 0 in
+  List.iter
+    (fun (ln : Payload.rt_line) ->
+      Space.write_bytes c.machine.space ~proc:c.cid ln.addr ln.data;
+      let region = region_of c ln.addr in
+      Dirtybits.set_ts db ~region ~addr:ln.addr ~ts:ln.ts;
+      if cfg.untargetted && cfg.rt_mode = Config.Update_queue then
+        (match Hashtbl.find_opt c.machine.rt_untargetted_history ln.addr with
+        | Some old when old >= ln.ts -> ()
+        | _ -> Hashtbl.replace c.machine.rt_untargetted_history ln.addr ln.ts);
+      c.counters.dirtybits_updated <- c.counters.dirtybits_updated + 1;
+      apply_ns :=
+        !apply_ns + cost.dirtybit_update_ns + cfg.apply_line_ns
+        + Cost_model.copy_cost_ns cost ~bytes:ln.len ~warm:true)
+    lines;
+  !apply_ns
+
+(* ------------------------------------------------------------------ *)
+(* Write collection: VM                                                *)
+(* ------------------------------------------------------------------ *)
+
+let vm_log_trim (cfg : Config.t) log =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | e :: rest -> e :: take (n - 1) rest
+  in
+  take cfg.update_log_window log
+
+(* A rebinding in (seen, current) forces a *diff-free* full transfer:
+   the paper's VM-DSM ships all bound data "without performing a diff"
+   when the binding changed (section 4, quicksort).  This is decidable
+   from the log alone, before any diffing. *)
+let vm_rebound_since (l : Sync.lock) ~seen ~current =
+  seen < current
+  && List.exists (fun (inc, e) -> inc > seen && e = Sync.Full_marker) l.Sync.vm_log
+
+let vm_collect_lock (c : ctx) vm (l : Sync.lock) ~for_ =
+  let cfg = c.machine.cfg in
+  let bound = Sync.lock_bound_bytes l in
+  let this_inc = l.Sync.incarnation in
+  let seen = l.Sync.vm_inc_seen.(for_) in
+  c.counters.bound_bytes_scanned <- c.counters.bound_bytes_scanned + bound;
+  if vm_rebound_since l ~seen ~current:this_inc then begin
+    (* Diff-free full transfer after a rebinding: ship the releaser's
+       current bound data as is.  Pages stay dirty and writable (no
+       protection churn) and any saved diffs under the ranges are
+       superseded. *)
+    Vm_state.discard_pending vm ~ranges:l.Sync.ranges;
+    l.Sync.vm_log <- vm_log_trim cfg ((this_inc, Sync.Full_marker) :: l.Sync.vm_log);
+    l.Sync.incarnation <- this_inc + 1;
+    c.counters.dirty_bytes_found <- c.counters.dirty_bytes_found + bound;
+    let payload =
+      Payload.Vm_full (Payload.read_pieces c.machine.space ~proc:c.cid l.Sync.ranges)
+    in
+    (payload, 0, this_inc)
+  end
+  else begin
+    let pieces, diff_ns =
+      Vm_state.collect vm ~space:c.machine.space ~proc:c.cid ~counters:c.counters
+        ~cost:cfg.cost ~ranges:l.Sync.ranges
+    in
+    l.Sync.vm_log <- vm_log_trim cfg ((this_inc, Sync.Pieces pieces) :: l.Sync.vm_log);
+    l.Sync.incarnation <- this_inc + 1;
+    c.counters.dirty_bytes_found <- c.counters.dirty_bytes_found + Payload.pieces_bytes pieces;
+    let payload =
+      if seen >= this_inc then Payload.Empty
+      else begin
+        let pieces_of = function Sync.Pieces p -> p | Sync.Full_marker -> [] in
+        let taken = List.filter (fun (inc, _) -> inc > seen) l.Sync.vm_log in
+        (* The log window may no longer reach back to the requester's
+           cursor ("Midway's implementation of VM-DSM does not save all
+           the updates"): then, or when the concatenated updates exceed
+           the bound data, all of the bound data is sent instead. *)
+        let covered = List.length taken = this_inc - seen in
+        let updates =
+          List.rev_map
+            (fun (inc, e) -> { Payload.incarnation = inc; producer = -1; pieces = pieces_of e })
+            taken
+          (* rev_map of newest-first gives oldest-first, the application order *)
+        in
+        let bytes =
+          List.fold_left (fun acc u -> acc + Payload.pieces_bytes u.Payload.pieces) 0 updates
+        in
+        if (not covered) || bytes > bound then
+          Payload.Vm_full (Payload.read_pieces c.machine.space ~proc:c.cid l.Sync.ranges)
+        else Payload.Vm_updates updates
+      end
+    in
+    (payload, diff_ns, this_inc)
+  end
+
+let vm_apply (c : ctx) vm payload =
+  let cfg = c.machine.cfg in
+  let apply pieces =
+    Vm_state.apply_pieces vm ~space:c.machine.space ~proc:c.cid ~counters:c.counters
+      ~cost:cfg.cost pieces
+  in
+  match payload with
+  | Payload.Vm_updates updates ->
+      List.fold_left (fun acc (u : Payload.vm_update) -> acc + apply u.Payload.pieces) 0 updates
+  | Payload.Vm_full pieces -> apply pieces
+  | Payload.Empty -> 0
+  | Payload.Rt_lines _ | Payload.Blast_data _ ->
+      invalid_arg "Runtime.vm_apply: wrong payload kind"
+
+(* ------------------------------------------------------------------ *)
+(* Blast                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let blast_collect (c : ctx) (l : Sync.lock) =
+  let bound = Sync.lock_bound_bytes l in
+  c.counters.bound_bytes_scanned <- c.counters.bound_bytes_scanned + bound;
+  c.counters.dirty_bytes_found <- c.counters.dirty_bytes_found + bound;
+  Payload.Blast_data (Payload.read_pieces c.machine.space ~proc:c.cid l.Sync.ranges)
+
+let blast_apply (c : ctx) pieces =
+  let cfg = c.machine.cfg in
+  Payload.write_pieces c.machine.space ~proc:c.cid pieces;
+  Cost_model.copy_cost_ns cfg.cost ~bytes:(Payload.pieces_bytes pieces) ~warm:true
+
+(* ------------------------------------------------------------------ *)
+(* Twin backend (section 3.5): no trapping; diff all bound data        *)
+(* ------------------------------------------------------------------ *)
+
+let twin_collect_lock (c : ctx) tw (l : Sync.lock) ~for_ =
+  let cfg = c.machine.cfg in
+  let bound = Sync.lock_bound_bytes l in
+  let this_inc = l.Sync.incarnation in
+  let seen = l.Sync.vm_inc_seen.(for_) in
+  c.counters.bound_bytes_scanned <- c.counters.bound_bytes_scanned + bound;
+  if vm_rebound_since l ~seen ~current:this_inc then begin
+    (* Diff-free full transfer after a rebinding; re-snapshot the twin so
+       the next comparison starts from the shipped state. *)
+    Twin_state.refresh tw ~space:c.machine.space ~proc:c.cid ~id:l.Sync.lid
+      ~ranges:l.Sync.ranges;
+    l.Sync.vm_log <- vm_log_trim cfg ((this_inc, Sync.Full_marker) :: l.Sync.vm_log);
+    l.Sync.incarnation <- this_inc + 1;
+    c.counters.dirty_bytes_found <- c.counters.dirty_bytes_found + bound;
+    (Payload.Vm_full (Payload.read_pieces c.machine.space ~proc:c.cid l.Sync.ranges), 0, this_inc)
+  end
+  else begin
+    let pieces, diff_ns =
+      Twin_state.collect tw ~space:c.machine.space ~proc:c.cid ~counters:c.counters
+        ~cost:cfg.cost ~id:l.Sync.lid ~ranges:l.Sync.ranges
+    in
+    l.Sync.vm_log <- vm_log_trim cfg ((this_inc, Sync.Pieces pieces) :: l.Sync.vm_log);
+    l.Sync.incarnation <- this_inc + 1;
+    c.counters.dirty_bytes_found <- c.counters.dirty_bytes_found + Payload.pieces_bytes pieces;
+    let payload =
+      if seen >= this_inc then Payload.Empty
+      else begin
+        let pieces_of = function Sync.Pieces p -> p | Sync.Full_marker -> [] in
+        let taken = List.filter (fun (inc, _) -> inc > seen) l.Sync.vm_log in
+        let covered = List.length taken = this_inc - seen in
+        let updates =
+          List.rev_map
+            (fun (inc, e) -> { Payload.incarnation = inc; producer = -1; pieces = pieces_of e })
+            taken
+        in
+        let bytes =
+          List.fold_left (fun acc u -> acc + Payload.pieces_bytes u.Payload.pieces) 0 updates
+        in
+        if (not covered) || bytes > bound then
+          Payload.Vm_full (Payload.read_pieces c.machine.space ~proc:c.cid l.Sync.ranges)
+        else Payload.Vm_updates updates
+      end
+    in
+    (payload, diff_ns, this_inc)
+  end
+
+let twin_apply (c : ctx) tw ~id ~ranges payload =
+  let cfg = c.machine.cfg in
+  let apply pieces =
+    Twin_state.apply_pieces tw ~space:c.machine.space ~proc:c.cid ~counters:c.counters
+      ~cost:cfg.cost ~id ~ranges pieces
+  in
+  match payload with
+  | Payload.Vm_updates updates ->
+      List.fold_left (fun acc (u : Payload.vm_update) -> acc + apply u.Payload.pieces) 0 updates
+  | Payload.Vm_full pieces -> apply pieces
+  | Payload.Empty -> 0
+  | Payload.Rt_lines _ | Payload.Blast_data _ ->
+      invalid_arg "Runtime.twin_apply: wrong payload kind"
+
+(* ------------------------------------------------------------------ *)
+(* Vm_fine (section 3.4's rejected variant): VM trapping, RT history   *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold a page diff into the per-line timestamp table, then collect the
+   requester's missing lines exactly as RT does.  The cost is the sum the
+   paper predicts: diff + stamp installs + a full RT-style scan. *)
+let vmfine_collect (c : ctx) vm db ~ranges ~last_seen =
+  let cfg = c.machine.cfg in
+  let pieces, diff_ns =
+    Vm_state.collect vm ~space:c.machine.space ~proc:c.cid ~counters:c.counters ~cost:cfg.cost
+      ~ranges
+  in
+  c.lamport <- c.lamport + 1;
+  let stamp = Timestamp.make ~time:c.lamport ~proc:c.cid ~nprocs:cfg.nprocs in
+  let stamp_ns = ref 0 in
+  List.iter
+    (fun (p : Payload.vm_piece) ->
+      let region = region_of c p.Payload.addr in
+      Range.iter_lines
+        (Range.v p.Payload.addr (Bytes.length p.Payload.data))
+        ~line_size:region.Region.line_size
+        ~f:(fun ~addr ~len:_ ->
+          Dirtybits.set_ts db ~region ~addr ~ts:stamp;
+          c.counters.dirtybits_updated <- c.counters.dirtybits_updated + 1;
+          stamp_ns := !stamp_ns + cfg.cost.dirtybit_update_ns))
+    pieces;
+  let lines = ref [] in
+  let bytes = ref 0 in
+  let emit ~addr ~len ~ts ~fresh:_ =
+    bytes := !bytes + len;
+    lines :=
+      { Payload.addr; len; ts; data = Space.read_bytes c.machine.space ~proc:c.cid addr ~len }
+      :: !lines
+  in
+  let counts =
+    Dirtybits.scan db ~region_of:(region_of c) ~ranges ~stamp
+      ~select:(Dirtybits.Transfer last_seen) ~emit
+  in
+  c.counters.clean_dirtybits_read <- c.counters.clean_dirtybits_read + counts.clean_reads;
+  c.counters.dirty_dirtybits_read <- c.counters.dirty_dirtybits_read + counts.dirty_reads;
+  c.counters.bound_bytes_scanned <-
+    c.counters.bound_bytes_scanned + Range.total_bytes (Range.normalize ranges);
+  c.counters.dirty_bytes_found <- c.counters.dirty_bytes_found + !bytes;
+  (List.rev !lines, diff_ns + !stamp_ns + scan_cost cfg counts, stamp)
+
+(* Barrier arrival: the fresh modifications are exactly the diffed
+   pieces, so no scan is needed — stamp them and ship their lines. *)
+let vmfine_barrier_collect (c : ctx) vm db ~ranges =
+  let cfg = c.machine.cfg in
+  let pieces, diff_ns =
+    Vm_state.collect vm ~space:c.machine.space ~proc:c.cid ~counters:c.counters ~cost:cfg.cost
+      ~ranges
+  in
+  c.lamport <- c.lamport + 1;
+  let stamp = Timestamp.make ~time:c.lamport ~proc:c.cid ~nprocs:cfg.nprocs in
+  let seen = Hashtbl.create 16 in
+  let lines = ref [] in
+  let extra_ns = ref 0 in
+  List.iter
+    (fun (p : Payload.vm_piece) ->
+      let region = region_of c p.Payload.addr in
+      Range.iter_lines
+        (Range.v p.Payload.addr (Bytes.length p.Payload.data))
+        ~line_size:region.Region.line_size
+        ~f:(fun ~addr ~len ->
+          if not (Hashtbl.mem seen addr) then begin
+            Hashtbl.replace seen addr ();
+            Dirtybits.set_ts db ~region ~addr ~ts:stamp;
+            c.counters.dirtybits_updated <- c.counters.dirtybits_updated + 1;
+            extra_ns := !extra_ns + cfg.cost.dirtybit_update_ns;
+            lines :=
+              {
+                Payload.addr;
+                len;
+                ts = stamp;
+                data = Space.read_bytes c.machine.space ~proc:c.cid addr ~len;
+              }
+              :: !lines
+          end))
+    pieces;
+  let bytes = List.fold_left (fun acc (l : Payload.rt_line) -> acc + l.Payload.len) 0 !lines in
+  c.counters.bound_bytes_scanned <-
+    c.counters.bound_bytes_scanned + Range.total_bytes (Range.normalize ranges);
+  c.counters.dirty_bytes_found <- c.counters.dirty_bytes_found + bytes;
+  (List.rev !lines, diff_ns + !extra_ns, stamp)
+
+let vmfine_apply (c : ctx) vm db (lines : Payload.rt_line list) =
+  let cfg = c.machine.cfg in
+  (* the data lands in memory and in any twin of a dirty page, then the
+     timestamps install as at an RT requester *)
+  let pieces =
+    List.map (fun (ln : Payload.rt_line) -> { Payload.addr = ln.addr; data = ln.data }) lines
+  in
+  let copy_ns =
+    Vm_state.apply_pieces vm ~space:c.machine.space ~proc:c.cid ~counters:c.counters
+      ~cost:cfg.cost pieces
+  in
+  List.fold_left
+    (fun acc (ln : Payload.rt_line) ->
+      let region = region_of c ln.Payload.addr in
+      Dirtybits.set_ts db ~region ~addr:ln.Payload.addr ~ts:ln.Payload.ts;
+      c.counters.dirtybits_updated <- c.counters.dirtybits_updated + 1;
+      acc + cfg.cost.dirtybit_update_ns + cfg.apply_line_ns)
+    copy_ns lines
+
+(* ------------------------------------------------------------------ *)
+(* Lock protocol                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let wire_overhead (cfg : Config.t) payload =
+  Payload.descriptors payload * cfg.line_descriptor_bytes
+
+(* Serve one pending request: runs at the releaser side (conceptually on
+   its runtime thread), computes the update payload, applies it at the
+   requester and schedules the requester's resumption.  A shared-mode
+   grant leaves ownership with the last writer and just registers the
+   reader. *)
+let serve t (l : Sync.lock) ~requester:q ~arrival ~mode ~waker =
+  let releaser = l.Sync.owner in
+  let rc = t.ctxs.(releaser) and qc = t.ctxs.(q) in
+  let service_time = max arrival l.Sync.free_at in
+  let payload, collect_ns, stamp_info =
+    match rc.backend with
+    | B_rt db ->
+        let lines, ns, stamp = rt_collect_lock rc db l ~for_:q in
+        ((if lines = [] then Payload.Empty else Payload.Rt_lines lines), ns, stamp)
+    | B_vm vm ->
+        let payload, ns, inc = vm_collect_lock rc vm l ~for_:q in
+        (payload, ns, inc)
+    | B_twin tw ->
+        let payload, ns, inc = twin_collect_lock rc tw l ~for_:q in
+        (payload, ns, inc)
+    | B_vmfine (vm, db) ->
+        let lines, ns, stamp =
+          vmfine_collect rc vm db ~ranges:l.Sync.ranges ~last_seen:l.Sync.rt_last_seen.(q)
+        in
+        ((if lines = [] then Payload.Empty else Payload.Rt_lines lines), ns, stamp)
+    | B_none -> (blast_collect rc l, 0, 0)
+  in
+  rc.counters.collect_time_ns <- rc.counters.collect_time_ns + collect_ns;
+  let app = Payload.app_bytes payload in
+  rc.counters.data_sent_bytes <- rc.counters.data_sent_bytes + app;
+  rc.counters.messages <- rc.counters.messages + 1;
+  let deliver =
+    Net.send ~overhead_bytes:(wire_overhead t.cfg payload) t.net ~kind:Net.Lock_reply
+      ~src:releaser ~dst:q ~payload_bytes:app ~at:(service_time + collect_ns)
+  in
+  (* Apply at the requester (it is blocked; its memory is quiescent). *)
+  let apply_ns =
+    match (qc.backend, payload) with
+    | B_rt db, Payload.Rt_lines lines -> rt_apply qc db lines
+    | B_rt _, Payload.Empty -> 0
+    | B_vm vm, _ -> vm_apply qc vm payload
+    | B_twin tw, _ -> twin_apply qc tw ~id:l.Sync.lid ~ranges:l.Sync.ranges payload
+    | B_vmfine (vm, db), Payload.Rt_lines lines -> vmfine_apply qc vm db lines
+    | B_vmfine _, Payload.Empty -> 0
+    | B_none, Payload.Blast_data pieces -> blast_apply qc pieces
+    | B_none, Payload.Empty -> 0
+    | _ -> invalid_arg "Runtime.serve: payload/backend mismatch"
+  in
+  qc.counters.collect_time_ns <- qc.counters.collect_time_ns + apply_ns;
+  qc.counters.data_received_bytes <- qc.counters.data_received_bytes + app;
+  (* Advance cursors. *)
+  (match rc.backend with
+  | B_rt _ | B_vmfine _ ->
+      l.Sync.rt_stamp <- stamp_info;
+      l.Sync.rt_last_seen.(q) <- stamp_info;
+      l.Sync.rt_last_seen.(releaser) <- stamp_info;
+      if t.cfg.untargetted then begin
+        qc.rt_global_seen <- max qc.rt_global_seen stamp_info;
+        rc.rt_global_seen <- max rc.rt_global_seen stamp_info
+      end;
+      qc.lamport <- max qc.lamport (Timestamp.time stamp_info ~nprocs:t.cfg.nprocs)
+  | B_vm _ | B_twin _ ->
+      l.Sync.vm_inc_seen.(q) <- stamp_info;
+      l.Sync.vm_inc_seen.(releaser) <- stamp_info
+  | B_none -> ());
+  (match mode with
+  | Sync.Exclusive ->
+      l.Sync.owner <- q;
+      l.Sync.held_by <- Some q
+  | Sync.Shared -> l.Sync.readers <- q :: l.Sync.readers);
+  l.Sync.acquires <- l.Sync.acquires + 1;
+  Trace.record t.trace
+    (Trace.Lock_granted
+       {
+         t = deliver + apply_ns;
+         lock = l.Sync.lid;
+         from_ = releaser;
+         to_ = q;
+         shared = (mode = Sync.Shared);
+         payload_bytes = app;
+       });
+  waker ~at:(deliver + apply_ns)
+
+(* Drain the request queue as far as the lock state allows: shared grants
+   stack up; an exclusive grant needs the lock free of holders *and*
+   readers, and stops the drain. *)
+let rec service_queue t (l : Sync.lock) =
+  if l.Sync.held_by = None then begin
+    match l.Sync.pending with
+    | [] -> ()
+    | (q, arrival, Sync.Shared, waker) :: rest ->
+        l.Sync.pending <- rest;
+        serve t l ~requester:q ~arrival ~mode:Sync.Shared ~waker;
+        service_queue t l
+    | (q, arrival, Sync.Exclusive, waker) :: rest ->
+        if l.Sync.readers = [] then begin
+          l.Sync.pending <- rest;
+          serve t l ~requester:q ~arrival ~mode:Sync.Exclusive ~waker
+        end
+  end
+
+let acquire_mode c l mode =
+  let t = c.machine in
+  Engine.yield c.proc;
+  (match l.Sync.held_by with
+  | Some holder when holder = c.cid ->
+      failwith (Printf.sprintf "Runtime.acquire: lock %d is not reentrant" l.Sync.lid)
+  | _ -> ());
+  if List.mem c.cid l.Sync.readers then
+    failwith (Printf.sprintf "Runtime.acquire: lock %d already held in shared mode" l.Sync.lid);
+  let grantable_locally =
+    l.Sync.held_by = None && l.Sync.owner = c.cid && l.Sync.pending = []
+    && (mode = Sync.Shared || l.Sync.readers = [])
+  in
+  if grantable_locally then begin
+    (* Local re-acquisition: no messages, no collection. *)
+    c.counters.lock_acquires_local <- c.counters.lock_acquires_local + 1;
+    Engine.charge c.proc t.cfg.local_lock_ns;
+    (match mode with
+    | Sync.Exclusive -> l.Sync.held_by <- Some c.cid
+    | Sync.Shared -> l.Sync.readers <- c.cid :: l.Sync.readers);
+    l.Sync.acquires <- l.Sync.acquires + 1;
+    Trace.record t.trace (Trace.Lock_local { t = now_ns c; lock = l.Sync.lid; proc = c.cid })
+  end
+  else begin
+    c.counters.lock_acquires_remote <- c.counters.lock_acquires_remote + 1;
+    c.counters.messages <- c.counters.messages + 1;
+    Trace.record t.trace
+      (Trace.Lock_requested
+         { t = now_ns c; lock = l.Sync.lid; proc = c.cid; shared = (mode = Sync.Shared) });
+    let arrival =
+      Net.send t.net ~kind:Net.Lock_request ~src:c.cid ~dst:l.Sync.owner ~payload_bytes:0
+        ~at:(now_ns c)
+    in
+    Engine.block c.proc ~setup:(fun ~wake ->
+        Sync.enqueue_request l ~proc:c.cid ~arrival ~mode ~waker:wake;
+        service_queue t l)
+  end
+
+let acquire c l = acquire_mode c l Sync.Exclusive
+
+let acquire_read c l = acquire_mode c l Sync.Shared
+
+let release c l =
+  let t = c.machine in
+  Engine.yield c.proc;
+  Engine.charge c.proc t.cfg.release_ns;
+  Trace.record t.trace (Trace.Lock_released { t = now_ns c; lock = l.Sync.lid; proc = c.cid });
+  match l.Sync.held_by with
+  | Some holder when holder = c.cid ->
+      l.Sync.held_by <- None;
+      l.Sync.free_at <- now_ns c;
+      service_queue t l
+  | _ ->
+      if List.mem c.cid l.Sync.readers then begin
+        l.Sync.readers <- List.filter (fun p -> p <> c.cid) l.Sync.readers;
+        if l.Sync.readers = [] then begin
+          l.Sync.free_at <- max l.Sync.free_at (now_ns c);
+          service_queue t l
+        end
+      end
+      else
+        failwith (Printf.sprintf "Runtime.release: lock %d not held by p%d" l.Sync.lid c.cid)
+
+let rebind c l ranges =
+  Engine.yield c.proc;
+  (match l.Sync.held_by with
+  | Some holder when holder = c.cid -> ()
+  | _ -> failwith (Printf.sprintf "Runtime.rebind: lock %d not held by p%d" l.Sync.lid c.cid));
+  Engine.charge c.proc c.machine.cfg.release_ns;
+  Sync.rebind_lock l ~nprocs:c.machine.cfg.nprocs ~ranges;
+  Trace.record c.machine.trace
+    (Trace.Lock_rebound
+       { t = now_ns c; lock = l.Sync.lid; proc = c.cid; bound_bytes = Sync.lock_bound_bytes l })
+
+(* ------------------------------------------------------------------ *)
+(* Barrier protocol                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let barrier_collect (c : ctx) (b : Sync.barrier) =
+  if c.machine.cfg.untargetted && b.Sync.branges <> [] then
+    failwith "Runtime.barrier: the untargetted model supports lock-based data sharing only";
+  match c.backend with
+  | B_rt db ->
+      let lines, ns, stamp = rt_collect c db ~ranges:b.Sync.branges ~select:Dirtybits.Fresh_only in
+      ((if lines = [] then Payload.Empty else Payload.Rt_lines lines), ns, stamp)
+  | B_vm vm ->
+      let cfg = c.machine.cfg in
+      let pieces, ns =
+        Vm_state.collect vm ~space:c.machine.space ~proc:c.cid ~counters:c.counters
+          ~cost:cfg.cost ~ranges:b.Sync.branges
+      in
+      c.counters.bound_bytes_scanned <-
+        c.counters.bound_bytes_scanned + Range.total_bytes b.Sync.branges;
+      c.counters.dirty_bytes_found <-
+        c.counters.dirty_bytes_found + Payload.pieces_bytes pieces;
+      ((if pieces = [] then Payload.Empty else Payload.Vm_full pieces), ns, 0)
+  | B_vmfine (vm, db) ->
+      let lines, ns, stamp = vmfine_barrier_collect c vm db ~ranges:b.Sync.branges in
+      ((if lines = [] then Payload.Empty else Payload.Rt_lines lines), ns, stamp)
+  | B_twin tw ->
+      let cfg = c.machine.cfg in
+      let pieces, ns =
+        Twin_state.collect tw ~space:c.machine.space ~proc:c.cid ~counters:c.counters
+          ~cost:cfg.cost ~id:b.Sync.bid ~ranges:b.Sync.branges
+      in
+      c.counters.bound_bytes_scanned <-
+        c.counters.bound_bytes_scanned + Range.total_bytes b.Sync.branges;
+      c.counters.dirty_bytes_found <-
+        c.counters.dirty_bytes_found + Payload.pieces_bytes pieces;
+      ((if pieces = [] then Payload.Empty else Payload.Vm_full pieces), ns, 0)
+  | B_none ->
+      if b.Sync.branges <> [] then
+        failwith "Runtime.barrier: the blast backend does not support barrier-bound data";
+      (Payload.Empty, 0, 0)
+
+(* All participants have arrived: merge their modifications and send each
+   processor what the others produced. *)
+let barrier_release t (b : Sync.barrier) =
+  let arrivals = List.sort (fun a b -> compare a.Sync.a_proc b.Sync.a_proc) b.Sync.arrived in
+  let t_all = List.fold_left (fun acc a -> max acc a.Sync.a_deliver) 0 arrivals in
+  let payload_for p =
+    (* Everything the other participants produced, in processor order. *)
+    let parts = List.filter (fun a -> a.Sync.a_proc <> p) arrivals in
+    let rt_lines =
+      List.concat_map
+        (fun a -> match a.Sync.a_payload with Payload.Rt_lines ls -> ls | _ -> [])
+        parts
+    in
+    let vm_pieces =
+      List.concat_map
+        (fun a -> match a.Sync.a_payload with Payload.Vm_full ps -> ps | _ -> [])
+        parts
+    in
+    if rt_lines <> [] then Payload.Rt_lines rt_lines
+    else if vm_pieces <> [] then Payload.Vm_full vm_pieces
+    else Payload.Empty
+  in
+  let merge_lines =
+    List.fold_left (fun acc a -> acc + Payload.descriptors a.Sync.a_payload) 0 arrivals
+  in
+  let t_release = t_all + (merge_lines * t.cfg.apply_line_ns) in
+  let max_time =
+    List.fold_left
+      (fun acc a ->
+        if Timestamp.is_stamp a.Sync.a_stamp && a.Sync.a_stamp > Timestamp.initial then
+          max acc (Timestamp.time a.Sync.a_stamp ~nprocs:t.cfg.nprocs)
+        else acc)
+      0 arrivals
+  in
+  List.iter
+    (fun a ->
+      let p = a.Sync.a_proc in
+      let pc = t.ctxs.(p) in
+      let payload = payload_for p in
+      let app = Payload.app_bytes payload in
+      if p <> b.Sync.manager then
+        t.ctxs.(b.Sync.manager).counters.messages <-
+          t.ctxs.(b.Sync.manager).counters.messages + 1;
+      let deliver =
+        Net.send ~overhead_bytes:(wire_overhead t.cfg payload) t.net
+          ~kind:Net.Barrier_release ~src:b.Sync.manager ~dst:p ~payload_bytes:app
+          ~at:t_release
+      in
+      let apply_ns =
+        match (pc.backend, payload) with
+        | B_rt db, Payload.Rt_lines lines -> rt_apply pc db lines
+        | B_vm vm, (Payload.Vm_full _ as pl) -> vm_apply pc vm pl
+        | B_twin tw, (Payload.Vm_full _ as pl) ->
+            twin_apply pc tw ~id:b.Sync.bid ~ranges:b.Sync.branges pl
+        | B_vmfine (vm, db), Payload.Rt_lines lines -> vmfine_apply pc vm db lines
+        | _, Payload.Empty -> 0
+        | _ -> invalid_arg "Runtime.barrier_release: payload/backend mismatch"
+      in
+      pc.counters.collect_time_ns <- pc.counters.collect_time_ns + apply_ns;
+      pc.counters.data_received_bytes <- pc.counters.data_received_bytes + app;
+      if max_time > 0 then pc.lamport <- max pc.lamport max_time;
+      a.Sync.a_waker ~at:(deliver + apply_ns))
+    arrivals;
+  Trace.record t.trace
+    (Trace.Barrier_completed { t = t_release; barrier = b.Sync.bid; episode = b.Sync.episode });
+  b.Sync.episode <- b.Sync.episode + 1;
+  b.Sync.crossings <- b.Sync.crossings + 1;
+  b.Sync.arrived <- []
+
+let barrier c b =
+  let t = c.machine in
+  Engine.yield c.proc;
+  c.counters.barrier_crossings <- c.counters.barrier_crossings + 1;
+  if b.Sync.participants = 1 then begin
+    (* Degenerate (uniprocessor) barrier: no consumers, so no collection
+       takes place — the paper's uniprocessor VM run "never diffs or write
+       protects a page, since the data is never transferred". *)
+    b.Sync.episode <- b.Sync.episode + 1;
+    b.Sync.crossings <- b.Sync.crossings + 1
+  end
+  else begin
+    let payload, collect_ns, stamp = barrier_collect c b in
+    c.counters.collect_time_ns <- c.counters.collect_time_ns + collect_ns;
+    Engine.charge c.proc collect_ns;
+    let app = Payload.app_bytes payload in
+    c.counters.data_sent_bytes <- c.counters.data_sent_bytes + app;
+    if c.cid <> b.Sync.manager then c.counters.messages <- c.counters.messages + 1;
+    let deliver =
+      Net.send ~overhead_bytes:(wire_overhead t.cfg payload) t.net
+        ~kind:Net.Barrier_arrive ~src:c.cid ~dst:b.Sync.manager ~payload_bytes:app
+        ~at:(now_ns c)
+    in
+    Trace.record t.trace
+      (Trace.Barrier_arrived
+         { t = now_ns c; barrier = b.Sync.bid; proc = c.cid; payload_bytes = app });
+    Engine.block c.proc ~setup:(fun ~wake ->
+        b.Sync.arrived <-
+          b.Sync.arrived
+          @ [
+              {
+                Sync.a_proc = c.cid;
+                a_deliver = deliver;
+                a_waker = wake;
+                a_payload = payload;
+                a_stamp = stamp;
+              };
+            ];
+        if List.length b.Sync.arrived = b.Sync.participants then barrier_release t b)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Enrich an engine deadlock with the synchronization state so the bug
+   in the simulated program is visible at a glance. *)
+let deadlock_diagnostics t =
+  let lock_lines =
+    List.filter_map
+      (fun (l : Sync.lock) ->
+        if l.Sync.held_by = None && l.Sync.readers = [] && l.Sync.pending = [] then None
+        else
+          Some
+            (Printf.sprintf "  lock %d: %s%s%s" l.Sync.lid
+               (match l.Sync.held_by with
+               | Some p -> Printf.sprintf "held by p%d" p
+               | None -> "free")
+               (match l.Sync.readers with
+               | [] -> ""
+               | rs ->
+                   ", readers "
+                   ^ String.concat "," (List.map (fun p -> "p" ^ string_of_int p) rs))
+               (match l.Sync.pending with
+               | [] -> ""
+               | ps ->
+                   ", waiting "
+                   ^ String.concat ","
+                       (List.map (fun (p, _, _, _) -> "p" ^ string_of_int p) ps))))
+      t.locks
+  in
+  let barrier_lines =
+    List.filter_map
+      (fun (b : Sync.barrier) ->
+        match b.Sync.arrived with
+        | [] -> None
+        | arrived ->
+            Some
+              (Printf.sprintf "  barrier %d: %d/%d arrived (%s)" b.Sync.bid
+                 (List.length arrived) b.Sync.participants
+                 (String.concat ","
+                    (List.map (fun a -> "p" ^ string_of_int a.Sync.a_proc) arrived))))
+      t.barriers
+  in
+  String.concat "\n" (lock_lines @ barrier_lines)
+
+let run_each t bodies =
+  if t.ran then invalid_arg "Runtime.run: machine already ran";
+  if Array.length bodies <> t.cfg.nprocs then
+    invalid_arg "Runtime.run_each: need one body per processor";
+  t.ran <- true;
+  Array.iteri (fun i body -> Engine.spawn t.engine i (fun _proc -> body t.ctxs.(i))) bodies;
+  try Engine.run t.engine
+  with Engine.Deadlock msg ->
+    let detail = deadlock_diagnostics t in
+    raise
+      (Engine.Deadlock (if detail = "" then msg else Printf.sprintf "%s\n%s" msg detail))
+
+let run t body = run_each t (Array.make t.cfg.nprocs body)
+
+(* Post-run protocol invariant checking: structural properties that hold
+   for every correct program over a correct protocol. *)
+let check_invariants t =
+  let problems = ref [] in
+  let report fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  List.iter
+    (fun (l : Sync.lock) ->
+      (match l.Sync.held_by with
+      | Some p -> report "lock %d still held by p%d at end of run" l.Sync.lid p
+      | None -> ());
+      if l.Sync.readers <> [] then
+        report "lock %d still held by %d reader(s) at end of run" l.Sync.lid
+          (List.length l.Sync.readers);
+      if l.Sync.pending <> [] then
+        report "lock %d has %d pending request(s) at end of run" l.Sync.lid
+          (List.length l.Sync.pending);
+      (* RT: only the owner may have unstamped (locally dirty) lines in
+         the lock's bound ranges — a sentinel elsewhere means a processor
+         wrote the data without holding the lock. *)
+      if t.cfg.backend = Config.Rt && not t.cfg.untargetted then
+        Array.iteri
+          (fun p (ctx : ctx) ->
+            if p <> l.Sync.owner then
+              match ctx.backend with
+              | B_rt db ->
+                  List.iter
+                    (fun (range : Range.t) ->
+                      Range.iter_lines range ~line_size:(region_of ctx range.Range.addr).Region.line_size
+                        ~f:(fun ~addr ~len:_ ->
+                          if
+                            Dirtybits.line_ts db ~region:(region_of ctx addr) ~addr
+                            = Timestamp.locally_dirty
+                          then
+                            report
+                              "lock %d: p%d has a locally dirty line at %#x without ownership"
+                              l.Sync.lid p addr))
+                    l.Sync.ranges
+              | _ -> ())
+          t.ctxs)
+    t.locks;
+  List.iter
+    (fun (b : Sync.barrier) ->
+      if b.Sync.arrived <> [] then
+        report "barrier %d has %d processor(s) parked at end of run" b.Sync.bid
+          (List.length b.Sync.arrived))
+    t.barriers;
+  (* VM: every dirty page must have a twin. *)
+  Array.iter
+    (fun (ctx : ctx) ->
+      match ctx.backend with
+      | B_vm vm ->
+          List.iter
+            (fun (p : Midway_vmem.Page_table.page) ->
+              if p.Midway_vmem.Page_table.twin = None then
+                report "p%d: dirty page %d without a twin" ctx.cid
+                  p.Midway_vmem.Page_table.number)
+            (Midway_vmem.Page_table.dirty_pages (Vm_state.page_table vm))
+      | _ -> ())
+    t.ctxs;
+  List.rev !problems
+
+let elapsed_ns t = Engine.elapsed t.engine
+
+let proc_clock_ns t i = Engine.clock_of t.engine i

@@ -1,0 +1,154 @@
+(** The Midway runtime: a simulated DSM multicomputer.
+
+    A [Runtime.t] assembles the whole machine — the discrete-event engine,
+    the shared address space, the network, the per-processor write
+    detection state and operation counters — and implements the entry
+    consistency protocol over them.
+
+    Typical use:
+    {[
+      let rt = Runtime.create (Config.make Rt ~nprocs:8) in
+      let data = Runtime.alloc rt ~line_size:64 (n * 8) in
+      let lock = Runtime.new_lock rt [ Range.v data (n * 8) ] in
+      Runtime.run rt (fun c ->
+          Runtime.acquire c lock;
+          Runtime.write_f64 c data 1.0;
+          Runtime.release c lock);
+      Printf.printf "took %s\n" (Midway_util.Units.pp_time (Runtime.elapsed_ns rt))
+    ]}
+ *)
+
+type t
+
+type ctx
+(** A processor's view of the machine, passed to its program. *)
+
+(** {1 Machine construction} *)
+
+val create : Config.t -> t
+(** Raises [Invalid_argument] for a [Standalone] configuration with more
+    than one processor. *)
+
+val config : t -> Config.t
+
+val space : t -> Midway_memory.Space.t
+
+val net : t -> Midway_simnet.Net.t
+
+val counters : t -> int -> Midway_stats.Counters.t
+(** Processor [i]'s operation counters. *)
+
+val trace : t -> Trace.t
+(** The protocol event trace (empty unless
+    {!Config.t.trace_capacity} > 0). *)
+
+val all_counters : t -> Midway_stats.Counters.t array
+
+val alloc : t -> ?line_size:int -> ?private_:bool -> int -> int
+(** Allocate shared (default) or private memory; returns the base
+    address.  [line_size] sets the software cache-line size of the
+    containing region (default from the configuration). *)
+
+val new_lock : t -> ?owner:int -> Range.t list -> Sync.lock
+(** A lock binding the given data ranges, initially owned (not held) by
+    [owner] (default processor 0). *)
+
+val new_barrier : t -> ?participants:int -> ?manager:int -> Range.t list -> Sync.barrier
+(** A barrier over [participants] processors (default: all) binding the
+    given ranges; bound data is made consistent at every crossing.
+    [manager] (default 0) is the processor that merges and redistributes
+    arrivals — for a neighbour-pair barrier pick one of the members so
+    traffic does not detour through processor 0. *)
+
+val run : t -> (ctx -> unit) -> unit
+(** Run the same program on every processor, to completion.  May be
+    called once.  Raises {!Midway_sched.Engine.Deadlock} on a
+    synchronization bug. *)
+
+val run_each : t -> (ctx -> unit) array -> unit
+(** Run a distinct program per processor (length must equal [nprocs]). *)
+
+val check_invariants : t -> string list
+(** After [run]: verify structural protocol invariants — no lock or
+    barrier left held/parked, no pending requests, no locally-dirty RT
+    lines on non-owners of a lock's data (a write without ownership), no
+    VM dirty page without a twin.  Returns human-readable violations
+    (empty = clean).  Useful in tests and when debugging simulated
+    programs. *)
+
+val elapsed_ns : t -> int
+(** After [run]: simulated execution time (max over processors). *)
+
+val proc_clock_ns : t -> int -> int
+
+(** {1 Processor operations} *)
+
+val id : ctx -> int
+
+val nprocs : ctx -> int
+
+val now_ns : ctx -> int
+
+val work_ns : ctx -> int -> unit
+(** Model local computation: advance this processor's clock. *)
+
+val work_cycles : ctx -> int -> unit
+(** Computation expressed in processor cycles (40 ns each by default). *)
+
+(** {2 Shared memory access}
+
+    Reads are local-memory reads (Midway's update protocol has no read
+    misses) and charge nothing.  Writes perform the store and then run
+    write trapping for the configured backend: RT sets the line's
+    dirtybit via the region's template (charging the instrumented-store
+    cost), VM checks page protection and may take a simulated write
+    fault.  Writes to private regions through this interface model
+    compiler misclassification and charge the null-template penalty. *)
+
+val read_f64 : ctx -> int -> float
+val write_f64 : ctx -> int -> float -> unit
+val read_int : ctx -> int -> int
+val write_int : ctx -> int -> int -> unit
+val read_i32 : ctx -> int -> int32
+val write_i32 : ctx -> int -> int32 -> unit
+val read_u8 : ctx -> int -> int
+val write_u8 : ctx -> int -> int -> unit
+val read_bytes : ctx -> int -> len:int -> Bytes.t
+val write_bytes : ctx -> int -> Bytes.t -> unit
+(** Area store ([bcopy]-style): traps once per cache line touched. *)
+
+val write_f64_private : ctx -> int -> float -> unit
+val write_int_private : ctx -> int -> int -> unit
+(** Stores the compiler classified as private: no instrumentation is
+    emitted and no trapping cost is charged (paper, section 3.1 — "there
+    is no need to instrument writes to memory that will not be referenced
+    by other processors").  Use the ordinary [write_*] on a private
+    region to model a *misclassified* store instead. *)
+
+(** {2 Synchronization} *)
+
+val acquire : ctx -> Sync.lock -> unit
+(** Acquire in exclusive (write) mode.  A lock owned by this processor
+    and not held is granted locally; otherwise a request goes to the
+    current owner and the reply carries the updates this processor is
+    missing.  Raises [Failure] on re-acquisition (locks are not
+    reentrant). *)
+
+val acquire_read : ctx -> Sync.lock -> unit
+(** Acquire in non-exclusive (read) mode: any number of readers may hold
+    the lock concurrently, each receiving the updates it is missing;
+    ownership stays with the last writer.  An exclusive request waits
+    until all readers release.  Requests are served in arrival order, so
+    writers are not starved. *)
+
+val release : ctx -> Sync.lock -> unit
+(** Release either mode; pending requests are served in arrival order. *)
+
+val rebind : ctx -> Sync.lock -> Range.t list -> unit
+(** Change the lock's data binding (must hold the lock).  See
+    {!Sync.rebind_lock} for the backend-specific consequences. *)
+
+val barrier : ctx -> Sync.barrier -> unit
+(** Cross the barrier: ship this processor's modifications of the bound
+    data to the manager, wait for all participants, and receive the other
+    processors' modifications. *)

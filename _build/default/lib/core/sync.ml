@@ -1,0 +1,94 @@
+type waker = at:int -> unit
+
+type mode = Exclusive | Shared
+
+type vm_log_entry = Pieces of Payload.vm_piece list | Full_marker
+
+type lock = {
+  lid : int;
+  mutable ranges : Range.t list;
+  mutable owner : int;
+  mutable held_by : int option;
+  mutable free_at : int;
+  mutable pending : (int * int * mode * waker) list;
+  mutable readers : int list;
+  mutable acquires : int;
+  rt_last_seen : Timestamp.t array;
+  mutable rt_stamp : Timestamp.t;
+  rt_history : (int, Timestamp.t) Hashtbl.t;
+  mutable incarnation : int;
+  vm_inc_seen : int array;
+  mutable vm_log : (int * vm_log_entry) list;
+}
+
+type arrival = {
+  a_proc : int;
+  a_deliver : int;
+  a_waker : waker;
+  a_payload : Payload.t;
+  a_stamp : Timestamp.t;
+}
+
+type barrier = {
+  bid : int;
+  mutable branges : Range.t list;
+  participants : int;
+  manager : int;
+  mutable episode : int;
+  mutable arrived : arrival list;
+  mutable crossings : int;
+}
+
+let make_lock ~lid ~nprocs ~owner ~ranges =
+  if owner < 0 || owner >= nprocs then invalid_arg "Sync.make_lock: owner out of range";
+  {
+    lid;
+    ranges = Range.normalize ranges;
+    owner;
+    held_by = None;
+    free_at = 0;
+    pending = [];
+    readers = [];
+    acquires = 0;
+    rt_last_seen = Array.make nprocs Timestamp.never_seen;
+    rt_stamp = Timestamp.initial;
+    rt_history = Hashtbl.create 16;
+    incarnation = 0;
+    vm_inc_seen = Array.make nprocs (-1);
+    vm_log = [];
+  }
+
+let make_barrier ~bid ~nprocs ~participants ~manager ~ranges =
+  if participants <= 0 || participants > nprocs then
+    invalid_arg "Sync.make_barrier: participants out of range";
+  if manager < 0 || manager >= nprocs then
+    invalid_arg "Sync.make_barrier: manager out of range";
+  {
+    bid;
+    branges = Range.normalize ranges;
+    participants;
+    manager;
+    episode = 0;
+    arrived = [];
+    crossings = 0;
+  }
+
+let lock_bound_bytes l = Range.total_bytes l.ranges
+
+let enqueue_request l ~proc ~arrival ~mode ~waker =
+  let rec insert = function
+    | [] -> [ (proc, arrival, mode, waker) ]
+    | ((p, a, _, _) as hd) :: rest ->
+        if arrival < a || (arrival = a && proc < p) then (proc, arrival, mode, waker) :: hd :: rest
+        else hd :: insert rest
+  in
+  l.pending <- insert l.pending
+
+let rebind_lock l ~nprocs:_ ~ranges =
+  l.ranges <- Range.normalize ranges;
+  (* RT: every processor must refetch the newly bound data. *)
+  Array.fill l.rt_last_seen 0 (Array.length l.rt_last_seen) Timestamp.never_seen;
+  Hashtbl.reset l.rt_history;
+  (* VM: bump the incarnation and force a diff-free full transfer. *)
+  l.incarnation <- l.incarnation + 1;
+  l.vm_log <- [ (l.incarnation - 1, Full_marker) ]

@@ -1,0 +1,84 @@
+(** Synchronization objects: entry-consistency locks and barriers.
+
+    Under entry consistency, every lock and barrier carries an explicit
+    binding to the shared data it guards; crossing the synchronization
+    point makes exactly that data consistent at the requester (paper,
+    section 3).  These records hold the protocol state that travels
+    conceptually with the object: ownership, the pending request queue,
+    per-processor consistency cursors (RT timestamps, VM incarnations),
+    and the VM update log.
+
+    The state machines live in {!Runtime}; this module owns the plain
+    data. *)
+
+type waker = at:int -> unit
+(** Resume a blocked processor fiber at a virtual time. *)
+
+type mode =
+  | Exclusive  (** for writing: sole holder, ownership transfers *)
+  | Shared  (** for reading: concurrent holders, each receives updates; ownership stays with the last writer *)
+
+type vm_log_entry =
+  | Pieces of Payload.vm_piece list
+      (** modifications collected for one incarnation *)
+  | Full_marker
+      (** the whole bound data was shipped at this incarnation (after a
+          rebinding, or because concatenated diffs exceeded the data);
+          requesters that missed it must receive full data too *)
+
+type lock = {
+  lid : int;
+  mutable ranges : Range.t list;  (** normalized bound ranges *)
+  mutable owner : int;  (** processor holding the protocol state (last holder) *)
+  mutable held_by : int option;
+  mutable free_at : int;  (** virtual time the lock last became free *)
+  mutable pending : (int * int * mode * waker) list;  (** requester, arrival time, mode, waker — sorted by arrival *)
+  mutable readers : int list;  (** processors currently holding the lock in shared mode *)
+  mutable acquires : int;
+  (* RT-DSM *)
+  rt_last_seen : Timestamp.t array;  (** per-processor consistency cursor *)
+  mutable rt_stamp : Timestamp.t;  (** stamp of the most recent transfer *)
+  rt_history : (int, Timestamp.t) Hashtbl.t;
+      (** update-queue trapping mode only: line address -> newest stamp, the
+          sparse update history that replaces full scans *)
+  (* VM-DSM *)
+  mutable incarnation : int;
+  vm_inc_seen : int array;  (** per-processor last incarnation observed *)
+  mutable vm_log : (int * vm_log_entry) list;  (** newest first, trimmed to a window *)
+}
+
+type arrival = {
+  a_proc : int;
+  a_deliver : int;  (** when the arrival message reaches the manager *)
+  a_waker : waker;
+  a_payload : Payload.t;  (** the processor's own fresh modifications *)
+  a_stamp : Timestamp.t;  (** RT: stamp used for this episode (0 otherwise) *)
+}
+
+type barrier = {
+  bid : int;
+  mutable branges : Range.t list;
+  participants : int;
+  manager : int;  (** processor acting as barrier manager (0) *)
+  mutable episode : int;
+  mutable arrived : arrival list;  (** current episode, arrival order *)
+  mutable crossings : int;
+}
+
+val make_lock : lid:int -> nprocs:int -> owner:int -> ranges:Range.t list -> lock
+
+val make_barrier :
+  bid:int -> nprocs:int -> participants:int -> manager:int -> ranges:Range.t list -> barrier
+
+val lock_bound_bytes : lock -> int
+
+val enqueue_request : lock -> proc:int -> arrival:int -> mode:mode -> waker:waker -> unit
+(** Insert into [pending] keeping arrival-time order (ties by processor id
+    for determinism). *)
+
+val rebind_lock : lock -> nprocs:int -> ranges:Range.t list -> unit
+(** Change the data bound to the lock (quicksort's task pattern).  Under
+    RT the per-processor cursors reset so the next transfer ships all
+    bound lines; under VM the incarnation is bumped and a {!Full_marker}
+    recorded so the next transfer ships all bound data without diffing —
+    both as described in section 4. *)

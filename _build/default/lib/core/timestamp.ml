@@ -1,0 +1,19 @@
+type t = int
+
+let locally_dirty = 0
+
+let never_seen = 0
+
+(* [initial] must exceed [never_seen] and be distinct from the dirty
+   sentinel; stamps proper start at [make ~time:1] which, for any nprocs,
+   is >= nprocs > 1.  Using 1 keeps it below every real stamp. *)
+let initial = 1
+
+let make ~time ~proc ~nprocs =
+  if time < 1 then invalid_arg "Timestamp.make: time must be >= 1";
+  if proc < 0 || proc >= nprocs then invalid_arg "Timestamp.make: proc out of range";
+  (time * nprocs) + proc
+
+let time t ~nprocs = t / nprocs
+
+let is_stamp t = t >= initial

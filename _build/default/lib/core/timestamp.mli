@@ -1,0 +1,37 @@
+(** Dirtybit timestamps.
+
+    A dirtybit in RT-DSM is really a timestamp recording the most recent
+    modification of its cache line (paper, section 3.2).  Timestamps are
+    Lamport-clock values; to make stamps from different processors totally
+    ordered (so that merging concurrent barrier updates is deterministic),
+    a stamp encodes the pair [(lamport_time, proc)] as
+    [lamport_time * nprocs + proc].
+
+    Two small values are reserved:
+    - {!locally_dirty} (0): the store template's sentinel — the line was
+      modified locally and will be stamped lazily at the next transfer of
+      its guarding synchronization object (paper, footnote 1);
+    - {!initial}: the timestamp of never-written data, greater than any
+      processor's "never seen anything" cursor of 0, so a first acquire
+      transfers all bound data as the paper specifies. *)
+
+type t = int
+
+val locally_dirty : t
+(** 0 — the sentinel the write template stores. *)
+
+val never_seen : t
+(** The cursor of a processor that has not seen the data at all; strictly
+    below {!initial}. *)
+
+val initial : t
+(** Timestamp carried by allocated-but-never-transferred lines. *)
+
+val make : time:int -> proc:int -> nprocs:int -> t
+(** Encode a stamp; [time] must be at least 1. *)
+
+val time : t -> nprocs:int -> int
+(** Lamport component of a stamp. *)
+
+val is_stamp : t -> bool
+(** True for real stamps (neither sentinel): [t >= initial]. *)

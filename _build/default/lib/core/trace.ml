@@ -1,0 +1,90 @@
+type event =
+  | Lock_requested of { t : int; lock : int; proc : int; shared : bool }
+  | Lock_granted of {
+      t : int;
+      lock : int;
+      from_ : int;
+      to_ : int;
+      shared : bool;
+      payload_bytes : int;
+    }
+  | Lock_local of { t : int; lock : int; proc : int }
+  | Lock_released of { t : int; lock : int; proc : int }
+  | Lock_rebound of { t : int; lock : int; proc : int; bound_bytes : int }
+  | Barrier_arrived of { t : int; barrier : int; proc : int; payload_bytes : int }
+  | Barrier_completed of { t : int; barrier : int; episode : int }
+
+type t = {
+  capacity : int;
+  ring : event array;  (* valid slots: [start, start+size) mod capacity *)
+  mutable start : int;
+  mutable size : int;
+  mutable recorded : int;
+}
+
+let dummy = Lock_local { t = 0; lock = -1; proc = -1 }
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Trace.create: negative capacity";
+  { capacity; ring = Array.make (max capacity 1) dummy; start = 0; size = 0; recorded = 0 }
+
+let record t e =
+  if t.capacity > 0 then begin
+    t.recorded <- t.recorded + 1;
+    if t.size < t.capacity then begin
+      t.ring.((t.start + t.size) mod t.capacity) <- e;
+      t.size <- t.size + 1
+    end
+    else begin
+      t.ring.(t.start) <- e;
+      t.start <- (t.start + 1) mod t.capacity
+    end
+  end
+
+let length t = t.size
+
+let total t = t.recorded
+
+let events t = List.init t.size (fun i -> t.ring.((t.start + i) mod t.capacity))
+
+let event_time = function
+  | Lock_requested { t; _ }
+  | Lock_granted { t; _ }
+  | Lock_local { t; _ }
+  | Lock_released { t; _ }
+  | Lock_rebound { t; _ }
+  | Barrier_arrived { t; _ }
+  | Barrier_completed { t; _ } -> t
+
+let pp_event fmt = function
+  | Lock_requested { t; lock; proc; shared } ->
+      Format.fprintf fmt "%-12s lock %d <- p%d%s" (Midway_util.Units.pp_time t) lock proc
+        (if shared then " (read)" else "")
+  | Lock_granted { t; lock; from_; to_; shared; payload_bytes } ->
+      Format.fprintf fmt "%-12s lock %d: p%d -> p%d%s, %s" (Midway_util.Units.pp_time t) lock
+        from_ to_
+        (if shared then " (read)" else "")
+        (Midway_util.Units.pp_bytes payload_bytes)
+  | Lock_local { t; lock; proc } ->
+      Format.fprintf fmt "%-12s lock %d: local acquire by p%d" (Midway_util.Units.pp_time t)
+        lock proc
+  | Lock_released { t; lock; proc } ->
+      Format.fprintf fmt "%-12s lock %d: released by p%d" (Midway_util.Units.pp_time t) lock proc
+  | Lock_rebound { t; lock; proc; bound_bytes } ->
+      Format.fprintf fmt "%-12s lock %d: rebound by p%d to %s" (Midway_util.Units.pp_time t)
+        lock proc
+        (Midway_util.Units.pp_bytes bound_bytes)
+  | Barrier_arrived { t; barrier; proc; payload_bytes } ->
+      Format.fprintf fmt "%-12s barrier %d: p%d arrived with %s" (Midway_util.Units.pp_time t)
+        barrier proc
+        (Midway_util.Units.pp_bytes payload_bytes)
+  | Barrier_completed { t; barrier; episode } ->
+      Format.fprintf fmt "%-12s barrier %d: episode %d complete" (Midway_util.Units.pp_time t)
+        barrier episode
+
+let dump t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e -> Buffer.add_string buf (Format.asprintf "%a\n" pp_event e))
+    (events t);
+  Buffer.contents buf

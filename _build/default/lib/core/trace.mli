@@ -1,0 +1,50 @@
+(** Protocol event tracing.
+
+    A bounded ring of protocol events (lock requests/grants, releases,
+    rebinds, barrier episodes) recorded with virtual timestamps.  Tracing
+    exists for debugging simulated programs and for inspecting protocol
+    behaviour — `midway-run --trace N` prints the last N events of a run.
+    Recording is O(1) and allocation-light; a capacity of 0 disables it
+    entirely. *)
+
+type event =
+  | Lock_requested of { t : int; lock : int; proc : int; shared : bool }
+      (** a remote acquisition left [proc] at virtual time [t] *)
+  | Lock_granted of {
+      t : int;  (** when the requester resumes *)
+      lock : int;
+      from_ : int;  (** the releaser that served the request *)
+      to_ : int;
+      shared : bool;
+      payload_bytes : int;
+    }
+  | Lock_local of { t : int; lock : int; proc : int }
+      (** acquisition satisfied locally, no messages *)
+  | Lock_released of { t : int; lock : int; proc : int }
+  | Lock_rebound of { t : int; lock : int; proc : int; bound_bytes : int }
+  | Barrier_arrived of { t : int; barrier : int; proc : int; payload_bytes : int }
+  | Barrier_completed of { t : int; barrier : int; episode : int }
+
+type t
+
+val create : capacity:int -> t
+(** A ring holding the most recent [capacity] events ([capacity = 0]
+    disables recording). *)
+
+val record : t -> event -> unit
+
+val length : t -> int
+(** Events currently held (at most the capacity). *)
+
+val total : t -> int
+(** Events ever recorded, including those the ring has dropped. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val event_time : event -> int
+
+val pp_event : Format.formatter -> event -> unit
+
+val dump : t -> string
+(** All retained events, one per line, oldest first. *)

@@ -1,0 +1,69 @@
+(** Per-processor VM-DSM detection state: page table, twins, and the
+    saved-diff store.
+
+    Write trapping (paper, section 3.3): shared pages start write
+    protected; the first store faults, twins the page, marks it dirty and
+    grants write access.
+
+    Write collection (section 3.4): at a transfer, dirty pages overlapping
+    the bound data are diffed against their twins.  Modified words inside
+    the bound ranges ship with the lock; modified words *outside* them
+    (data on the same page bound to other synchronization objects — false
+    sharing at page granularity) are saved so a later transfer of the
+    other object can ship them without re-diffing, exactly as the paper's
+    "the diff created for each page is saved and may be reused".  Saved
+    diffs are kept as a per-page shadow buffer plus the modified ranges. *)
+
+type t
+
+val create : page_size:int -> t
+
+val page_table : t -> Midway_vmem.Page_table.t
+
+val on_write :
+  t ->
+  space:Midway_memory.Space.t ->
+  proc:int ->
+  counters:Midway_stats.Counters.t ->
+  cost:Midway_stats.Cost_model.t ->
+  addr:int ->
+  int
+(** Trap one store: if the page containing [addr] is write protected,
+    simulate the write fault (twin the page from the processor's current
+    memory, count it, and return the fault service time to charge);
+    returns 0 when the page was already writable. *)
+
+val collect :
+  t ->
+  space:Midway_memory.Space.t ->
+  proc:int ->
+  counters:Midway_stats.Counters.t ->
+  cost:Midway_stats.Cost_model.t ->
+  ranges:Range.t list ->
+  Payload.vm_piece list * int
+(** Collect the processor's modifications to the bound ranges: diff dirty
+    pages (cleaning and re-protecting them), consume applicable saved
+    diffs, and return the modified pieces inside [ranges] together with
+    the collection cost in nanoseconds.  [ranges] must be normalized. *)
+
+val apply_pieces :
+  t ->
+  space:Midway_memory.Space.t ->
+  proc:int ->
+  counters:Midway_stats.Counters.t ->
+  cost:Midway_stats.Cost_model.t ->
+  Payload.vm_piece list ->
+  int
+(** Apply incoming update pieces at the requesting processor: write the
+    data, and for pages currently dirty also patch the twin so the update
+    is not later mistaken for a local modification (section 3.4).
+    Returns the apply cost in nanoseconds. *)
+
+val discard_pending : t -> ranges:Range.t list -> unit
+(** Drop saved diffs that fall inside [ranges].  Used by a diff-free full
+    transfer: the full data supersedes any stashed modifications, and
+    leaving them behind would later regress the receiver to stale
+    values. *)
+
+val pending_pages : t -> int
+(** Number of pages with saved (unshipped) diff data — test hook. *)

@@ -1,0 +1,1 @@
+lib/memory/space.ml: Array Bytes Char Hashtbl Int64 List Region

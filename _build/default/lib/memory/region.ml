@@ -1,0 +1,47 @@
+type kind = Shared | Private
+
+type t = {
+  index : int;
+  kind : kind;
+  line_size : int;
+  region_size : int;
+  nprocs : int;
+  mutable used : int;
+  backing : Bytes.t option array;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~index ~kind ~line_size ~region_size ~nprocs =
+  if not (is_power_of_two line_size) then
+    invalid_arg "Region.create: line_size must be a positive power of two";
+  if line_size > region_size then
+    invalid_arg "Region.create: line_size exceeds region_size";
+  if nprocs <= 0 then invalid_arg "Region.create: nprocs must be positive";
+  {
+    index;
+    kind;
+    line_size;
+    region_size;
+    nprocs;
+    used = 0;
+    backing = Array.make nprocs None;
+  }
+
+let base t = t.index * t.region_size
+
+let limit t = base t + t.region_size
+
+let lines t = t.region_size / t.line_size
+
+let line_of_offset t off = off / t.line_size
+
+let backing_for t ~proc =
+  match t.backing.(proc) with
+  | Some b -> b
+  | None ->
+      let b = Bytes.make t.region_size '\000' in
+      t.backing.(proc) <- Some b;
+      b
+
+let touched t ~proc = t.backing.(proc) <> None

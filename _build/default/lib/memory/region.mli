@@ -1,0 +1,52 @@
+(** Memory regions.
+
+    Midway partitions the application's address space into large,
+    fixed-size regions (paper, section 3.1 and Appendix A).  All data in a
+    region is either shared between all processors or private to each
+    processor, and all cache lines within a region have the same size
+    (different regions may differ).  The base page of every region holds
+    the dirtybit-update code template; here the template is represented by
+    the region's {!kind}, which the RT backend dispatches on exactly as
+    the generated code would jump through the template.
+
+    Each simulated processor has its own physical copy of every region it
+    touches — that is what makes the simulation a real DSM: data written
+    on one processor becomes visible on another only when the consistency
+    protocol ships it. *)
+
+type kind =
+  | Shared  (** one logical copy, replicated per processor, kept consistent by the DSM *)
+  | Private  (** per-processor data that happens to live in the shared layout; its template is the null template *)
+
+type t = {
+  index : int;  (** region number; base address = index * region size *)
+  kind : kind;
+  line_size : int;  (** software cache-line size in bytes (power of two) *)
+  region_size : int;  (** bytes covered by the region *)
+  nprocs : int;
+  mutable used : int;  (** bump-allocation high-water mark *)
+  backing : Bytes.t option array;  (** per-processor physical copy, allocated on first touch *)
+}
+
+val create : index:int -> kind:kind -> line_size:int -> region_size:int -> nprocs:int -> t
+(** Raises [Invalid_argument] unless [line_size] is a positive power of two
+    no larger than [region_size]. *)
+
+val base : t -> int
+(** First address of the region. *)
+
+val limit : t -> int
+(** One past the last address of the region. *)
+
+val lines : t -> int
+(** Number of cache lines in the region. *)
+
+val line_of_offset : t -> int -> int
+(** Cache-line index containing the given byte offset. *)
+
+val backing_for : t -> proc:int -> Bytes.t
+(** The processor's physical copy, allocating it (zero-filled) on first
+    use. *)
+
+val touched : t -> proc:int -> bool
+(** Whether the processor's copy has been materialized. *)

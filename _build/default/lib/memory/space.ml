@@ -1,0 +1,157 @@
+type addr = int
+
+type t = {
+  nprocs : int;
+  region_size : int;
+  mutable regions : Region.t array;  (* indexed by region number; None slots are Region 0 / holes *)
+  mutable region_list : Region.t list;  (* creation order, reversed *)
+  mutable next_index : int;
+  (* Bump-allocation cursors, keyed by (kind, line_size). *)
+  cursors : (Region.kind * int, Region.t) Hashtbl.t;
+}
+
+exception Unmapped of addr
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ?(region_size = 16 * 1024 * 1024) ~nprocs () =
+  if not (is_power_of_two region_size) then
+    invalid_arg "Space.create: region_size must be a power of two";
+  if nprocs <= 0 then invalid_arg "Space.create: nprocs must be positive";
+  {
+    nprocs;
+    region_size;
+    regions = Array.make 8 (Region.create ~index:0 ~kind:Private ~line_size:8 ~region_size:8 ~nprocs:1);
+    region_list = [];
+    next_index = 1;  (* region 0 stays unmapped so address 0 is null *)
+    cursors = Hashtbl.create 8;
+  }
+
+let nprocs t = t.nprocs
+
+let region_size t = t.region_size
+
+(* The sentinel placed in empty slots is the bogus region 0; [mapped]
+   distinguishes it. *)
+let mapped t idx =
+  idx > 0 && idx < t.next_index
+  && idx < Array.length t.regions
+  && (Array.unsafe_get t.regions idx).Region.index = idx
+
+let region_of_addr t a =
+  let idx = a / t.region_size in
+  if mapped t idx then Array.unsafe_get t.regions idx else raise (Unmapped a)
+
+let find_region t a =
+  let idx = a / t.region_size in
+  if a >= 0 && mapped t idx then Some t.regions.(idx) else None
+
+let regions t = List.rev t.region_list
+
+let grow_region_table t idx =
+  let cap = Array.length t.regions in
+  if idx >= cap then begin
+    let fresh = Array.make (max (idx + 1) (cap * 2)) t.regions.(0) in
+    Array.blit t.regions 0 fresh 0 cap;
+    t.regions <- fresh
+  end
+
+let new_region t ~kind ~line_size =
+  let idx = t.next_index in
+  t.next_index <- idx + 1;
+  grow_region_table t idx;
+  let r =
+    Region.create ~index:idx ~kind ~line_size ~region_size:t.region_size ~nprocs:t.nprocs
+  in
+  t.regions.(idx) <- r;
+  t.region_list <- r :: t.region_list;
+  r
+
+let align_up v a = (v + a - 1) land lnot (a - 1)
+
+let alloc t ~kind ?(line_size = 64) ?align bytes =
+  if bytes <= 0 then invalid_arg "Space.alloc: size must be positive";
+  if bytes > t.region_size then invalid_arg "Space.alloc: size exceeds region size";
+  if not (is_power_of_two line_size) then
+    invalid_arg "Space.alloc: line_size must be a power of two";
+  let align = match align with Some a -> a | None -> max 8 line_size in
+  if not (is_power_of_two align) then invalid_arg "Space.alloc: align must be a power of two";
+  let key = (kind, line_size) in
+  let region =
+    match Hashtbl.find_opt t.cursors key with
+    | Some r when align_up r.Region.used align + bytes <= t.region_size -> r
+    | _ ->
+        let r = new_region t ~kind ~line_size in
+        Hashtbl.replace t.cursors key r;
+        r
+  in
+  let off = align_up region.Region.used align in
+  region.Region.used <- off + bytes;
+  Region.base region + off
+
+let validate_range t a len =
+  if len < 0 then invalid_arg "Space.validate_range: negative length";
+  let r = region_of_addr t a in
+  if len > 0 && a + len - 1 >= Region.limit r then raise (Unmapped (a + len - 1));
+  r
+
+let backing_and_offset t ~proc a =
+  let r = region_of_addr t a in
+  (Region.backing_for r ~proc, a - Region.base r)
+
+let get_u8 t ~proc a =
+  let b, off = backing_and_offset t ~proc a in
+  Char.code (Bytes.get b off)
+
+let set_u8 t ~proc a v =
+  let b, off = backing_and_offset t ~proc a in
+  Bytes.set b off (Char.chr (v land 0xff))
+
+let get_i32 t ~proc a =
+  let b, off = backing_and_offset t ~proc a in
+  Bytes.get_int32_le b off
+
+let set_i32 t ~proc a v =
+  let b, off = backing_and_offset t ~proc a in
+  Bytes.set_int32_le b off v
+
+let get_i64 t ~proc a =
+  let b, off = backing_and_offset t ~proc a in
+  Bytes.get_int64_le b off
+
+let set_i64 t ~proc a v =
+  let b, off = backing_and_offset t ~proc a in
+  Bytes.set_int64_le b off v
+
+let get_f64 t ~proc a = Int64.float_of_bits (get_i64 t ~proc a)
+
+let set_f64 t ~proc a v = set_i64 t ~proc a (Int64.bits_of_float v)
+
+let get_int t ~proc a = Int64.to_int (get_i64 t ~proc a)
+
+let set_int t ~proc a v = set_i64 t ~proc a (Int64.of_int v)
+
+let read_bytes t ~proc a ~len =
+  ignore (validate_range t a len);
+  let b, off = backing_and_offset t ~proc a in
+  Bytes.sub b off len
+
+let write_bytes t ~proc a buf =
+  ignore (validate_range t a (Bytes.length buf));
+  let b, off = backing_and_offset t ~proc a in
+  Bytes.blit buf 0 b off (Bytes.length buf)
+
+let copy_range t ~src_proc ~dst_proc a ~len =
+  let r = validate_range t a len in
+  let src = Region.backing_for r ~proc:src_proc in
+  let dst = Region.backing_for r ~proc:dst_proc in
+  let off = a - Region.base r in
+  Bytes.blit src off dst off len
+
+let ranges_equal t ~proc_a ~proc_b a ~len =
+  let r = validate_range t a len in
+  let ba = Region.backing_for r ~proc:proc_a in
+  let bb = Region.backing_for r ~proc:proc_b in
+  let off = a - Region.base r in
+  let rec go i = i >= len || (Bytes.get ba (off + i) = Bytes.get bb (off + i) && go (i + 1)) in
+  go 0

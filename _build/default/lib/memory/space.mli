@@ -1,0 +1,79 @@
+(** The simulated shared virtual address space.
+
+    A [Space.t] describes the address-space layout shared by every
+    simulated processor: which regions exist, their kind and cache-line
+    size, and where allocations live.  The *contents* of memory are
+    per-processor (see {!Region.backing_for}); a value written by
+    processor 0 is not visible to processor 1 until the DSM protocol
+    ships it.
+
+    Addresses are plain [int] byte addresses.  Region 0 is never mapped,
+    so address 0 is always invalid — a convenient null. *)
+
+type t
+
+type addr = int
+
+val create : ?region_size:int -> nprocs:int -> unit -> t
+(** [region_size] must be a power of two (default 16 MiB — large enough
+    that every benchmark allocation fits in one region). *)
+
+val nprocs : t -> int
+
+val region_size : t -> int
+
+exception Unmapped of addr
+(** Raised on access to an address outside every allocated region. *)
+
+val alloc : t -> kind:Region.kind -> ?line_size:int -> ?align:int -> int -> addr
+(** [alloc t ~kind ~line_size bytes] reserves [bytes] bytes in a region of
+    the given kind and cache-line size (default line size 64, default
+    alignment [max 8 line_size]), opening a new region when the current
+    one is full.  Allocations never span regions.  Returns the base
+    address.  Raises [Invalid_argument] if [bytes] exceeds the region
+    size or is non-positive. *)
+
+val region_of_addr : t -> addr -> Region.t
+(** Region containing [addr]; raises {!Unmapped}. *)
+
+val find_region : t -> addr -> Region.t option
+
+val regions : t -> Region.t list
+(** All regions, in creation order. *)
+
+val validate_range : t -> addr -> int -> Region.t
+(** [validate_range t addr len] checks that [addr .. addr+len-1] lies in a
+    single mapped region and returns it. Raises {!Unmapped} or
+    [Invalid_argument]. *)
+
+(** {1 Typed access to a processor's copy}
+
+    These operate on the given processor's physical copy and perform no
+    write detection; the DSM front end (Runtime) layers trapping on top. *)
+
+val get_u8 : t -> proc:int -> addr -> int
+val set_u8 : t -> proc:int -> addr -> int -> unit
+val get_i32 : t -> proc:int -> addr -> int32
+val set_i32 : t -> proc:int -> addr -> int32 -> unit
+val get_i64 : t -> proc:int -> addr -> int64
+val set_i64 : t -> proc:int -> addr -> int64 -> unit
+val get_f64 : t -> proc:int -> addr -> float
+val set_f64 : t -> proc:int -> addr -> float -> unit
+val get_int : t -> proc:int -> addr -> int
+(** 63-bit int stored as int64. *)
+
+val set_int : t -> proc:int -> addr -> int -> unit
+
+val read_bytes : t -> proc:int -> addr -> len:int -> Bytes.t
+(** Copy [len] bytes out of the processor's memory. *)
+
+val write_bytes : t -> proc:int -> addr -> Bytes.t -> unit
+(** Copy a buffer into the processor's memory. *)
+
+val copy_range : t -> src_proc:int -> dst_proc:int -> addr -> len:int -> unit
+(** Copy the range between two processors' physical copies (used by the
+    consistency protocol to apply updates). *)
+
+val ranges_equal : t -> proc_a:int -> proc_b:int -> addr -> len:int -> bool
+(** Compare a range across two processors' copies (used by tests and by
+    the VM diff engine). *)

@@ -1,0 +1,1 @@
+lib/report/csv.ml: Buffer List Midway Midway_apps Midway_simnet Midway_stats Midway_util Printf String Suite

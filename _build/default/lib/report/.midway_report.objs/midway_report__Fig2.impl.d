@@ -1,0 +1,1 @@
+lib/report/fig2.ml: List Midway_apps Midway_util Paper_data Printf Suite

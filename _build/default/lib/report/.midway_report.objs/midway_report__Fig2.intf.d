@@ -1,0 +1,1 @@
+lib/report/fig2.mli: Suite

@@ -1,0 +1,1 @@
+lib/report/markdown.ml: Buffer List Midway_apps Paper_data Printf String Suite Table3 Table4

@@ -1,0 +1,1 @@
+lib/report/speedup.ml: List Midway Midway_apps Midway_util Printf Suite

@@ -1,0 +1,1 @@
+lib/report/suite.ml: List Midway Midway_apps Midway_stats Printf String

@@ -1,0 +1,1 @@
+lib/report/suite.mli: Midway Midway_apps Midway_stats

@@ -1,0 +1,1 @@
+lib/report/sweep.ml: Array Float List Midway_apps Midway_stats Midway_util Paper_data Printf Suite

@@ -1,0 +1,1 @@
+lib/report/table1.ml: Midway_stats Midway_util Printf

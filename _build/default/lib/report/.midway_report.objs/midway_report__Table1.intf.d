@@ -1,0 +1,1 @@
+lib/report/table1.mli: Midway_stats

@@ -1,0 +1,1 @@
+lib/report/table3.ml: List Midway_apps Midway_stats Midway_util Paper_data Printf Suite

@@ -1,0 +1,74 @@
+module Counters = Midway_stats.Counters
+
+let header =
+  String.concat ","
+    [
+      "app";
+      "system";
+      "nprocs";
+      "scale";
+      "elapsed_s";
+      "data_received_kb_per_proc";
+      "dirtybits_set";
+      "dirtybits_misclassified";
+      "clean_dirtybits_read";
+      "dirty_dirtybits_read";
+      "dirtybits_updated";
+      "write_faults";
+      "pages_diffed";
+      "pages_write_protected";
+      "twin_update_kb";
+      "twin_compare_kb";
+      "lock_acquires_local";
+      "lock_acquires_remote";
+      "barrier_crossings";
+      "messages_total";
+      "trap_time_ms";
+      "collect_time_ms";
+      "percent_dirty_data";
+    ]
+
+let row (suite : Suite.t) app system (o : Midway_apps.Outcome.t) =
+  let c = Midway_apps.Outcome.avg_counters o in
+  let machine = o.Midway_apps.Outcome.machine in
+  String.concat ","
+    [
+      Suite.app_name app;
+      system;
+      string_of_int suite.Suite.nprocs;
+      Printf.sprintf "%.3f" suite.Suite.scale;
+      Printf.sprintf "%.6f" (Midway_apps.Outcome.elapsed_s o);
+      Printf.sprintf "%.1f" (Midway_apps.Outcome.data_received_kb_per_proc o);
+      string_of_int c.Counters.dirtybits_set;
+      string_of_int c.Counters.dirtybits_misclassified;
+      string_of_int c.Counters.clean_dirtybits_read;
+      string_of_int c.Counters.dirty_dirtybits_read;
+      string_of_int c.Counters.dirtybits_updated;
+      string_of_int c.Counters.write_faults;
+      string_of_int c.Counters.pages_diffed;
+      string_of_int c.Counters.pages_write_protected;
+      Printf.sprintf "%.1f" (Midway_util.Units.kb_of_bytes c.Counters.twin_update_bytes);
+      Printf.sprintf "%.1f" (Midway_util.Units.kb_of_bytes c.Counters.twin_compare_bytes);
+      string_of_int c.Counters.lock_acquires_local;
+      string_of_int c.Counters.lock_acquires_remote;
+      string_of_int c.Counters.barrier_crossings;
+      string_of_int (Midway_simnet.Net.total_messages (Midway.Runtime.net machine));
+      Printf.sprintf "%.3f" (Midway_util.Units.ms_of_ns c.Counters.trap_time_ns);
+      Printf.sprintf "%.3f" (Midway_util.Units.ms_of_ns c.Counters.collect_time_ns);
+      Printf.sprintf "%.1f" (Counters.percent_dirty_data c);
+    ]
+
+let of_suite (suite : Suite.t) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (e : Suite.entry) ->
+      Buffer.add_string buf (row suite e.Suite.app "rt" e.Suite.rt);
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (row suite e.Suite.app "vm" e.Suite.vm);
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (row suite e.Suite.app "standalone" e.Suite.standalone);
+      Buffer.add_char buf '\n')
+    suite.Suite.entries;
+  Buffer.contents buf

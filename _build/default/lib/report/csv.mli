@@ -1,0 +1,10 @@
+(** CSV export of suite results, for external plotting.
+
+    One row per (application, system); columns are the simulated time,
+    payload traffic and every primitive-operation counter from Table 2.
+    `midway-experiments --csv FILE` writes this. *)
+
+val header : string
+
+val of_suite : Suite.t -> string
+(** Full CSV document (header + rows), deterministic column order. *)

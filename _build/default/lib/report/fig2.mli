@@ -1,0 +1,4 @@
+(** Figure 2: execution time and total data transferred per application
+    under RT-DSM and VM-DSM, plus the uniprocessor standalone baseline. *)
+
+val render : Suite.t -> string

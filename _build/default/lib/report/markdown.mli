@@ -1,0 +1,7 @@
+(** Markdown summary of a suite run — the mechanical core of
+    EXPERIMENTS.md.  `midway-experiments --md FILE` writes it. *)
+
+val of_suite : Suite.t -> string
+(** Headline execution-time and data-transfer tables (measured vs the
+    paper where available), plus the derived Tables 3 and 4 totals, in
+    GitHub-flavoured markdown. *)

@@ -1,0 +1,196 @@
+type table2 = {
+  rt_dirtybits_set : int;
+  rt_misclassified : int;
+  rt_clean_read : int;
+  rt_dirty_read : int;
+  rt_updated : int;
+  rt_data_kb : int;
+  rt_pct_dirty : float;
+  vm_write_faults : int;
+  vm_pages_diffed : int;
+  vm_pages_protected : int;
+  vm_twin_kb : int;
+  vm_data_kb : int;
+}
+
+type table3 = { rt_trap_ms : float; vm_trap_ms : float }
+
+type table4 = {
+  rt_clean_ms : float;
+  rt_dirty_ms : float;
+  rt_updated_ms : float;
+  rt_total_ms : float;
+  vm_diff_ms : float;
+  vm_protect_ms : float;
+  vm_twin_ms : float;
+  vm_total_ms : float;
+}
+
+type table5 = {
+  rt_trap_krefs : int;
+  rt_collect_krefs : int;
+  vm_trap_krefs : int;
+  vm_collect_krefs : int;
+}
+
+let table2 = function
+  | Suite.Water ->
+      {
+        rt_dirtybits_set = 43_180;
+        rt_misclassified = 0;
+        rt_clean_read = 48_552;
+        rt_dirty_read = 11_280;
+        rt_updated = 35_676;
+        rt_data_kb = 1_096;
+        rt_pct_dirty = 55.7;
+        vm_write_faults = 258;
+        vm_pages_diffed = 253;
+        vm_pages_protected = 253;
+        vm_twin_kb = 976;
+        vm_data_kb = 1_543;
+      }
+  | Suite.Quicksort ->
+      {
+        rt_dirtybits_set = 220_804;
+        rt_misclassified = 124;
+        rt_clean_read = 98_190;
+        rt_dirty_read = 108_939;
+        rt_updated = 147_896;
+        rt_data_kb = 579;
+        rt_pct_dirty = 62.7;
+        vm_write_faults = 156;
+        vm_pages_diffed = 27;
+        vm_pages_protected = 27;
+        vm_twin_kb = 418;
+        vm_data_kb = 816;
+      }
+  | Suite.Matmul ->
+      {
+        rt_dirtybits_set = 98_311;
+        rt_misclassified = 11;
+        rt_clean_read = 135_776;
+        rt_dirty_read = 94_217;
+        rt_updated = 200_849;
+        rt_data_kb = 784;
+        rt_pct_dirty = 87.4;
+        vm_write_faults = 74;
+        vm_pages_diffed = 120;
+        vm_pages_protected = 120;
+        vm_twin_kb = 15;
+        vm_data_kb = 784;
+      }
+  | Suite.Sor ->
+      {
+        rt_dirtybits_set = 348_516;
+        rt_misclassified = 1;
+        rt_clean_read = 19_185;
+        rt_dirty_read = 261_097;
+        rt_updated = 262_987;
+        rt_data_kb = 2_053;
+        rt_pct_dirty = 98.1;
+        vm_write_faults = 468;
+        vm_pages_diffed = 674;
+        vm_pages_protected = 674;
+        vm_twin_kb = 47;
+        vm_data_kb = 2_058;
+      }
+  | Suite.Cholesky ->
+      {
+        rt_dirtybits_set = 1_284_004;
+        rt_misclassified = 28;
+        rt_clean_read = 2_568_269;
+        rt_dirty_read = 739_625;
+        rt_updated = 1_132_009;
+        rt_data_kb = 9_128;
+        rt_pct_dirty = 29.3;
+        vm_write_faults = 2_916;
+        vm_pages_diffed = 3_107;
+        vm_pages_protected = 3_107;
+        vm_twin_kb = 5_114;
+        vm_data_kb = 13_144;
+      }
+
+let table3 = function
+  | Suite.Water -> { rt_trap_ms = 15.6; vm_trap_ms = 309.6 }
+  | Suite.Quicksort -> { rt_trap_ms = 79.5; vm_trap_ms = 187.2 }
+  | Suite.Matmul -> { rt_trap_ms = 35.4; vm_trap_ms = 88.8 }
+  | Suite.Sor -> { rt_trap_ms = 125.5; vm_trap_ms = 561.6 }
+  | Suite.Cholesky -> { rt_trap_ms = 485.3; vm_trap_ms = 3_499.2 }
+
+let table4 = function
+  | Suite.Water ->
+      {
+        rt_clean_ms = 10.5;
+        rt_dirty_ms = 2.0;
+        rt_updated_ms = 2.4;
+        rt_total_ms = 14.9;
+        vm_diff_ms = 65.8;
+        vm_protect_ms = 32.1;
+        vm_twin_ms = 25.4;
+        vm_total_ms = 123.3;
+      }
+  | Suite.Quicksort ->
+      {
+        rt_clean_ms = 21.3;
+        rt_dirty_ms = 19.2;
+        rt_updated_ms = 9.9;
+        rt_total_ms = 50.4;
+        vm_diff_ms = 7.0;
+        vm_protect_ms = 3.4;
+        vm_twin_ms = 10.9;
+        vm_total_ms = 21.3;
+      }
+  | Suite.Matmul ->
+      {
+        rt_clean_ms = 29.5;
+        rt_dirty_ms = 16.6;
+        rt_updated_ms = 13.5;
+        rt_total_ms = 59.6;
+        vm_diff_ms = 31.2;
+        vm_protect_ms = 15.2;
+        vm_twin_ms = 0.4;
+        vm_total_ms = 46.8;
+      }
+  | Suite.Sor ->
+      {
+        rt_clean_ms = 0.5;
+        rt_dirty_ms = 46.0;
+        rt_updated_ms = 17.6;
+        rt_total_ms = 64.1;
+        vm_diff_ms = 175.2;
+        vm_protect_ms = 85.6;
+        vm_twin_ms = 1.2;
+        vm_total_ms = 262.0;
+      }
+  | Suite.Cholesky ->
+      {
+        rt_clean_ms = 557.3;
+        rt_dirty_ms = 138.3;
+        rt_updated_ms = 75.8;
+        rt_total_ms = 771.4;
+        vm_diff_ms = 807.8;
+        vm_protect_ms = 394.6;
+        vm_twin_ms = 133.0;
+        vm_total_ms = 1_335.4;
+      }
+
+let table5 = function
+  | Suite.Water ->
+      { rt_trap_krefs = 43; rt_collect_krefs = 96; vm_trap_krefs = 510; vm_collect_krefs = 768 }
+  | Suite.Quicksort ->
+      { rt_trap_krefs = 221; rt_collect_krefs = 355; vm_trap_krefs = 358; vm_collect_krefs = 162 }
+  | Suite.Matmul ->
+      { rt_trap_krefs = 98; rt_collect_krefs = 431; vm_trap_krefs = 262; vm_collect_krefs = 250 }
+  | Suite.Sor ->
+      { rt_trap_krefs = 349; rt_collect_krefs = 526; vm_trap_krefs = 1_264; vm_collect_krefs = 1_392 }
+  | Suite.Cholesky ->
+      {
+        rt_trap_krefs = 1_349;
+        rt_collect_krefs = 4_440;
+        vm_trap_krefs = 5_767;
+        vm_collect_krefs = 7_672;
+      }
+
+let water_uniprocessor_s = (110.1, 109.1, 104.2)
+
+let fig4_break_even_us = [ (Suite.Matmul, 650.0); (Suite.Quicksort, 696.0) ]

@@ -1,0 +1,56 @@
+(** The published numbers from the paper's evaluation section, kept here
+    so the reports can print paper-vs-measured side by side.
+
+    All values are per-processor averages over an 8-way run on the
+    paper's testbed (25 MHz DECstation 5000/200, Mach 3.0, ATM), taken
+    from Tables 2-5 and the text of section 4. *)
+
+type table2 = {
+  rt_dirtybits_set : int;
+  rt_misclassified : int;
+  rt_clean_read : int;
+  rt_dirty_read : int;
+  rt_updated : int;
+  rt_data_kb : int;
+  rt_pct_dirty : float;
+  vm_write_faults : int;
+  vm_pages_diffed : int;
+  vm_pages_protected : int;
+  vm_twin_kb : int;
+  vm_data_kb : int;
+}
+
+type table3 = { rt_trap_ms : float; vm_trap_ms : float }
+
+type table4 = {
+  rt_clean_ms : float;
+  rt_dirty_ms : float;
+  rt_updated_ms : float;
+  rt_total_ms : float;
+  vm_diff_ms : float;
+  vm_protect_ms : float;
+  vm_twin_ms : float;
+  vm_total_ms : float;
+}
+
+type table5 = {
+  rt_trap_krefs : int;
+  rt_collect_krefs : int;
+  vm_trap_krefs : int;
+  vm_collect_krefs : int;
+}
+
+val table2 : Suite.app -> table2
+
+val table3 : Suite.app -> table3
+
+val table4 : Suite.app -> table4
+
+val table5 : Suite.app -> table5
+
+val water_uniprocessor_s : float * float * float
+(** (RT, VM, standalone) uniprocessor water times: 110.1, 109.1, 104.2 s. *)
+
+val fig4_break_even_us : (Suite.app * float) list
+(** Published total-cost break-even fault times: matrix 650 us,
+    quicksort 696 us. *)

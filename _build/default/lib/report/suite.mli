@@ -1,0 +1,46 @@
+(** Run the benchmark suite and hold the raw results every table and
+    figure derives from.
+
+    One suite run executes each of the five applications under RT-DSM and
+    VM-DSM on [nprocs] simulated processors, plus the uniprocessor
+    standalone baseline (no detection, no consistency), all at a common
+    problem [scale] (1.0 = the paper's parameters). *)
+
+type app = Water | Quicksort | Matmul | Sor | Cholesky
+
+val apps : app list
+(** In the paper's column order: water, quicksort, matrix, sor, cholesky. *)
+
+val app_name : app -> string
+
+val app_of_string : string -> (app, string) result
+
+val run_app : app -> Midway.Config.t -> scale:float -> Midway_apps.Outcome.t
+(** Run one application with its parameters scaled. *)
+
+type entry = {
+  app : app;
+  rt : Midway_apps.Outcome.t;
+  vm : Midway_apps.Outcome.t;
+  standalone : Midway_apps.Outcome.t;
+}
+
+type t = {
+  nprocs : int;
+  scale : float;
+  cost : Midway_stats.Cost_model.t;
+  entries : entry list;
+}
+
+val run :
+  ?apps:app list ->
+  ?cost:Midway_stats.Cost_model.t ->
+  nprocs:int ->
+  scale:float ->
+  unit ->
+  t
+(** Execute the suite.  Raises [Failure] if any application fails its
+    oracle verification — a benchmark number from an incoherent run would
+    be meaningless. *)
+
+val entry : t -> app -> entry

@@ -1,0 +1,26 @@
+(** The page-fault-cost sweep shared by Figures 3 and 4.
+
+    Both figures plot, for each application, RT-DSM cost (constant in the
+    fault time) against VM-DSM cost as the fault service time varies from
+    the 122 us fast-exception path to Mach's 1,200 us: a horizontal
+    segment per application on log-log axes, against the y = x break-even
+    diagonal.  Points below the diagonal favour RT-DSM. *)
+
+type point = { fault_us : float; rt_ms : float; vm_ms : float }
+
+type line = { app : Suite.app; points : point list }
+
+val trapping_lines : Suite.t -> line list
+(** Figure 3: write-trapping cost only. *)
+
+val total_lines : Suite.t -> line list
+(** Figure 4: trapping + collection. *)
+
+val break_even_us : line list -> (Suite.app * float option) list
+(** Fault service time at which VM-DSM matches RT-DSM, per application
+    ([None] if the line does not cross inside the swept range).  The
+    paper reports 650 us for matrix and 696 us for quicksort in
+    Figure 4. *)
+
+val render : title:string -> Suite.t -> line list -> string
+(** Log-log plot plus a numeric table of the endpoints and break-even. *)

@@ -1,0 +1,42 @@
+module Cost_model = Midway_stats.Cost_model
+module Texttab = Midway_util.Texttab
+
+let render (cm : Cost_model.t) =
+  let t =
+    Texttab.create
+      ~columns:
+        [
+          ("System", Texttab.Left);
+          ("Primitive Operation", Texttab.Left);
+          ("Time (usecs)", Texttab.Right);
+          ("Cycles", Texttab.Right);
+        ]
+  in
+  let us ns = Printf.sprintf "%.3f" (float_of_int ns /. 1_000.0) in
+  let us0 ns = Printf.sprintf "%.0f" (float_of_int ns /. 1_000.0) in
+  let cyc ns = Texttab.fmt_int ((ns + (cm.cycle_ns / 2)) / cm.cycle_ns) in
+  let row sys op time cycles = Texttab.row t [ sys; op; time; cycles ] in
+  row "RT-DSM" "dirtybit set: word write" (us cm.dirtybit_set_ns) (cyc cm.dirtybit_set_ns);
+  row "" "dirtybit set: doubleword write" (us cm.dirtybit_set_ns) (cyc cm.dirtybit_set_ns);
+  row "" "dirtybit set: write to private memory" (us cm.dirtybit_set_private_ns)
+    (cyc cm.dirtybit_set_private_ns);
+  row "" "dirtybit read: clean" (us cm.dirtybit_read_clean_ns) (cyc cm.dirtybit_read_clean_ns);
+  row "" "dirtybit read: dirty" (us cm.dirtybit_read_dirty_ns) (cyc cm.dirtybit_read_dirty_ns);
+  row "" "dirtybit update (timestamp install)" (us cm.dirtybit_update_ns)
+    (cyc cm.dirtybit_update_ns);
+  Texttab.separator t;
+  row "VM-DSM" "page write fault (incl. twin & protection)" (us0 cm.page_fault_ns)
+    (cyc cm.page_fault_ns);
+  row "" "page diff: none or all of the data changed" (us0 cm.page_diff_uniform_ns)
+    (cyc cm.page_diff_uniform_ns);
+  row "" "page diff: every other word changed" (us0 cm.page_diff_alternating_ns)
+    (cyc cm.page_diff_alternating_ns);
+  row "" "page protection call: read-write" (us0 cm.page_protect_rw_ns)
+    (cyc cm.page_protect_rw_ns);
+  row "" "page protection call: read-only" (us0 cm.page_protect_ro_ns)
+    (cyc cm.page_protect_ro_ns);
+  row "" "block copy per KB, cold cache" (us0 cm.copy_kb_cold_ns) (cyc cm.copy_kb_cold_ns);
+  row "" "block copy per KB, warm cache" (us0 cm.copy_kb_warm_ns) (cyc cm.copy_kb_warm_ns);
+  "Table 1: primitive operation costs on the modelled 25 MHz R3000 / Mach 3.0\n"
+  ^ Printf.sprintf "(page size %d bytes; cycle %d ns)\n" cm.page_size cm.cycle_ns
+  ^ Texttab.render t

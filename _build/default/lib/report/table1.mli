@@ -1,0 +1,8 @@
+(** Table 1: execution times of the primitive operations.
+
+    The reproduction treats the paper's measured values as the machine
+    model, so this table prints the cost model in the paper's layout.
+    (The Bechamel benchmark in [bench/main.ml] additionally measures the
+    host-native cost of our software analogues of each primitive.) *)
+
+val render : Midway_stats.Cost_model.t -> string

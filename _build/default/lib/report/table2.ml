@@ -1,0 +1,67 @@
+module Texttab = Midway_util.Texttab
+module Counters = Midway_stats.Counters
+
+let render (suite : Suite.t) =
+  let t =
+    Texttab.create
+      ~columns:
+        ([ ("System", Texttab.Left); ("Operation", Texttab.Left) ]
+        @ List.concat_map
+            (fun app ->
+              [
+                (Suite.app_name app, Texttab.Right);
+                ("(paper)", Texttab.Right);
+              ])
+            (List.map (fun e -> e.Suite.app) suite.entries))
+  in
+  let rt e = Midway_apps.Outcome.avg_counters e.Suite.rt in
+  let vm e = Midway_apps.Outcome.avg_counters e.Suite.vm in
+  let row sys op measured paper =
+    Texttab.row t
+      (sys :: op
+      :: List.concat_map
+           (fun e -> [ measured e; paper (Paper_data.table2 e.Suite.app) ])
+           suite.entries)
+  in
+  let i = Texttab.fmt_int in
+  row "RT-DSM" "dirtybits set"
+    (fun e -> i (rt e).Counters.dirtybits_set)
+    (fun p -> i p.Paper_data.rt_dirtybits_set);
+  row "" "dirtybits misclassified"
+    (fun e -> i (rt e).Counters.dirtybits_misclassified)
+    (fun p -> i p.Paper_data.rt_misclassified);
+  row "" "clean dirtybits read"
+    (fun e -> i (rt e).Counters.clean_dirtybits_read)
+    (fun p -> i p.Paper_data.rt_clean_read);
+  row "" "dirty dirtybits read"
+    (fun e -> i (rt e).Counters.dirty_dirtybits_read)
+    (fun p -> i p.Paper_data.rt_dirty_read);
+  row "" "dirtybits updated"
+    (fun e -> i (rt e).Counters.dirtybits_updated)
+    (fun p -> i p.Paper_data.rt_updated);
+  row "" "data transferred (KB)"
+    (fun e -> i (int_of_float (Midway_util.Units.kb_of_bytes (rt e).Counters.data_received_bytes)))
+    (fun p -> i p.Paper_data.rt_data_kb);
+  row "" "percent dirty data"
+    (fun e -> Texttab.fmt_float ~decimals:1 (Counters.percent_dirty_data (rt e)))
+    (fun p -> Texttab.fmt_float ~decimals:1 p.Paper_data.rt_pct_dirty);
+  Texttab.separator t;
+  row "VM-DSM" "write faults"
+    (fun e -> i (vm e).Counters.write_faults)
+    (fun p -> i p.Paper_data.vm_write_faults);
+  row "" "pages diffed"
+    (fun e -> i (vm e).Counters.pages_diffed)
+    (fun p -> i p.Paper_data.vm_pages_diffed);
+  row "" "pages write protected"
+    (fun e -> i (vm e).Counters.pages_write_protected)
+    (fun p -> i p.Paper_data.vm_pages_protected);
+  row "" "data updated in twins (KB)"
+    (fun e -> i (int_of_float (Midway_util.Units.kb_of_bytes (vm e).Counters.twin_update_bytes)))
+    (fun p -> i p.Paper_data.vm_twin_kb);
+  row "" "data transferred (KB)"
+    (fun e -> i (int_of_float (Midway_util.Units.kb_of_bytes (vm e).Counters.data_received_bytes)))
+    (fun p -> i p.Paper_data.vm_data_kb);
+  Printf.sprintf
+    "Table 2: per-processor invocation counts (measured, %d procs, scale %.2f; paper values at scale 1.0, 8 procs)\n"
+    suite.nprocs suite.scale
+  ^ Texttab.render t

@@ -1,0 +1,6 @@
+(** Table 2: per-processor invocation counts of the primitive operations,
+    measured from the suite run, with the paper's published counts
+    alongside.  Counts scale with the problem size, so comparisons with
+    the paper are meaningful at [scale = 1.0]. *)
+
+val render : Suite.t -> string

@@ -1,0 +1,59 @@
+module Texttab = Midway_util.Texttab
+module Derived = Midway_stats.Derived
+
+let derived (suite : Suite.t) (e : Suite.entry) =
+  Derived.trapping suite.cost
+    ~rt:(Midway_apps.Outcome.avg_counters e.Suite.rt)
+    ~vm:(Midway_apps.Outcome.avg_counters e.Suite.vm)
+
+let measured_ms suite app =
+  let d = derived suite (Suite.entry suite app) in
+  (Midway_util.Units.ms_of_ns d.Derived.rt_ns, Midway_util.Units.ms_of_ns d.Derived.vm_ns)
+
+let render (suite : Suite.t) =
+  let t =
+    Texttab.create
+      ~columns:
+        ([ ("System", Texttab.Left); ("Operation", Texttab.Left) ]
+        @ List.concat_map
+            (fun e ->
+              [ (Suite.app_name e.Suite.app, Texttab.Right); ("(paper)", Texttab.Right) ])
+            suite.entries)
+  in
+  let f = Texttab.fmt_float ~decimals:1 in
+  Texttab.row t
+    ("RT-DSM" :: "write trapping time"
+    :: List.concat_map
+         (fun e ->
+           let d = derived suite e in
+           [
+             f (Midway_util.Units.ms_of_ns d.Derived.rt_ns);
+             f (Paper_data.table3 e.Suite.app).Paper_data.rt_trap_ms;
+           ])
+         suite.entries);
+  Texttab.row t
+    ("VM-DSM" :: "write trapping time"
+    :: List.concat_map
+         (fun e ->
+           let d = derived suite e in
+           [
+             f (Midway_util.Units.ms_of_ns d.Derived.vm_ns);
+             f (Paper_data.table3 e.Suite.app).Paper_data.vm_trap_ms;
+           ])
+         suite.entries);
+  Texttab.separator t;
+  Texttab.row t
+    ("" :: "RT-DSM trapping advantage"
+    :: List.concat_map
+         (fun e ->
+           let d = derived suite e in
+           let paper = Paper_data.table3 e.Suite.app in
+           [
+             f (Midway_util.Units.ms_of_ns (d.Derived.vm_ns - d.Derived.rt_ns));
+             f (paper.Paper_data.vm_trap_ms -. paper.Paper_data.rt_trap_ms);
+           ])
+         suite.entries);
+  Printf.sprintf
+    "Table 3: write trapping time, milliseconds per processor (measured at scale %.2f; paper at scale 1.0)\n"
+    suite.scale
+  ^ Texttab.render t

@@ -1,0 +1,8 @@
+(** Table 3: write-trapping time per application (counts x primitive
+    costs), RT-DSM vs VM-DSM, with the paper's values alongside. *)
+
+val render : Suite.t -> string
+
+val measured_ms : Suite.t -> Suite.app -> float * float
+(** (RT, VM) trapping milliseconds for one application — used by the
+    figures and tests. *)

@@ -1,0 +1,68 @@
+module Texttab = Midway_util.Texttab
+module Derived = Midway_stats.Derived
+
+let derived (suite : Suite.t) (e : Suite.entry) =
+  Derived.collection suite.cost
+    ~rt:(Midway_apps.Outcome.avg_counters e.Suite.rt)
+    ~vm:(Midway_apps.Outcome.avg_counters e.Suite.vm)
+
+let measured_ms suite app =
+  let d = derived suite (Suite.entry suite app) in
+  ( Midway_util.Units.ms_of_ns d.Derived.rt_total_ns,
+    Midway_util.Units.ms_of_ns d.Derived.vm_total_ns )
+
+let render (suite : Suite.t) =
+  let t =
+    Texttab.create
+      ~columns:
+        ([ ("System", Texttab.Left); ("Operation", Texttab.Left) ]
+        @ List.concat_map
+            (fun e ->
+              [ (Suite.app_name e.Suite.app, Texttab.Right); ("(paper)", Texttab.Right) ])
+            suite.entries)
+  in
+  let f = Texttab.fmt_float ~decimals:1 in
+  let ms = Midway_util.Units.ms_of_ns in
+  let row sys op measured paper =
+    Texttab.row t
+      (sys :: op
+      :: List.concat_map
+           (fun e ->
+             [ f (ms (measured (derived suite e))); f (paper (Paper_data.table4 e.Suite.app)) ])
+           suite.entries)
+  in
+  row "RT-DSM" "clean dirtybits read"
+    (fun d -> d.Derived.rt_clean_reads_ns)
+    (fun p -> p.Paper_data.rt_clean_ms);
+  row "" "dirty dirtybits read"
+    (fun d -> d.Derived.rt_dirty_reads_ns)
+    (fun p -> p.Paper_data.rt_dirty_ms);
+  row "" "dirtybits updated"
+    (fun d -> d.Derived.rt_updates_ns)
+    (fun p -> p.Paper_data.rt_updated_ms);
+  row "" "Total" (fun d -> d.Derived.rt_total_ns) (fun p -> p.Paper_data.rt_total_ms);
+  Texttab.separator t;
+  row "VM-DSM" "pages diffed" (fun d -> d.Derived.vm_diff_ns) (fun p -> p.Paper_data.vm_diff_ms);
+  row "" "pages write protected"
+    (fun d -> d.Derived.vm_protect_ns)
+    (fun p -> p.Paper_data.vm_protect_ms);
+  row "" "data updated in twins"
+    (fun d -> d.Derived.vm_twin_update_ns)
+    (fun p -> p.Paper_data.vm_twin_ms);
+  row "" "Total" (fun d -> d.Derived.vm_total_ns) (fun p -> p.Paper_data.vm_total_ms);
+  Texttab.separator t;
+  Texttab.row t
+    ("" :: "RT-DSM collection advantage"
+    :: List.concat_map
+         (fun e ->
+           let d = derived suite e in
+           let p = Paper_data.table4 e.Suite.app in
+           [
+             f (ms (d.Derived.vm_total_ns - d.Derived.rt_total_ns));
+             f (p.Paper_data.vm_total_ms -. p.Paper_data.rt_total_ms);
+           ])
+         suite.entries);
+  Printf.sprintf
+    "Table 4: write collection time, milliseconds per processor (measured at scale %.2f; paper at scale 1.0)\n"
+    suite.scale
+  ^ Texttab.render t

@@ -1,0 +1,7 @@
+(** Table 4: write-collection time per application, broken down by
+    primitive, RT-DSM vs VM-DSM, with the paper's values alongside. *)
+
+val render : Suite.t -> string
+
+val measured_ms : Suite.t -> Suite.app -> float * float
+(** (RT, VM) collection totals in milliseconds. *)

@@ -1,0 +1,53 @@
+module Texttab = Midway_util.Texttab
+module Derived = Midway_stats.Derived
+
+let derived (suite : Suite.t) (e : Suite.entry) =
+  Derived.references suite.cost
+    ~rt:(Midway_apps.Outcome.avg_counters e.Suite.rt)
+    ~vm:(Midway_apps.Outcome.avg_counters e.Suite.vm)
+
+let render (suite : Suite.t) =
+  let t =
+    Texttab.create
+      ~columns:
+        ([ ("System", Texttab.Left); ("Operation", Texttab.Left) ]
+        @ List.concat_map
+            (fun e ->
+              [ (Suite.app_name e.Suite.app, Texttab.Right); ("(paper)", Texttab.Right) ])
+            suite.entries)
+  in
+  let k refs = Texttab.fmt_int (refs / 1_000) in
+  let row sys op measured paper =
+    Texttab.row t
+      (sys :: op
+      :: List.concat_map
+           (fun e ->
+             [
+               k (measured (derived suite e));
+               Texttab.fmt_int (paper (Paper_data.table5 e.Suite.app));
+             ])
+           suite.entries)
+  in
+  row "RT-DSM" "write trapping"
+    (fun d -> d.Derived.rt_trap_refs)
+    (fun p -> p.Paper_data.rt_trap_krefs);
+  row "" "write collection"
+    (fun d -> d.Derived.rt_collect_refs)
+    (fun p -> p.Paper_data.rt_collect_krefs);
+  row "" "Total"
+    (fun d -> d.Derived.rt_trap_refs + d.Derived.rt_collect_refs)
+    (fun p -> p.Paper_data.rt_trap_krefs + p.Paper_data.rt_collect_krefs);
+  Texttab.separator t;
+  row "VM-DSM" "write trapping"
+    (fun d -> d.Derived.vm_trap_refs)
+    (fun p -> p.Paper_data.vm_trap_krefs);
+  row "" "write collection"
+    (fun d -> d.Derived.vm_collect_refs)
+    (fun p -> p.Paper_data.vm_collect_krefs);
+  row "" "Total"
+    (fun d -> d.Derived.vm_trap_refs + d.Derived.vm_collect_refs)
+    (fun p -> p.Paper_data.vm_trap_krefs + p.Paper_data.vm_collect_krefs);
+  Printf.sprintf
+    "Table 5: memory references for write detection, thousands per processor (measured at scale %.2f; paper at scale 1.0)\n"
+    suite.scale
+  ^ Texttab.render t

@@ -1,0 +1,5 @@
+(** Table 5: memory references incurred by write detection (trapping and
+    collection), RT-DSM vs VM-DSM, in thousands, with the paper's values
+    alongside. *)
+
+val render : Suite.t -> string

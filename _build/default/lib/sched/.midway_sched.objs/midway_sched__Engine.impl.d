@@ -1,0 +1,1 @@
+lib/sched/engine.ml: Array Effect List Midway_util Printf String

@@ -1,0 +1,125 @@
+type proc = {
+  id : int;
+  mutable clock : int;
+  mutable finished : bool;
+}
+
+type t = {
+  n : int;
+  procs : proc array;
+  runq : (unit -> unit) Midway_util.Minheap.t;
+  bodies : (proc -> unit) option array;
+  mutable live : int;
+  mutable started : bool;
+}
+
+exception Deadlock of string
+
+type _ Effect.t +=
+  | Yield : proc -> unit Effect.t
+  | Block : proc * (wake:(at:int -> unit) -> unit) -> unit Effect.t
+
+let create ~nprocs =
+  if nprocs <= 0 then invalid_arg "Engine.create: nprocs must be positive";
+  {
+    n = nprocs;
+    procs = Array.init nprocs (fun id -> { id; clock = 0; finished = false });
+    runq = Midway_util.Minheap.create ();
+    bodies = Array.make nprocs None;
+    live = 0;
+    started = false;
+  }
+
+let nprocs t = t.n
+
+let proc t i =
+  if i < 0 || i >= t.n then invalid_arg "Engine.proc: index out of range";
+  t.procs.(i)
+
+let proc_id p = p.id
+
+let clock p = p.clock
+
+let charge p ns =
+  if ns < 0 then invalid_arg "Engine.charge: negative charge";
+  p.clock <- p.clock + ns
+
+let spawn t id body =
+  if t.started then invalid_arg "Engine.spawn: engine already running";
+  if id < 0 || id >= t.n then invalid_arg "Engine.spawn: processor out of range";
+  if t.bodies.(id) <> None then invalid_arg "Engine.spawn: processor already spawned";
+  t.bodies.(id) <- Some body
+
+let yield p = Effect.perform (Yield p)
+
+let block p ~setup = Effect.perform (Block (p, setup))
+
+(* Run one fiber slice under the deep handler.  The handler returns when
+   the fiber suspends (its continuation is then parked in the run queue)
+   or terminates. *)
+let start_fiber t p body =
+  let open Effect.Deep in
+  match_with body p
+    {
+      retc = (fun () ->
+          p.finished <- true;
+          t.live <- t.live - 1);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield q ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  Midway_util.Minheap.push t.runq ~key:q.clock (fun () -> continue k ()))
+          | Block (q, setup) ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let fired = ref false in
+                  setup ~wake:(fun ~at ->
+                      if !fired then
+                        invalid_arg
+                          (Printf.sprintf "Engine: processor %d woken twice" q.id);
+                      fired := true;
+                      Midway_util.Minheap.push t.runq ~key:at (fun () ->
+                          if at > q.clock then q.clock <- at;
+                          continue k ())))
+          | _ -> None);
+    }
+
+let run t =
+  if t.started then invalid_arg "Engine.run: engine already ran";
+  t.started <- true;
+  Array.iteri
+    (fun id body ->
+      match body with
+      | None -> ()
+      | Some body ->
+          t.live <- t.live + 1;
+          let p = t.procs.(id) in
+          Midway_util.Minheap.push t.runq ~key:p.clock (fun () -> start_fiber t p body))
+    t.bodies;
+  let rec loop () =
+    match Midway_util.Minheap.pop t.runq with
+    | Some (_, resume) ->
+        resume ();
+        loop ()
+    | None ->
+        if t.live > 0 then begin
+          let stuck =
+            Array.to_list t.procs
+            |> List.filter (fun p -> not p.finished)
+            |> List.map (fun p -> Printf.sprintf "p%d@%dns" p.id p.clock)
+            |> String.concat ", "
+          in
+          raise
+            (Deadlock
+               (Printf.sprintf "%d processor(s) blocked with no pending wake: %s" t.live
+                  stuck))
+        end
+  in
+  loop ()
+
+let elapsed t = Array.fold_left (fun acc p -> max acc p.clock) 0 t.procs
+
+let clock_of t id = t.procs.(id).clock

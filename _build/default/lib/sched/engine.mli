@@ -1,0 +1,76 @@
+(** Deterministic discrete-event simulation of a multicomputer.
+
+    Each simulated processor runs its program as an OCaml 5 effect-handler
+    fiber with a private virtual clock in nanoseconds.  Computation
+    advances a processor's clock via {!charge}; interaction between
+    processors happens only at explicit scheduling points ({!yield},
+    {!block}), where the engine always resumes the runnable fiber with the
+    smallest clock.
+
+    This discipline makes the simulation a conservative parallel DES:
+    since a fiber can only affect another fiber at a virtual time no
+    earlier than its own clock (messages add latency), executing
+    scheduling points in global clock order yields a causally consistent
+    and fully deterministic execution — the property the reproduction
+    depends on for exact primitive-operation counts.
+
+    The protocol layer (locks, barriers) is built on two primitives:
+
+    - {!yield} reschedules the calling fiber at its current clock, so the
+      next protocol action in global time order executes first;
+    - {!block} suspends the fiber and hands the protocol a [wake] function
+      which resumes the fiber at a given virtual time (e.g. when a lock
+      reply is delivered). *)
+
+type t
+
+type proc
+(** A simulated processor, valid within its engine's [run]. *)
+
+exception Deadlock of string
+(** Raised by {!run} when unfinished fibers remain but nothing can wake
+    them — a synchronization bug in the simulated program. *)
+
+val create : nprocs:int -> t
+
+val nprocs : t -> int
+
+val proc : t -> int -> proc
+(** Handle for processor [i]; raises [Invalid_argument] out of range. *)
+
+val proc_id : proc -> int
+
+val clock : proc -> int
+(** Current virtual time of this processor, in nanoseconds. *)
+
+val charge : proc -> int -> unit
+(** Advance the processor's clock by the given number of nanoseconds
+    (local computation or charged protocol cost).  Negative charges
+    raise [Invalid_argument]. *)
+
+val spawn : t -> int -> (proc -> unit) -> unit
+(** [spawn t p body] installs [body] as processor [p]'s program.  Must be
+    called before {!run}; each processor may be spawned once. *)
+
+val yield : proc -> unit
+(** Scheduling point: let any runnable fiber with an earlier clock run
+    first.  Every protocol action (lock acquire/release, barrier) must
+    yield before inspecting shared protocol state. *)
+
+val block : proc -> setup:(wake:(at:int -> unit) -> unit) -> unit
+(** [block p ~setup] suspends the fiber. [setup] runs immediately (still
+    on the fiber's stack, before suspension completes) and must arrange
+    for [wake ~at] to be called exactly once later, from some other
+    fiber; the blocked fiber then resumes with its clock advanced to at
+    least [at].  Waking twice raises [Invalid_argument] at the waker. *)
+
+val run : t -> unit
+(** Execute all spawned fibers to completion.  Raises {!Deadlock} if the
+    system wedges, and re-raises any exception escaping a fiber. *)
+
+val elapsed : t -> int
+(** After [run]: the maximum clock reached by any processor — the
+    program's simulated execution time. *)
+
+val clock_of : t -> int -> int
+(** After [run]: the final clock of one processor. *)

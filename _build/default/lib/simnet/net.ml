@@ -1,0 +1,77 @@
+type kind =
+  | Lock_request
+  | Lock_reply
+  | Lock_forward
+  | Barrier_arrive
+  | Barrier_release
+  | Startup
+
+let kind_name = function
+  | Lock_request -> "lock-request"
+  | Lock_reply -> "lock-reply"
+  | Lock_forward -> "lock-forward"
+  | Barrier_arrive -> "barrier-arrive"
+  | Barrier_release -> "barrier-release"
+  | Startup -> "startup"
+
+let kind_index = function
+  | Lock_request -> 0
+  | Lock_reply -> 1
+  | Lock_forward -> 2
+  | Barrier_arrive -> 3
+  | Barrier_release -> 4
+  | Startup -> 5
+
+type t = {
+  nprocs : int;
+  latency_ns : int;
+  ns_per_byte : int;
+  header_bytes : int;
+  msgs_sent : int array;
+  payload_sent : int array;
+  payload_received : int array;
+  by_kind : int array;
+}
+
+let create ?(latency_ns = 150_000) ?(ns_per_byte = 57) ?(header_bytes = 64) ~nprocs () =
+  if nprocs <= 0 then invalid_arg "Net.create: nprocs must be positive";
+  {
+    nprocs;
+    latency_ns;
+    ns_per_byte;
+    header_bytes;
+    msgs_sent = Array.make nprocs 0;
+    payload_sent = Array.make nprocs 0;
+    payload_received = Array.make nprocs 0;
+    by_kind = Array.make 6 0;
+  }
+
+let nprocs t = t.nprocs
+
+let transfer_ns t ~payload_bytes =
+  t.latency_ns + ((t.header_bytes + payload_bytes) * t.ns_per_byte)
+
+let send ?(overhead_bytes = 0) t ~kind ~src ~dst ~payload_bytes ~at =
+  if src < 0 || src >= t.nprocs || dst < 0 || dst >= t.nprocs then
+    invalid_arg "Net.send: processor out of range";
+  if payload_bytes < 0 || overhead_bytes < 0 then invalid_arg "Net.send: negative payload";
+  if src = dst then at
+  else begin
+    t.msgs_sent.(src) <- t.msgs_sent.(src) + 1;
+    t.payload_sent.(src) <- t.payload_sent.(src) + payload_bytes;
+    t.payload_received.(dst) <- t.payload_received.(dst) + payload_bytes;
+    t.by_kind.(kind_index kind) <- t.by_kind.(kind_index kind) + 1;
+    at + transfer_ns t ~payload_bytes:(payload_bytes + overhead_bytes)
+  end
+
+let messages_sent t ~proc = t.msgs_sent.(proc)
+
+let bytes_sent t ~proc = t.payload_sent.(proc)
+
+let bytes_received t ~proc = t.payload_received.(proc)
+
+let total_messages t = Array.fold_left ( + ) 0 t.msgs_sent
+
+let total_payload_bytes t = Array.fold_left ( + ) 0 t.payload_sent
+
+let messages_of_kind t kind = t.by_kind.(kind_index kind)

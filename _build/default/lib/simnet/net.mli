@@ -1,0 +1,57 @@
+(** The cluster interconnect model.
+
+    The paper's testbed is eight DECstations on a 140 Mbit/s ForeRunner
+    ASX-100 ATM switch, driven through a user-level AAL3/4 protocol that
+    bypasses the Unix server.  For the simulation we model a message as a
+    fixed per-message latency (send + switch + receive + protocol
+    processing) plus a bandwidth term proportional to its size, and we
+    account messages and bytes per processor pair.
+
+    Only *application* payload counts toward the paper's "data
+    transferred" figures; protocol headers contribute to transfer time but
+    not to the payload accounting. *)
+
+type kind =
+  | Lock_request
+  | Lock_reply
+  | Lock_forward
+  | Barrier_arrive
+  | Barrier_release
+  | Startup
+
+val kind_name : kind -> string
+
+type t
+
+val create :
+  ?latency_ns:int -> ?ns_per_byte:int -> ?header_bytes:int -> nprocs:int -> unit -> t
+(** Defaults: 150 us per-message latency, 57 ns/byte (140 Mbit/s ATM at
+    AAL3/4 framing efficiency), 64-byte protocol header. *)
+
+val nprocs : t -> int
+
+val transfer_ns : t -> payload_bytes:int -> int
+(** Wire time for one message carrying [payload_bytes] of application
+    data: latency + (header + payload) x bandwidth cost. *)
+
+val send :
+  ?overhead_bytes:int -> t -> kind:kind -> src:int -> dst:int -> payload_bytes:int ->
+  at:int -> int
+(** [send t ~kind ~src ~dst ~payload_bytes ~at] records the message and
+    returns its delivery time ([at + transfer time]).  [overhead_bytes]
+    (default 0) models per-line/per-run descriptors: it adds wire time but
+    is excluded from the payload accounting, as in the paper.  Self-sends
+    are legal (local lock service) and cost nothing. *)
+
+val messages_sent : t -> proc:int -> int
+
+val bytes_sent : t -> proc:int -> int
+(** Payload bytes this processor put on the wire. *)
+
+val bytes_received : t -> proc:int -> int
+
+val total_messages : t -> int
+
+val total_payload_bytes : t -> int
+
+val messages_of_kind : t -> kind -> int

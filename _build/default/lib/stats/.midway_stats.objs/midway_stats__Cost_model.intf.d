@@ -1,0 +1,1 @@
+lib/stats/cost_model.mli:

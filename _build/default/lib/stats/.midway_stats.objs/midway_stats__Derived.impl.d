@@ -1,0 +1,1 @@
+lib/stats/derived.ml: Cost_model Counters

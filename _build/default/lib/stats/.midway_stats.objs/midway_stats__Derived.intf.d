@@ -1,0 +1,1 @@
+lib/stats/derived.mli: Cost_model Counters

@@ -1,0 +1,56 @@
+type trapping = { rt_ns : int; vm_ns : int }
+
+type collection = {
+  rt_clean_reads_ns : int;
+  rt_dirty_reads_ns : int;
+  rt_updates_ns : int;
+  rt_total_ns : int;
+  vm_diff_ns : int;
+  vm_protect_ns : int;
+  vm_twin_update_ns : int;
+  vm_total_ns : int;
+}
+
+type references = {
+  rt_trap_refs : int;
+  rt_collect_refs : int;
+  vm_trap_refs : int;
+  vm_collect_refs : int;
+}
+
+let trapping (cm : Cost_model.t) ~(rt : Counters.t) ~(vm : Counters.t) =
+  {
+    rt_ns =
+      (rt.dirtybits_set * cm.dirtybit_set_ns)
+      + (rt.dirtybits_misclassified * cm.dirtybit_set_private_ns);
+    vm_ns = vm.write_faults * cm.page_fault_ns;
+  }
+
+let collection (cm : Cost_model.t) ~(rt : Counters.t) ~(vm : Counters.t) =
+  let rt_clean_reads_ns = rt.clean_dirtybits_read * cm.dirtybit_read_clean_ns in
+  let rt_dirty_reads_ns = rt.dirty_dirtybits_read * cm.dirtybit_read_dirty_ns in
+  let rt_updates_ns = rt.dirtybits_updated * cm.dirtybit_update_ns in
+  let vm_diff_ns = vm.pages_diffed * cm.page_diff_uniform_ns in
+  let vm_protect_ns = vm.pages_write_protected * cm.page_protect_ro_ns in
+  let vm_twin_update_ns = vm.twin_update_bytes * cm.copy_kb_warm_ns / 1024 in
+  {
+    rt_clean_reads_ns;
+    rt_dirty_reads_ns;
+    rt_updates_ns;
+    rt_total_ns = rt_clean_reads_ns + rt_dirty_reads_ns + rt_updates_ns;
+    vm_diff_ns;
+    vm_protect_ns;
+    vm_twin_update_ns;
+    vm_total_ns = vm_diff_ns + vm_protect_ns + vm_twin_update_ns;
+  }
+
+let references (cm : Cost_model.t) ~(rt : Counters.t) ~(vm : Counters.t) =
+  let words_per_page = cm.page_size / 4 in
+  {
+    rt_trap_refs = rt.dirtybits_set + rt.dirtybits_misclassified;
+    rt_collect_refs =
+      rt.clean_dirtybits_read + rt.dirty_dirtybits_read + rt.dirtybits_updated;
+    vm_trap_refs = vm.write_faults * 2 * words_per_page;
+    vm_collect_refs =
+      (vm.pages_diffed * 2 * words_per_page) + (vm.twin_update_bytes / 4);
+  }

@@ -1,0 +1,48 @@
+(** Derived per-application costs: the computations behind Tables 3, 4, 5.
+
+    The paper computes write-trapping time (Table 3), write-collection time
+    (Table 4) and detection memory references (Table 5) by multiplying the
+    per-processor invocation counts (Table 2) with the primitive costs
+    (Table 1).  These functions implement exactly those formulas so the
+    report layer and the tests share one definition. *)
+
+type trapping = { rt_ns : int; vm_ns : int }
+(** Per-processor write-trapping time. *)
+
+type collection = {
+  rt_clean_reads_ns : int;
+  rt_dirty_reads_ns : int;
+  rt_updates_ns : int;
+  rt_total_ns : int;
+  vm_diff_ns : int;
+  vm_protect_ns : int;
+  vm_twin_update_ns : int;
+  vm_total_ns : int;
+}
+(** Per-processor write-collection time, broken down as in Table 4. *)
+
+type references = {
+  rt_trap_refs : int;
+  rt_collect_refs : int;
+  vm_trap_refs : int;
+  vm_collect_refs : int;
+}
+(** Detection-induced memory references, as in Table 5 (absolute counts,
+    not thousands). *)
+
+val trapping : Cost_model.t -> rt:Counters.t -> vm:Counters.t -> trapping
+(** Table 3: RT = dirtybits set x set cost + misclassified x private cost;
+    VM = write faults x fault service time. *)
+
+val collection : Cost_model.t -> rt:Counters.t -> vm:Counters.t -> collection
+(** Table 4: RT = clean reads x clean cost + dirty reads x dirty cost +
+    updates installed x update cost; VM = pages diffed x uniform diff cost
+    + pages protected x read-only protect cost + twin-updated KB x warm
+    copy cost. The paper charges the uniform diff cost here (65.8 ms /
+    253 pages = 260 us for water), which we follow. *)
+
+val references : Cost_model.t -> rt:Counters.t -> vm:Counters.t -> references
+(** Table 5: RT trapping = dirtybits set (+ misclassified); RT collection
+    = dirtybits read (clean + dirty) + timestamps installed; VM trapping =
+    2 refs per word twinned; VM collection = 2 refs per word diffed + one
+    ref per word applied to a twin. *)

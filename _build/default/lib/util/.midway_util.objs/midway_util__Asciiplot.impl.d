@@ -1,0 +1,1 @@
+lib/util/asciiplot.ml: Array Buffer Float List Printf String Texttab

@@ -1,0 +1,120 @@
+type series = { name : string; marker : char; points : (float * float) list }
+
+type t = {
+  width : int;
+  height : int;
+  title : string;
+  x_label : string;
+  y_label : string;
+  mutable series : series list; (* reversed *)
+  mutable draw_diagonal : bool;
+}
+
+let create ?(width = 64) ?(height = 20) ~title ~x_label ~y_label () =
+  { width; height; title; x_label; y_label; series = []; draw_diagonal = false }
+
+let series t ~name ~marker points = t.series <- { name; marker; points } :: t.series
+
+let diagonal t = t.draw_diagonal <- true
+
+let bounds t =
+  let xs = List.concat_map (fun s -> List.map fst s.points) t.series in
+  let ys = List.concat_map (fun s -> List.map snd s.points) t.series in
+  let ys = if t.draw_diagonal then xs @ ys else ys in
+  let min_l = List.fold_left min infinity and max_l = List.fold_left max neg_infinity in
+  let pad lo hi = if hi > lo then (lo, hi) else (lo -. 1.0, hi +. 1.0) in
+  let x0, x1 = pad (min 0.0 (min_l xs)) (max_l xs) in
+  let y0, y1 = pad (min 0.0 (min_l ys)) (max_l ys) in
+  (x0, x1, y0, y1)
+
+let render t =
+  if t.series = [] then t.title ^ "\n(no data)\n"
+  else begin
+    let x0, x1, y0, y1 = bounds t in
+    let grid = Array.make_matrix t.height t.width ' ' in
+    let to_col x =
+      let c = int_of_float (Float.round ((x -. x0) /. (x1 -. x0) *. float_of_int (t.width - 1))) in
+      max 0 (min (t.width - 1) c)
+    in
+    let to_row y =
+      let r = int_of_float (Float.round ((y -. y0) /. (y1 -. y0) *. float_of_int (t.height - 1))) in
+      (t.height - 1) - max 0 (min (t.height - 1) r)
+    in
+    if t.draw_diagonal then
+      for c = 0 to t.width - 1 do
+        let x = x0 +. (float_of_int c /. float_of_int (t.width - 1) *. (x1 -. x0)) in
+        if x >= y0 && x <= y1 then grid.(to_row x).(c) <- '.'
+      done;
+    let plot_series s =
+      (* Connect consecutive points with linearly interpolated markers so
+         sweep lines read as lines, not dots. *)
+      let draw (xa, ya) (xb, yb) =
+        let ca = to_col xa and cb = to_col xb in
+        let steps = max 1 (abs (cb - ca)) in
+        for i = 0 to steps do
+          let f = float_of_int i /. float_of_int steps in
+          let x = xa +. (f *. (xb -. xa)) and y = ya +. (f *. (yb -. ya)) in
+          grid.(to_row y).(to_col x) <- s.marker
+        done
+      in
+      match s.points with
+      | [] -> ()
+      | [ p ] -> grid.(to_row (snd p)).(to_col (fst p)) <- s.marker
+      | first :: rest -> ignore (List.fold_left (fun a b -> draw a b; b) first rest)
+    in
+    List.iter plot_series (List.rev t.series);
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (Printf.sprintf "y: %s  (%.3g .. %.3g)\n" t.y_label y0 y1);
+    Array.iter
+      (fun line ->
+        Buffer.add_string buf "  |";
+        Array.iter (Buffer.add_char buf) line;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf "  +";
+    Buffer.add_string buf (String.make t.width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (Printf.sprintf "x: %s  (%.3g .. %.3g)\n" t.x_label x0 x1);
+    Buffer.add_string buf "legend:";
+    List.iter
+      (fun s -> Buffer.add_string buf (Printf.sprintf " [%c] %s" s.marker s.name))
+      (List.rev t.series);
+    if t.draw_diagonal then Buffer.add_string buf " [.] break-even y=x";
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end
+
+let bars ~title ~unit_label ~groups =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let vmax =
+    List.fold_left
+      (fun acc (_, bars) -> List.fold_left (fun a (_, v) -> max a v) acc bars)
+      0.0 groups
+  in
+  let vmax = if vmax <= 0.0 then 1.0 else vmax in
+  let bar_width = 46 in
+  let name_w =
+    List.fold_left
+      (fun acc (g, bars) ->
+        List.fold_left (fun a (n, _) -> max a (String.length n)) (max acc (String.length g)) bars)
+      0 groups
+  in
+  List.iter
+    (fun (group, bars) ->
+      Buffer.add_string buf group;
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun (name, v) ->
+          let n = int_of_float (Float.round (v /. vmax *. float_of_int bar_width)) in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s |%s%s %s %s\n" name_w name (String.make n '#')
+               (String.make (bar_width - n) ' ')
+               (Texttab.fmt_float ~decimals:2 v)
+               unit_label))
+        bars)
+    groups;
+  Buffer.contents buf

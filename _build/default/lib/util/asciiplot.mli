@@ -1,0 +1,30 @@
+(** Character-grid plots for reproducing the paper's figures in a terminal.
+
+    Two chart kinds are needed: grouped bar charts (Figure 2: execution
+    time and data transferred per application) and scatter/line charts
+    (Figures 3 and 4: per-application cost lines across a page-fault-cost
+    sweep, with the break-even diagonal). *)
+
+type t
+
+val create : ?width:int -> ?height:int -> title:string -> x_label:string -> y_label:string -> unit -> t
+(** A blank plot surface. [width]/[height] are the data-area dimensions in
+    characters (defaults 64 x 20). *)
+
+val series : t -> name:string -> marker:char -> (float * float) list -> unit
+(** Add a named point series drawn with [marker]. *)
+
+val diagonal : t -> unit
+(** Draw the y = x break-even diagonal (used by Figures 3 and 4). *)
+
+val render : t -> string
+(** Scales all series to the surface, draws axes, markers and the legend. *)
+
+val bars :
+  title:string ->
+  unit_label:string ->
+  groups:(string * (string * float) list) list ->
+  string
+(** [bars ~title ~unit_label ~groups] renders horizontal grouped bars, one
+    group per application, one bar per system, scaled to the maximum
+    value. *)

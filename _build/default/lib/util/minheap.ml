@@ -1,0 +1,81 @@
+(* Array-backed binary heap. Each entry carries an insertion sequence
+   number so that equal keys compare FIFO, which makes the simulator
+   deterministic. *)
+
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable entries : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { entries = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let precedes a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.entries in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  (* The dummy entry is never observed: slots >= size are dead. *)
+  let dummy = t.entries.(0) in
+  let fresh = Array.make new_cap dummy in
+  Array.blit t.entries 0 fresh 0 t.size;
+  t.entries <- fresh
+
+let push t ~key value =
+  let e = { key; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = 0 && Array.length t.entries = 0 then t.entries <- Array.make 16 e;
+  if t.size = Array.length t.entries then grow t;
+  (* Sift up. *)
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  t.entries.(!i) <- e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if precedes e t.entries.(parent) then begin
+      t.entries.(!i) <- t.entries.(parent);
+      t.entries.(parent) <- e;
+      i := parent
+    end
+    else continue := false
+  done
+
+let sift_down t i0 =
+  let e = t.entries.(i0) in
+  let i = ref i0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && precedes t.entries.(l) t.entries.(!smallest) then smallest := l;
+    if r < t.size && precedes t.entries.(r) t.entries.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      t.entries.(!i) <- t.entries.(!smallest);
+      t.entries.(!smallest) <- e;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.entries.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.entries.(0) <- t.entries.(t.size);
+      sift_down t 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek_key t = if t.size = 0 then None else Some t.entries.(0).key
+
+let clear t = t.size <- 0

@@ -1,0 +1,25 @@
+(** Binary min-heap keyed by [int], with deterministic FIFO tie-breaking.
+
+    The discrete-event engine orders pending fiber resumptions by virtual
+    time; entries with equal keys pop in insertion order so that simulation
+    runs are reproducible regardless of heap internals. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> 'a -> unit
+(** [push t ~key v] inserts [v] with priority [key]. Smaller keys pop
+    first; equal keys pop in insertion order. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum entry, or [None] when empty. *)
+
+val peek_key : 'a t -> int option
+(** Key of the minimum entry without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized behaviour in the simulator (workload generation, initial
+    data values) flows through this module so that every experiment is
+    reproducible bit-for-bit from a seed.  The generator is SplitMix64,
+    which is fast, has a 64-bit state and passes BigCrush. *)
+
+type t
+(** A mutable generator. Generators are cheap; use one per independent
+    stream (e.g. one per simulated processor) to keep streams decoupled. *)
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t]. The derived
+    stream is statistically independent of the parent's subsequent
+    output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

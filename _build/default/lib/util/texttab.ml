@@ -1,0 +1,101 @@
+type align = Left | Right
+
+type line = Row of string list | Sep
+
+type t = {
+  headers : string list;
+  aligns : align array;
+  mutable lines : line list; (* reversed *)
+}
+
+let create ~columns =
+  {
+    headers = List.map fst columns;
+    aligns = Array.of_list (List.map snd columns);
+    lines = [];
+  }
+
+let ncols t = List.length t.headers
+
+let row t cells =
+  let n = List.length cells in
+  if n > ncols t then invalid_arg "Texttab.row: too many cells";
+  let padded =
+    if n = ncols t then cells else cells @ List.init (ncols t - n) (fun _ -> "")
+  in
+  t.lines <- Row padded :: t.lines
+
+let separator t = t.lines <- Sep :: t.lines
+
+let widths t =
+  let w = Array.make (ncols t) 0 in
+  let update cells =
+    List.iteri (fun i c -> if String.length c > w.(i) then w.(i) <- String.length c) cells
+  in
+  update t.headers;
+  List.iter (function Row cells -> update cells | Sep -> ()) t.lines;
+  w
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render t =
+  let w = widths t in
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun width ->
+        Buffer.add_string buf (String.make (width + 2) '-');
+        Buffer.add_char buf '+')
+      w;
+    Buffer.add_char buf '\n'
+  in
+  let emit_row ?(aligns = t.aligns) cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad aligns.(i) w.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  emit_row ~aligns:(Array.make (ncols t) Left) t.headers;
+  rule ();
+  List.iter
+    (function Row cells -> emit_row cells | Sep -> rule ())
+    (List.rev t.lines);
+  rule ();
+  Buffer.contents buf
+
+let group_thousands s =
+  let n = String.length s in
+  let buf = Buffer.create (n + n / 3) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (n - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_int v =
+  if v < 0 then "-" ^ group_thousands (string_of_int (-v))
+  else group_thousands (string_of_int v)
+
+let fmt_float ?(decimals = 1) v =
+  let s = Printf.sprintf "%.*f" decimals v in
+  match String.index_opt s '.' with
+  | None -> group_thousands s
+  | Some dot ->
+      let int_part = String.sub s 0 dot in
+      let frac = String.sub s dot (String.length s - dot) in
+      if v < 0.0 then
+        "-" ^ group_thousands (String.sub int_part 1 (String.length int_part - 1)) ^ frac
+      else group_thousands int_part ^ frac

@@ -1,0 +1,29 @@
+(** Plain-text table rendering for the experiment reports.
+
+    Produces aligned, boxed tables similar in spirit to the tables in the
+    paper: a header row, optional row-group separators, and right-aligned
+    numeric cells. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** [create ~columns] starts an empty table with the given header cells
+    and per-column alignment. *)
+
+val row : t -> string list -> unit
+(** Append a data row. Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val separator : t -> unit
+(** Append a horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render the table to a string (trailing newline included). *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer, e.g. [1284004 -> "1,284,004"]. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point float with thousands separators in the integer part. *)

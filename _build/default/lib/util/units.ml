@@ -1,0 +1,21 @@
+let ns_per_us = 1_000
+let ns_per_ms = 1_000_000
+let ns_per_s = 1_000_000_000
+
+let us_of_ns ns = float_of_int ns /. float_of_int ns_per_us
+let ms_of_ns ns = float_of_int ns /. float_of_int ns_per_ms
+let s_of_ns ns = float_of_int ns /. float_of_int ns_per_s
+
+let kb_of_bytes b = float_of_int b /. 1024.0
+let mb_of_bytes b = float_of_int b /. (1024.0 *. 1024.0)
+
+let pp_time ns =
+  if ns < ns_per_us then Printf.sprintf "%d ns" ns
+  else if ns < ns_per_ms then Printf.sprintf "%.2f us" (us_of_ns ns)
+  else if ns < ns_per_s then Printf.sprintf "%.2f ms" (ms_of_ns ns)
+  else Printf.sprintf "%.2f s" (s_of_ns ns)
+
+let pp_bytes b =
+  if b < 1024 then Printf.sprintf "%d B" b
+  else if b < 1024 * 1024 then Printf.sprintf "%.1f KB" (kb_of_bytes b)
+  else Printf.sprintf "%.2f MB" (mb_of_bytes b)

@@ -1,0 +1,1 @@
+lib/vmem/diff.ml: Bytes List

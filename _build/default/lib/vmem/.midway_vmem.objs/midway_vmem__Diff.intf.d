@@ -1,0 +1,1 @@
+lib/vmem/diff.mli: Bytes

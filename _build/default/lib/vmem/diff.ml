@@ -1,0 +1,45 @@
+type run = { off : int; len : int }
+
+let word_size = 4
+
+let words_differ old_ new_ pos len =
+  (* Compare up to a full word; [len] may be short at a range tail. *)
+  let rec go i =
+    i < len
+    && (Bytes.unsafe_get old_ (pos + i) <> Bytes.unsafe_get new_ (pos + i) || go (i + 1))
+  in
+  go 0
+
+let diff ~old_ ~new_ ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length old_ || off + len > Bytes.length new_
+  then invalid_arg "Diff.diff: range out of bounds";
+  let runs = ref [] in
+  let transitions = ref 0 in
+  let run_start = ref (-1) in
+  let prev_modified = ref false in
+  let pos = ref off in
+  let finish_at p =
+    if !run_start >= 0 then begin
+      runs := { off = !run_start; len = p - !run_start } :: !runs;
+      run_start := -1
+    end
+  in
+  while !pos < off + len do
+    let wlen = min word_size (off + len - !pos) in
+    let modified = words_differ old_ new_ !pos wlen in
+    if modified <> !prev_modified && !pos > off then incr transitions;
+    if modified && !run_start < 0 then run_start := !pos;
+    if not modified then finish_at !pos;
+    prev_modified := modified;
+    pos := !pos + wlen
+  done;
+  finish_at (off + len);
+  (List.rev !runs, !transitions)
+
+let runs_bytes runs = List.fold_left (fun acc r -> acc + r.len) 0 runs
+
+let apply ~src ~dst runs =
+  List.iter (fun r -> Bytes.blit src r.off dst r.off r.len) runs
+
+let apply_to ~src ~dst ~src_off ~dst_off runs =
+  List.iter (fun r -> Bytes.blit src (src_off + r.off) dst (dst_off + r.off) r.len) runs

@@ -1,0 +1,58 @@
+type prot = Read_only | Read_write
+
+type page = {
+  number : int;
+  mutable prot : prot;
+  mutable dirty : bool;
+  mutable twin : Bytes.t option;
+}
+
+type t = { page_size : int; pages : (int, page) Hashtbl.t }
+
+let create ~page_size =
+  if page_size <= 0 || page_size land (page_size - 1) <> 0 then
+    invalid_arg "Page_table.create: page_size must be a positive power of two";
+  { page_size; pages = Hashtbl.create 256 }
+
+let page_size t = t.page_size
+
+let find t number =
+  match Hashtbl.find_opt t.pages number with
+  | Some p -> p
+  | None ->
+      let p = { number; prot = Read_only; dirty = false; twin = None } in
+      Hashtbl.replace t.pages number p;
+      p
+
+let page_of_addr t addr = find t (addr / t.page_size)
+
+let page_base t p = p.number * t.page_size
+
+let pages_in_range t ~addr ~len =
+  if len < 0 then invalid_arg "Page_table.pages_in_range: negative length";
+  if len = 0 then []
+  else begin
+    let first = addr / t.page_size and last = (addr + len - 1) / t.page_size in
+    List.init (last - first + 1) (fun i -> find t (first + i))
+  end
+
+let dirty_pages t =
+  Hashtbl.fold (fun _ p acc -> if p.dirty then p :: acc else acc) t.pages []
+  |> List.sort (fun a b -> compare a.number b.number)
+
+let fault_on_write t ~addr ~contents =
+  let p = page_of_addr t addr in
+  match p.prot with
+  | Read_write -> None
+  | Read_only ->
+      if Bytes.length contents <> t.page_size then
+        invalid_arg "Page_table.fault_on_write: contents must be page-sized";
+      p.twin <- Some (Bytes.copy contents);
+      p.dirty <- true;
+      p.prot <- Read_write;
+      Some p
+
+let clean _t p =
+  p.twin <- None;
+  p.dirty <- false;
+  p.prot <- Read_only

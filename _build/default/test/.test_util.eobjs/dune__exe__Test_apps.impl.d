@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Float List Midway Midway_apps Midway_stats Printf QCheck QCheck_alcotest String

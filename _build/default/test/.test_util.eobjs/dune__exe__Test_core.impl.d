@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Int64 List Midway Midway_memory Midway_stats Printf QCheck QCheck_alcotest String

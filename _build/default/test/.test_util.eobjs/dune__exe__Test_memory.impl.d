@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array Bytes Gen Int64 List Midway_memory QCheck QCheck_alcotest

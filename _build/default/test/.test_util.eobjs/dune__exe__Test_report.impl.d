@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Float Lazy List Midway_apps Midway_report Midway_stats Printf String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Bytes Gen List Midway Midway_memory Midway_sched Midway_simnet Midway_stats Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Gen List Midway_sched Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest List Midway_simnet QCheck QCheck_alcotest String

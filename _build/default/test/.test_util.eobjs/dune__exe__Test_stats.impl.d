@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Midway_stats QCheck QCheck_alcotest

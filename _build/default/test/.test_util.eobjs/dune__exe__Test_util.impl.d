@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List Midway_util Option QCheck QCheck_alcotest String

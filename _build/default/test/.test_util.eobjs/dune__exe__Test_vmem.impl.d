@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest Bytes Char List Midway_vmem Option QCheck QCheck_alcotest

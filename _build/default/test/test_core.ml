@@ -1,0 +1,600 @@
+(* Tests for the core Midway building blocks: ranges, timestamps,
+   dirtybit tables (all three trapping modes), the VM detection state and
+   synchronization objects. *)
+
+module Range = Midway.Range
+module Timestamp = Midway.Timestamp
+module Dirtybits = Midway.Dirtybits
+module Vm_state = Midway.Vm_state
+module Payload = Midway.Payload
+module Sync = Midway.Sync
+module Config = Midway.Config
+module Region = Midway_memory.Region
+module Space = Midway_memory.Space
+module Counters = Midway_stats.Counters
+module Cost_model = Midway_stats.Cost_model
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Range --------------------------------------------------------------- *)
+
+let range_list =
+  QCheck.make
+    ~print:(fun rs ->
+      String.concat ";"
+        (List.map (fun (r : Range.t) -> Printf.sprintf "[%d,%d)" r.Range.addr (Range.limit r)) rs))
+    QCheck.Gen.(list_size (int_range 0 8) (map2 (fun a l -> Range.v a l) (int_range 0 100) (int_range 0 30)))
+
+let covers ranges x =
+  List.exists (fun (r : Range.t) -> x >= r.Range.addr && x < Range.limit r) ranges
+
+let test_range_basics () =
+  let r = Range.v 10 5 in
+  Alcotest.(check int) "limit" 15 (Range.limit r);
+  Alcotest.(check bool) "not empty" false (Range.is_empty r);
+  Alcotest.(check bool) "empty" true (Range.is_empty (Range.v 3 0));
+  Alcotest.check_raises "negative" (Invalid_argument "Range.v: negative address or length")
+    (fun () -> ignore (Range.v (-1) 5))
+
+let test_normalize_merges () =
+  let norm = Range.normalize [ Range.v 0 10; Range.v 10 5; Range.v 30 5; Range.v 2 4 ] in
+  Alcotest.(check (list (pair int int)))
+    "merged and sorted"
+    [ (0, 15); (30, 5) ]
+    (List.map (fun (r : Range.t) -> (r.Range.addr, r.Range.len)) norm)
+
+let normalize_preserves_coverage =
+  QCheck.Test.make ~name:"normalize preserves byte coverage" ~count:300 range_list (fun rs ->
+      let norm = Range.normalize rs in
+      List.for_all (fun x -> covers rs x = covers norm x) (List.init 140 (fun i -> i)))
+
+let normalize_disjoint_sorted =
+  QCheck.Test.make ~name:"normalized ranges are disjoint, sorted, nonempty" ~count:300
+    range_list (fun rs ->
+      let rec check = function
+        | (a : Range.t) :: (b : Range.t) :: rest ->
+            Range.limit a < b.Range.addr && a.Range.len > 0 && check (b :: rest)
+        | [ a ] -> a.Range.len > 0
+        | [] -> true
+      in
+      check (Range.normalize rs))
+
+let subtract_complements_clip =
+  QCheck.Test.make ~name:"clip and subtract partition a range" ~count:300
+    QCheck.(pair (pair (int_bound 100) (int_bound 30)) range_list)
+    (fun ((addr, len), within) ->
+      let r = Range.v addr len in
+      let within = Range.normalize within in
+      let inside = Range.clip r ~within in
+      let outside = Range.subtract r ~minus:within in
+      List.for_all
+        (fun x ->
+          let in_r = x >= addr && x < addr + len in
+          let in_inside = covers inside x in
+          let in_outside = covers outside x in
+          (* each byte of r is in exactly one part, bytes outside r in none *)
+          if in_r then in_inside <> in_outside && (in_inside = covers within x)
+          else (not in_inside) && not in_outside)
+        (List.init 140 (fun i -> i)))
+
+let test_contains () =
+  let ranges = Range.normalize [ Range.v 0 10; Range.v 20 10 ] in
+  Alcotest.(check bool) "inside" true (Range.contains ranges ~addr:2 ~len:5);
+  Alcotest.(check bool) "straddles hole" false (Range.contains ranges ~addr:5 ~len:20);
+  Alcotest.(check bool) "empty always" true (Range.contains ranges ~addr:500 ~len:0)
+
+let test_iter_lines_widens () =
+  let r = Range.v 70 20 in
+  (* lines of 64 bytes: range [70, 90) touches line 1 only *)
+  let visited = ref [] in
+  Range.iter_lines r ~line_size:64 ~f:(fun ~addr ~len -> visited := (addr, len) :: !visited);
+  Alcotest.(check (list (pair int int))) "full line extents" [ (64, 64) ] !visited;
+  let r2 = Range.v 60 10 in
+  let visited2 = ref [] in
+  Range.iter_lines r2 ~line_size:64 ~f:(fun ~addr ~len -> visited2 := (addr, len) :: !visited2);
+  Alcotest.(check int) "straddling range touches two lines" 2 (List.length !visited2)
+
+let iter_lines_covers =
+  QCheck.Test.make ~name:"iter_lines covers the range with whole lines" ~count:300
+    QCheck.(triple (int_bound 500) (int_range 1 100) (int_bound 4))
+    (fun (addr, len, ls_exp) ->
+      let line_size = 8 lsl ls_exp in
+      let r = Range.v addr len in
+      let visited = ref [] in
+      Range.iter_lines r ~line_size ~f:(fun ~addr ~len -> visited := (addr, len) :: !visited);
+      let lines = List.rev !visited in
+      (* aligned, contiguous, full lines, covering exactly the range *)
+      List.for_all (fun (a, l) -> a mod line_size = 0 && l = line_size) lines
+      && (match lines with
+         | [] -> false
+         | (first, _) :: _ ->
+             let last, llen = List.nth lines (List.length lines - 1) in
+             first <= addr && addr + len <= last + llen
+             && List.length lines = ((addr + len - 1) / line_size) - (addr / line_size) + 1))
+
+(* --- Timestamp ------------------------------------------------------------ *)
+
+let test_timestamp_encoding () =
+  let nprocs = 8 in
+  let t = Timestamp.make ~time:5 ~proc:3 ~nprocs in
+  Alcotest.(check int) "time component" 5 (Timestamp.time t ~nprocs);
+  Alcotest.(check bool) "is a stamp" true (Timestamp.is_stamp t);
+  Alcotest.(check bool) "dirty sentinel is not a stamp" false
+    (Timestamp.is_stamp Timestamp.locally_dirty);
+  Alcotest.(check bool) "initial exceeds never_seen" true
+    (Timestamp.initial > Timestamp.never_seen);
+  Alcotest.check_raises "time >= 1" (Invalid_argument "Timestamp.make: time must be >= 1")
+    (fun () -> ignore (Timestamp.make ~time:0 ~proc:0 ~nprocs))
+
+let timestamp_total_order =
+  QCheck.Test.make ~name:"stamps from distinct (time, proc) pairs are distinct" ~count:300
+    QCheck.(pair (pair (int_range 1 1000) (int_bound 7)) (pair (int_range 1 1000) (int_bound 7)))
+    (fun ((t1, p1), (t2, p2)) ->
+      let a = Timestamp.make ~time:t1 ~proc:p1 ~nprocs:8 in
+      let b = Timestamp.make ~time:t2 ~proc:p2 ~nprocs:8 in
+      if (t1, p1) = (t2, p2) then a = b
+      else a <> b && (t1 >= t2 || a < b) (* later lamport time => larger stamp *))
+
+(* --- Dirtybits -------------------------------------------------------------- *)
+
+let make_region () =
+  Region.create ~index:1 ~kind:Region.Shared ~line_size:8 ~region_size:4096 ~nprocs:1
+
+let base_scan db ~region ~ranges ~stamp ~select =
+  let emitted = ref [] in
+  let counts =
+    Dirtybits.scan db
+      ~region_of:(fun _ -> region)
+      ~ranges ~stamp ~select
+      ~emit:(fun ~addr ~len:_ ~ts ~fresh -> emitted := (addr, ts, fresh) :: !emitted)
+  in
+  (counts, List.rev !emitted)
+
+let test_dirtybits_plain_first_transfer () =
+  let region = make_region () in
+  let db = Dirtybits.create ~mode:Config.Plain ~group:16 in
+  let base = Region.base region in
+  (* Never-written lines carry the initial timestamp: a requester that has
+     seen nothing receives all bound data. *)
+  let counts, emitted =
+    base_scan db ~region ~ranges:[ Range.v base 32 ] ~stamp:100
+      ~select:(Dirtybits.Transfer Timestamp.never_seen)
+  in
+  Alcotest.(check int) "4 lines scanned clean" 4 counts.Dirtybits.clean_reads;
+  Alcotest.(check int) "all emitted" 4 (List.length emitted);
+  List.iter (fun (_, ts, fresh) ->
+      Alcotest.(check int) "initial ts" Timestamp.initial ts;
+      Alcotest.(check bool) "not fresh" false fresh)
+    emitted
+
+let test_dirtybits_stamping_and_filter () =
+  let region = make_region () in
+  let db = Dirtybits.create ~mode:Config.Plain ~group:16 in
+  let base = Region.base region in
+  Dirtybits.note_write db ~region ~addr:(base + 8) ~len:8;
+  Alcotest.(check int) "sentinel written" Timestamp.locally_dirty
+    (Dirtybits.line_ts db ~region ~addr:(base + 8));
+  let counts, emitted =
+    base_scan db ~region ~ranges:[ Range.v base 32 ] ~stamp:50 ~select:(Dirtybits.Transfer 10)
+  in
+  Alcotest.(check int) "one dirty read" 1 counts.Dirtybits.dirty_reads;
+  Alcotest.(check int) "three clean reads" 3 counts.Dirtybits.clean_reads;
+  (* initial ts (1) <= 10 filtered out; only the stamped line ships *)
+  Alcotest.(check (list (triple int int bool))) "stamped line emitted"
+    [ (base + 8, 50, true) ]
+    emitted;
+  Alcotest.(check int) "sentinel replaced by stamp" 50
+    (Dirtybits.line_ts db ~region ~addr:(base + 8));
+  (* a requester that has seen ts 50 gets nothing *)
+  let _, emitted2 =
+    base_scan db ~region ~ranges:[ Range.v base 32 ] ~stamp:60 ~select:(Dirtybits.Transfer 50)
+  in
+  Alcotest.(check int) "minimal update: nothing new" 0 (List.length emitted2)
+
+let test_dirtybits_fresh_only () =
+  let region = make_region () in
+  let db = Dirtybits.create ~mode:Config.Plain ~group:16 in
+  let base = Region.base region in
+  Dirtybits.set_ts db ~region ~addr:base ~ts:40;
+  Dirtybits.note_write db ~region ~addr:(base + 16) ~len:8;
+  let _, emitted =
+    base_scan db ~region ~ranges:[ Range.v base 32 ] ~stamp:99 ~select:Dirtybits.Fresh_only
+  in
+  Alcotest.(check (list (triple int int bool))) "only locally dirty lines"
+    [ (base + 16, 99, true) ]
+    emitted
+
+let test_dirtybits_area_write () =
+  let region = make_region () in
+  let db = Dirtybits.create ~mode:Config.Plain ~group:16 in
+  let base = Region.base region in
+  Dirtybits.note_write db ~region ~addr:(base + 4) ~len:16 (* straddles lines 0,1,2 *);
+  let _, emitted =
+    base_scan db ~region ~ranges:[ Range.v base 64 ] ~stamp:7
+      ~select:Dirtybits.Fresh_only
+  in
+  Alcotest.(check int) "three lines dirtied" 3 (List.length emitted)
+
+let test_two_level_skips () =
+  let region = make_region () in
+  let db = Dirtybits.create ~mode:Config.Two_level ~group:4 in
+  let base = Region.base region in
+  (* 64 bytes = 8 lines = 2 groups of 4; dirty one line in group 1 *)
+  Dirtybits.note_write db ~region ~addr:(base + 40) ~len:8;
+  let counts, emitted =
+    base_scan db ~region ~ranges:[ Range.v base 64 ] ~stamp:9 ~select:Dirtybits.Fresh_only
+  in
+  Alcotest.(check int) "two first-level checks" 2 counts.Dirtybits.group_checks;
+  Alcotest.(check int) "group 0 skipped" 1 counts.Dirtybits.groups_skipped;
+  Alcotest.(check int) "only group 1 lines read" 4
+    (counts.Dirtybits.clean_reads + counts.Dirtybits.dirty_reads);
+  Alcotest.(check int) "dirty line found" 1 (List.length emitted);
+  (* after the scan the group is stamped: a second scan skips both groups *)
+  let counts2, _ =
+    base_scan db ~region ~ranges:[ Range.v base 64 ] ~stamp:10 ~select:Dirtybits.Fresh_only
+  in
+  Alcotest.(check int) "both groups skipped now" 2 counts2.Dirtybits.groups_skipped
+
+let two_level_equals_plain =
+  (* The two-level organization must emit exactly what plain mode emits
+     for any write pattern and any cursor. *)
+  QCheck.Test.make ~name:"two-level scan emits the same lines as plain" ~count:200
+    QCheck.(pair (list (pair (int_bound 63) (int_range 1 16))) (int_bound 3))
+    (fun (writes, round_count) ->
+      let region = make_region () in
+      let plain = Dirtybits.create ~mode:Config.Plain ~group:4 in
+      let two = Dirtybits.create ~mode:Config.Two_level ~group:4 in
+      let base = Region.base region in
+      let result db =
+        let out = ref [] in
+        for round = 0 to round_count do
+          List.iter
+            (fun (off, len) ->
+              Dirtybits.note_write db ~region ~addr:(base + (off * 8)) ~len)
+            writes;
+          let _, emitted =
+            base_scan db ~region
+              ~ranges:[ Range.v base 512 ]
+              ~stamp:(100 + round)
+              ~select:(Dirtybits.Transfer (90 + round))
+          in
+          out := emitted :: !out
+        done;
+        !out
+      in
+      result plain = result two)
+
+let test_update_queue_mode () =
+  let region = make_region () in
+  let db = Dirtybits.create ~mode:Config.Update_queue ~group:4 in
+  let base = Region.base region in
+  Dirtybits.note_write db ~region ~addr:base ~len:8;
+  Dirtybits.note_write db ~region ~addr:(base + 8) ~len:8;
+  (* sequential writes coalesce into one queue entry *)
+  Alcotest.(check int) "coalesced" 1 (Dirtybits.queue_length db);
+  Dirtybits.note_write db ~region ~addr:(base + 100) ~len:8;
+  Alcotest.(check int) "non-adjacent appends" 2 (Dirtybits.queue_length db);
+  let counts, emitted =
+    base_scan db ~region ~ranges:[ Range.v base 16 ] ~stamp:30 ~select:(Dirtybits.Transfer 0)
+  in
+  Alcotest.(check int) "queue entries consumed" 1 counts.Dirtybits.queue_entries;
+  Alcotest.(check int) "two lines emitted" 2 (List.length emitted);
+  Alcotest.(check int) "out-of-range entry still queued" 1 (Dirtybits.queue_length db);
+  (* consumed entries do not reappear *)
+  let _, emitted2 =
+    base_scan db ~region ~ranges:[ Range.v base 16 ] ~stamp:31 ~select:(Dirtybits.Transfer 0)
+  in
+  Alcotest.(check int) "drained" 0 (List.length emitted2)
+
+let test_update_queue_coalescing_boundaries () =
+  let region = make_region () in
+  let db = Dirtybits.create ~mode:Config.Update_queue ~group:4 in
+  let base = Region.base region in
+  (* overlapping extends *)
+  Dirtybits.note_write db ~region ~addr:base ~len:16;
+  Dirtybits.note_write db ~region ~addr:(base + 8) ~len:16;
+  Alcotest.(check int) "overlap coalesces" 1 (Dirtybits.queue_length db);
+  (* exactly adjacent extends *)
+  Dirtybits.note_write db ~region ~addr:(base + 24) ~len:8;
+  Alcotest.(check int) "adjacency coalesces" 1 (Dirtybits.queue_length db);
+  (* a gap appends *)
+  Dirtybits.note_write db ~region ~addr:(base + 64) ~len:8;
+  Alcotest.(check int) "gap appends" 2 (Dirtybits.queue_length db)
+
+let test_update_queue_partial_consumption () =
+  (* a queued entry straddling the scanned range splits: the inside part
+     is consumed, the outside part survives *)
+  let region = make_region () in
+  let db = Dirtybits.create ~mode:Config.Update_queue ~group:4 in
+  let base = Region.base region in
+  Dirtybits.note_write db ~region ~addr:base ~len:32;
+  let _, emitted =
+    base_scan db ~region ~ranges:[ Range.v base 16 ] ~stamp:9 ~select:(Dirtybits.Transfer 0)
+  in
+  Alcotest.(check int) "two lines from the inside part" 2 (List.length emitted);
+  Alcotest.(check int) "outside part survives" 1 (Dirtybits.queue_length db);
+  let _, emitted2 =
+    base_scan db ~region ~ranges:[ Range.v (base + 16) 16 ] ~stamp:10
+      ~select:(Dirtybits.Transfer 0)
+  in
+  Alcotest.(check int) "outside part eventually consumed" 2 (List.length emitted2);
+  Alcotest.(check int) "queue drained" 0 (Dirtybits.queue_length db)
+
+(* --- Vm_state ----------------------------------------------------------- *)
+
+let vm_env () =
+  let space = Space.create ~region_size:65536 ~nprocs:2 () in
+  let addr = Space.alloc space ~kind:Region.Shared ~line_size:8 4096 in
+  let vm = Vm_state.create ~page_size:4096 in
+  let counters = Counters.create () in
+  (space, addr, vm, counters, Cost_model.default)
+
+let test_vm_fault_once () =
+  let space, addr, vm, counters, cost = vm_env () in
+  let ns1 = Vm_state.on_write vm ~space ~proc:0 ~counters ~cost ~addr in
+  Alcotest.(check int) "first write pays the fault" cost.Cost_model.page_fault_ns ns1;
+  Alcotest.(check int) "counted" 1 counters.Counters.write_faults;
+  let ns2 = Vm_state.on_write vm ~space ~proc:0 ~counters ~cost ~addr:(addr + 8) in
+  Alcotest.(check int) "subsequent writes free" 0 ns2;
+  Alcotest.(check int) "still one fault" 1 counters.Counters.write_faults
+
+let test_vm_collect_ships_only_modified () =
+  let space, addr, vm, counters, cost = vm_env () in
+  ignore (Vm_state.on_write vm ~space ~proc:0 ~counters ~cost ~addr);
+  (* values with every byte nonzero, so both 4-byte words of each
+     doubleword show up in the diff *)
+  Space.set_int space ~proc:0 addr 0x0102030405060708;
+  Space.set_int space ~proc:0 (addr + 16) 0x1112131415161718;
+  let pieces, _ = Vm_state.collect vm ~space ~proc:0 ~counters ~cost ~ranges:[ Range.v addr 4096 ] in
+  Alcotest.(check int) "two modified doublewords shipped" 16 (Payload.pieces_bytes pieces);
+  Alcotest.(check int) "one page diffed" 1 counters.Counters.pages_diffed;
+  Alcotest.(check int) "page reprotected" 1 counters.Counters.pages_write_protected;
+  (* collection cleaned the page: another write faults again *)
+  let ns = Vm_state.on_write vm ~space ~proc:0 ~counters ~cost ~addr in
+  Alcotest.(check bool) "refaults" true (ns > 0)
+
+let test_vm_pending_reuse () =
+  (* Modifications outside the transferred lock's ranges are saved and
+     shipped by the next transfer that covers them (the paper's saved
+     diff reuse). *)
+  let space, addr, vm, counters, cost = vm_env () in
+  ignore (Vm_state.on_write vm ~space ~proc:0 ~counters ~cost ~addr);
+  Space.set_int space ~proc:0 addr 0x0101010101010101;
+  Space.set_int space ~proc:0 (addr + 512) 0x0202020202020202;
+  let pieces1, _ =
+    Vm_state.collect vm ~space ~proc:0 ~counters ~cost ~ranges:[ Range.v addr 256 ]
+  in
+  Alcotest.(check int) "only the bound word ships" 8 (Payload.pieces_bytes pieces1);
+  Alcotest.(check int) "other modification saved" 1 (Vm_state.pending_pages vm);
+  Alcotest.(check int) "one diff so far" 1 counters.Counters.pages_diffed;
+  let pieces2, _ =
+    Vm_state.collect vm ~space ~proc:0 ~counters ~cost
+      ~ranges:[ Range.v (addr + 256) 1024 ]
+  in
+  Alcotest.(check int) "saved diff shipped without re-diffing" 8
+    (Payload.pieces_bytes pieces2);
+  Alcotest.(check int) "no second diff" 1 counters.Counters.pages_diffed;
+  Alcotest.(check int) "pending drained" 0 (Vm_state.pending_pages vm);
+  match pieces2 with
+  | [ p ] ->
+      Alcotest.(check int) "right address" (addr + 512) p.Payload.addr;
+      Alcotest.(check int64) "right data" 0x0202020202020202L (Bytes.get_int64_le p.Payload.data 0)
+  | _ -> Alcotest.fail "expected one piece"
+
+let test_vm_stale_pending_superseded () =
+  (* Regression for the cholesky corruption: a word is modified, stashed
+     as a saved diff by another lock's transfer, modified again and
+     re-diffed.  The fresh value must win at the requester. *)
+  let space, addr, vm, counters, cost = vm_env () in
+  ignore (Vm_state.on_write vm ~space ~proc:0 ~counters ~cost ~addr);
+  Space.set_f64 space ~proc:0 (addr + 512) 17.0;
+  (* a transfer of a lock NOT covering addr+512 stashes it *)
+  ignore (Vm_state.collect vm ~space ~proc:0 ~counters ~cost ~ranges:[ Range.v addr 8 ]);
+  Alcotest.(check int) "stashed" 1 (Vm_state.pending_pages vm);
+  (* modify the word again (refaults, new twin) *)
+  ignore (Vm_state.on_write vm ~space ~proc:0 ~counters ~cost ~addr:(addr + 512));
+  Space.set_f64 space ~proc:0 (addr + 512) 16.858259379338133;
+  let pieces, _ =
+    Vm_state.collect vm ~space ~proc:0 ~counters ~cost ~ranges:[ Range.v (addr + 512) 8 ]
+  in
+  (* apply to proc 1 in payload order: the fresh value must be final *)
+  Payload.write_pieces space ~proc:1 pieces;
+  Alcotest.(check (float 0.0)) "fresh value wins" 16.858259379338133
+    (Space.get_f64 space ~proc:1 (addr + 512))
+
+let test_vm_discard_pending () =
+  let space, addr, vm, counters, cost = vm_env () in
+  ignore (Vm_state.on_write vm ~space ~proc:0 ~counters ~cost ~addr);
+  Space.set_int space ~proc:0 (addr + 512) 0x0303030303030303;
+  ignore (Vm_state.collect vm ~space ~proc:0 ~counters ~cost ~ranges:[ Range.v addr 8 ]);
+  Alcotest.(check int) "stashed" 1 (Vm_state.pending_pages vm);
+  (* a full transfer of [addr+512, +8) supersedes the stash *)
+  Vm_state.discard_pending vm ~ranges:[ Range.v (addr + 512) 8 ];
+  Alcotest.(check int) "dropped" 0 (Vm_state.pending_pages vm);
+  let pieces, _ =
+    Vm_state.collect vm ~space ~proc:0 ~counters ~cost ~ranges:[ Range.v (addr + 512) 8 ]
+  in
+  Alcotest.(check int) "nothing re-shipped" 0 (Payload.pieces_bytes pieces)
+
+let test_vm_apply_patches_twin () =
+  let space, addr, vm, counters, cost = vm_env () in
+  (* proc 0 dirties the page, then receives an update for another word *)
+  ignore (Vm_state.on_write vm ~space ~proc:0 ~counters ~cost ~addr);
+  Space.set_int space ~proc:0 addr 0x0505050505050505;
+  let data = Bytes.create 8 in
+  Bytes.set_int64_le data 0 (Int64.bits_of_float 99.0);
+  let cost_ns =
+    Vm_state.apply_pieces vm ~space ~proc:0 ~counters ~cost
+      [ { Payload.addr = addr + 64; data } ]
+  in
+  Alcotest.(check bool) "apply charged" true (cost_ns > 0);
+  Alcotest.(check int) "twin patched" 8 counters.Counters.twin_update_bytes;
+  (* the incoming update must NOT be collected as a local modification *)
+  let pieces, _ = Vm_state.collect vm ~space ~proc:0 ~counters ~cost ~ranges:[ Range.v addr 4096 ] in
+  Alcotest.(check int) "only the local write ships" 8 (Payload.pieces_bytes pieces);
+  match pieces with
+  | [ p ] -> Alcotest.(check int) "local write's address" addr p.Payload.addr
+  | _ -> Alcotest.fail "expected exactly the locally modified word"
+
+(* --- Payload -------------------------------------------------------------- *)
+
+let test_payload_sizes () =
+  let line = { Payload.addr = 0; len = 64; ts = 5; data = Bytes.make 64 ' ' } in
+  Alcotest.(check int) "rt bytes" 128 (Payload.app_bytes (Payload.Rt_lines [ line; line ]));
+  Alcotest.(check int) "rt descriptors" 2 (Payload.descriptors (Payload.Rt_lines [ line; line ]));
+  let piece = { Payload.addr = 0; data = Bytes.make 10 ' ' } in
+  let update = { Payload.incarnation = 1; producer = 0; pieces = [ piece; piece ] } in
+  Alcotest.(check int) "vm bytes" 20 (Payload.app_bytes (Payload.Vm_updates [ update ]));
+  Alcotest.(check int) "empty" 0 (Payload.app_bytes Payload.Empty)
+
+let test_payload_read_write_pieces () =
+  let space = Space.create ~nprocs:2 () in
+  let a = Space.alloc space ~kind:Region.Shared 64 in
+  Space.set_int space ~proc:0 a 7;
+  Space.set_int space ~proc:0 (a + 32) 9;
+  let pieces = Payload.read_pieces space ~proc:0 [ Range.v a 8; Range.v (a + 32) 8 ] in
+  Payload.write_pieces space ~proc:1 pieces;
+  Alcotest.(check int) "first" 7 (Space.get_int space ~proc:1 a);
+  Alcotest.(check int) "second" 9 (Space.get_int space ~proc:1 (a + 32))
+
+(* --- Sync ------------------------------------------------------------------ *)
+
+let test_lock_queue_order () =
+  let l = Sync.make_lock ~lid:0 ~nprocs:4 ~owner:0 ~ranges:[ Range.v 0 8 ] in
+  Sync.enqueue_request l ~proc:2 ~arrival:50 ~mode:Sync.Exclusive ~waker:(fun ~at:_ -> ());
+  Sync.enqueue_request l ~proc:1 ~arrival:30 ~mode:Sync.Shared ~waker:(fun ~at:_ -> ());
+  Sync.enqueue_request l ~proc:3 ~arrival:50 ~mode:Sync.Exclusive ~waker:(fun ~at:_ -> ());
+  Alcotest.(check (list (pair int int))) "arrival order, processor tie-break"
+    [ (1, 30); (2, 50); (3, 50) ]
+    (List.map (fun (p, a, _, _) -> (p, a)) l.Sync.pending)
+
+let test_rebind_resets_history () =
+  let l = Sync.make_lock ~lid:0 ~nprocs:2 ~owner:0 ~ranges:[ Range.v 0 8 ] in
+  l.Sync.rt_last_seen.(1) <- 77;
+  l.Sync.incarnation <- 5;
+  l.Sync.vm_log <- [ (4, Sync.Pieces []) ];
+  Sync.rebind_lock l ~nprocs:2 ~ranges:[ Range.v 100 16 ];
+  Alcotest.(check int) "cursor reset" Timestamp.never_seen l.Sync.rt_last_seen.(1);
+  Alcotest.(check int) "incarnation bumped" 6 l.Sync.incarnation;
+  Alcotest.(check bool) "full marker recorded" true
+    (match l.Sync.vm_log with [ (5, Sync.Full_marker) ] -> true | _ -> false);
+  Alcotest.(check int) "new binding" 16 (Sync.lock_bound_bytes l)
+
+let test_barrier_validation () =
+  Alcotest.check_raises "participants" (Invalid_argument "Sync.make_barrier: participants out of range")
+    (fun () -> ignore (Sync.make_barrier ~bid:0 ~nprocs:2 ~participants:3 ~manager:0 ~ranges:[]));
+  Alcotest.check_raises "manager" (Invalid_argument "Sync.make_barrier: manager out of range")
+    (fun () -> ignore (Sync.make_barrier ~bid:0 ~nprocs:2 ~participants:2 ~manager:5 ~ranges:[]))
+
+(* --- Trace -------------------------------------------------------------------- *)
+
+let test_trace_ring () =
+  let tr = Midway.Trace.create ~capacity:3 in
+  Alcotest.(check int) "empty" 0 (Midway.Trace.length tr);
+  for i = 1 to 5 do
+    Midway.Trace.record tr (Midway.Trace.Lock_local { t = i; lock = 0; proc = 0 })
+  done;
+  Alcotest.(check int) "capped" 3 (Midway.Trace.length tr);
+  Alcotest.(check int) "counts drops" 5 (Midway.Trace.total tr);
+  Alcotest.(check (list int)) "oldest first, oldest dropped" [ 3; 4; 5 ]
+    (List.map Midway.Trace.event_time (Midway.Trace.events tr))
+
+let test_trace_disabled () =
+  let tr = Midway.Trace.create ~capacity:0 in
+  Midway.Trace.record tr (Midway.Trace.Lock_local { t = 1; lock = 0; proc = 0 });
+  Alcotest.(check int) "nothing retained" 0 (Midway.Trace.length tr);
+  Alcotest.(check int) "nothing counted" 0 (Midway.Trace.total tr)
+
+let test_trace_render () =
+  let tr = Midway.Trace.create ~capacity:8 in
+  Midway.Trace.record tr
+    (Midway.Trace.Lock_granted
+       { t = 1_000; lock = 2; from_ = 0; to_ = 1; shared = false; payload_bytes = 64 });
+  Midway.Trace.record tr
+    (Midway.Trace.Barrier_completed { t = 2_000; barrier = 5; episode = 3 });
+  let s = Midway.Trace.dump tr in
+  let contains needle =
+    let n = String.length needle and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "grant rendered" true (contains "p0 -> p1");
+  Alcotest.(check bool) "barrier rendered" true (contains "episode 3")
+
+(* --- Config ------------------------------------------------------------------ *)
+
+let test_config () =
+  List.iter
+    (fun (s, b) ->
+      Alcotest.(check bool) ("parse " ^ s) true (Config.backend_of_string s = Ok b))
+    [ ("rt", Config.Rt); ("vm", Config.Vm); ("blast", Config.Blast);
+      ("standalone", Config.Standalone); ("uni", Config.Standalone) ];
+  Alcotest.(check bool) "reject junk" true
+    (match Config.backend_of_string "nope" with Error _ -> true | Ok _ -> false);
+  let cfg = Config.make Config.Rt ~nprocs:8 in
+  Alcotest.(check int) "nprocs" 8 cfg.Config.nprocs;
+  Alcotest.(check string) "name round trip" "rt" (Config.backend_name cfg.Config.backend);
+  Alcotest.check_raises "nprocs positive" (Invalid_argument "Config.make: nprocs must be positive")
+    (fun () -> ignore (Config.make Config.Rt ~nprocs:0))
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "range",
+        [
+          Alcotest.test_case "basics" `Quick test_range_basics;
+          Alcotest.test_case "normalize merges" `Quick test_normalize_merges;
+          Alcotest.test_case "contains" `Quick test_contains;
+          Alcotest.test_case "iter_lines widens" `Quick test_iter_lines_widens;
+          qtest normalize_preserves_coverage;
+          qtest normalize_disjoint_sorted;
+          qtest subtract_complements_clip;
+          qtest iter_lines_covers;
+        ] );
+      ( "timestamp",
+        [
+          Alcotest.test_case "encoding" `Quick test_timestamp_encoding;
+          qtest timestamp_total_order;
+        ] );
+      ( "dirtybits",
+        [
+          Alcotest.test_case "first transfer ships all" `Quick test_dirtybits_plain_first_transfer;
+          Alcotest.test_case "stamping and cursor filter" `Quick test_dirtybits_stamping_and_filter;
+          Alcotest.test_case "fresh-only selection" `Quick test_dirtybits_fresh_only;
+          Alcotest.test_case "area writes dirty every line" `Quick test_dirtybits_area_write;
+          Alcotest.test_case "two-level skipping" `Quick test_two_level_skips;
+          Alcotest.test_case "update-queue mode" `Quick test_update_queue_mode;
+          Alcotest.test_case "update-queue coalescing" `Quick
+            test_update_queue_coalescing_boundaries;
+          Alcotest.test_case "update-queue partial consumption" `Quick
+            test_update_queue_partial_consumption;
+          qtest two_level_equals_plain;
+        ] );
+      ( "vm_state",
+        [
+          Alcotest.test_case "fault once per page" `Quick test_vm_fault_once;
+          Alcotest.test_case "collect ships only modified" `Quick test_vm_collect_ships_only_modified;
+          Alcotest.test_case "saved diff reuse" `Quick test_vm_pending_reuse;
+          Alcotest.test_case "stale pending superseded" `Quick test_vm_stale_pending_superseded;
+          Alcotest.test_case "discard pending" `Quick test_vm_discard_pending;
+          Alcotest.test_case "apply patches twin" `Quick test_vm_apply_patches_twin;
+        ] );
+      ( "payload",
+        [
+          Alcotest.test_case "sizes" `Quick test_payload_sizes;
+          Alcotest.test_case "read/write pieces" `Quick test_payload_read_write_pieces;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "queue order" `Quick test_lock_queue_order;
+          Alcotest.test_case "rebind resets history" `Quick test_rebind_resets_history;
+          Alcotest.test_case "barrier validation" `Quick test_barrier_validation;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring semantics" `Quick test_trace_ring;
+          Alcotest.test_case "disabled" `Quick test_trace_disabled;
+          Alcotest.test_case "rendering" `Quick test_trace_render;
+        ] );
+      ("config", [ Alcotest.test_case "parsing and construction" `Quick test_config ]);
+    ]

@@ -1,0 +1,191 @@
+(* Tests for the simulated shared address space: regions, the allocator,
+   typed access and per-processor isolation. *)
+
+module Region = Midway_memory.Region
+module Space = Midway_memory.Space
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Region ------------------------------------------------------------ *)
+
+let test_region_create_validation () =
+  Alcotest.check_raises "line size power of two"
+    (Invalid_argument "Region.create: line_size must be a positive power of two") (fun () ->
+      ignore (Region.create ~index:1 ~kind:Region.Shared ~line_size:48 ~region_size:4096 ~nprocs:2));
+  Alcotest.check_raises "line fits region"
+    (Invalid_argument "Region.create: line_size exceeds region_size") (fun () ->
+      ignore (Region.create ~index:1 ~kind:Region.Shared ~line_size:8192 ~region_size:4096 ~nprocs:2))
+
+let test_region_geometry () =
+  let r = Region.create ~index:3 ~kind:Region.Shared ~line_size:64 ~region_size:4096 ~nprocs:2 in
+  Alcotest.(check int) "base" (3 * 4096) (Region.base r);
+  Alcotest.(check int) "limit" (4 * 4096) (Region.limit r);
+  Alcotest.(check int) "lines" 64 (Region.lines r);
+  Alcotest.(check int) "line of offset" 1 (Region.line_of_offset r 65)
+
+let test_region_lazy_backing () =
+  let r = Region.create ~index:1 ~kind:Region.Shared ~line_size:8 ~region_size:1024 ~nprocs:3 in
+  Alcotest.(check bool) "untouched" false (Region.touched r ~proc:0);
+  let b = Region.backing_for r ~proc:0 in
+  Alcotest.(check int) "zero filled, right size" 1024 (Bytes.length b);
+  Alcotest.(check bool) "now touched" true (Region.touched r ~proc:0);
+  Alcotest.(check bool) "other processors untouched" false (Region.touched r ~proc:1);
+  Bytes.set b 0 'x';
+  Alcotest.(check char) "same buffer returned" 'x' (Bytes.get (Region.backing_for r ~proc:0) 0)
+
+(* --- Space allocator --------------------------------------------------- *)
+
+let test_alloc_basics () =
+  let s = Space.create ~region_size:65536 ~nprocs:2 () in
+  let a = Space.alloc s ~kind:Region.Shared ~line_size:64 100 in
+  Alcotest.(check bool) "address 0 never allocated" true (a > 0);
+  Alcotest.(check int) "line aligned" 0 (a mod 64);
+  let r = Space.region_of_addr s a in
+  Alcotest.(check int) "region line size" 64 r.Region.line_size;
+  Alcotest.check_raises "oversized" (Invalid_argument "Space.alloc: size exceeds region size")
+    (fun () -> ignore (Space.alloc s ~kind:Region.Shared (65536 + 1)));
+  Alcotest.check_raises "non-positive" (Invalid_argument "Space.alloc: size must be positive")
+    (fun () -> ignore (Space.alloc s ~kind:Region.Shared 0))
+
+let test_alloc_kind_separation () =
+  let s = Space.create ~nprocs:2 () in
+  let shared = Space.alloc s ~kind:Region.Shared 64 in
+  let priv = Space.alloc s ~kind:Region.Private 64 in
+  Alcotest.(check bool) "different regions" true
+    ((Space.region_of_addr s shared).Region.index <> (Space.region_of_addr s priv).Region.index);
+  Alcotest.(check bool) "kinds recorded" true
+    ((Space.region_of_addr s shared).Region.kind = Region.Shared
+    && (Space.region_of_addr s priv).Region.kind = Region.Private)
+
+let test_unmapped () =
+  let s = Space.create ~nprocs:1 () in
+  Alcotest.(check bool) "address zero unmapped" true (Space.find_region s 0 = None);
+  (try
+     ignore (Space.get_u8 s ~proc:0 0);
+     Alcotest.fail "expected Unmapped"
+   with Space.Unmapped 0 -> ());
+  let a = Space.alloc s ~kind:Region.Shared 16 in
+  (* one past the region end is unmapped *)
+  let r = Space.region_of_addr s a in
+  try
+    ignore (Space.validate_range s a (Region.limit r - a + 1));
+    Alcotest.fail "expected Unmapped for range crossing the region"
+  with Space.Unmapped _ -> ()
+
+let alloc_no_overlap =
+  QCheck.Test.make ~name:"allocations never overlap" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range 1 5000))
+    (fun sizes ->
+      let s = Space.create ~region_size:(1 lsl 20) ~nprocs:1 () in
+      let allocs =
+        List.mapi
+          (fun i size ->
+            let line = [| 8; 16; 64; 256 |].(i mod 4) in
+            (Space.alloc s ~kind:Region.Shared ~line_size:line size, size))
+          sizes
+      in
+      let sorted = List.sort compare allocs in
+      let rec disjoint = function
+        | (a1, l1) :: ((a2, _) as b) :: rest -> a1 + l1 <= a2 && disjoint (b :: rest)
+        | _ -> true
+      in
+      disjoint sorted)
+
+(* --- typed access ------------------------------------------------------- *)
+
+let roundtrip_f64 =
+  QCheck.Test.make ~name:"f64 write/read round-trips" ~count:300 QCheck.float (fun v ->
+      let s = Space.create ~nprocs:2 () in
+      let a = Space.alloc s ~kind:Region.Shared 8 in
+      Space.set_f64 s ~proc:0 a v;
+      let got = Space.get_f64 s ~proc:0 a in
+      Int64.bits_of_float got = Int64.bits_of_float v)
+
+let roundtrip_int =
+  QCheck.Test.make ~name:"int write/read round-trips" ~count:300 QCheck.int (fun v ->
+      let s = Space.create ~nprocs:1 () in
+      let a = Space.alloc s ~kind:Region.Shared 8 in
+      Space.set_int s ~proc:0 a v;
+      Space.get_int s ~proc:0 a = v)
+
+let roundtrip_i32 =
+  QCheck.Test.make ~name:"i32 write/read round-trips" ~count:300 QCheck.int32 (fun v ->
+      let s = Space.create ~nprocs:1 () in
+      let a = Space.alloc s ~kind:Region.Shared 4 in
+      Space.set_i32 s ~proc:0 a v;
+      Space.get_i32 s ~proc:0 a = v)
+
+let test_u8 () =
+  let s = Space.create ~nprocs:1 () in
+  let a = Space.alloc s ~kind:Region.Shared 4 in
+  Space.set_u8 s ~proc:0 a 0x1FF;
+  Alcotest.(check int) "masked to a byte" 0xFF (Space.get_u8 s ~proc:0 a)
+
+let test_per_proc_isolation () =
+  let s = Space.create ~nprocs:3 () in
+  let a = Space.alloc s ~kind:Region.Shared 8 in
+  Space.set_int s ~proc:0 a 111;
+  Space.set_int s ~proc:1 a 222;
+  Alcotest.(check int) "p0 copy" 111 (Space.get_int s ~proc:0 a);
+  Alcotest.(check int) "p1 copy" 222 (Space.get_int s ~proc:1 a);
+  Alcotest.(check int) "p2 copy untouched" 0 (Space.get_int s ~proc:2 a)
+
+let test_bytes_and_copy_range () =
+  let s = Space.create ~nprocs:2 () in
+  let a = Space.alloc s ~kind:Region.Shared 32 in
+  let payload = Bytes.of_string "entry consistency protocol!!" in
+  Space.write_bytes s ~proc:0 a payload;
+  Alcotest.(check bytes) "read back" payload
+    (Space.read_bytes s ~proc:0 a ~len:(Bytes.length payload));
+  Alcotest.(check bool) "processors differ" false
+    (Space.ranges_equal s ~proc_a:0 ~proc_b:1 a ~len:(Bytes.length payload));
+  Space.copy_range s ~src_proc:0 ~dst_proc:1 a ~len:(Bytes.length payload);
+  Alcotest.(check bool) "copy made them equal" true
+    (Space.ranges_equal s ~proc_a:0 ~proc_b:1 a ~len:(Bytes.length payload))
+
+let test_regions_listed_in_order () =
+  let s = Space.create ~nprocs:1 () in
+  ignore (Space.alloc s ~kind:Region.Shared ~line_size:8 16);
+  ignore (Space.alloc s ~kind:Region.Shared ~line_size:64 16);
+  ignore (Space.alloc s ~kind:Region.Private ~line_size:8 16);
+  let idxs = List.map (fun r -> r.Region.index) (Space.regions s) in
+  Alcotest.(check (list int)) "creation order" [ 1; 2; 3 ] idxs
+
+let region_lookup_consistent =
+  QCheck.Test.make ~name:"every allocated byte maps back to its region" ~count:100
+    QCheck.(int_range 1 10_000)
+    (fun size ->
+      let s = Space.create ~nprocs:1 () in
+      let a = Space.alloc s ~kind:Region.Shared size in
+      let r = Space.region_of_addr s a in
+      let r' = Space.region_of_addr s (a + size - 1) in
+      r.Region.index = r'.Region.index)
+
+let () =
+  Alcotest.run "memory"
+    [
+      ( "region",
+        [
+          Alcotest.test_case "validation" `Quick test_region_create_validation;
+          Alcotest.test_case "geometry" `Quick test_region_geometry;
+          Alcotest.test_case "lazy backing" `Quick test_region_lazy_backing;
+        ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "basics" `Quick test_alloc_basics;
+          Alcotest.test_case "kind separation" `Quick test_alloc_kind_separation;
+          Alcotest.test_case "unmapped addresses" `Quick test_unmapped;
+          Alcotest.test_case "regions in order" `Quick test_regions_listed_in_order;
+          qtest alloc_no_overlap;
+          qtest region_lookup_consistent;
+        ] );
+      ( "access",
+        [
+          qtest roundtrip_f64;
+          qtest roundtrip_int;
+          qtest roundtrip_i32;
+          Alcotest.test_case "u8 masking" `Quick test_u8;
+          Alcotest.test_case "per-processor isolation" `Quick test_per_proc_isolation;
+          Alcotest.test_case "bytes and copy_range" `Quick test_bytes_and_copy_range;
+        ] );
+    ]

@@ -1,0 +1,243 @@
+(* Tests for the experiment layer: suite execution, table rendering and
+   the sweep/break-even computation behind Figures 3 and 4. *)
+
+module Suite = Midway_report.Suite
+module Sweep = Midway_report.Sweep
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* One tiny suite shared by all rendering tests (suites are expensive). *)
+let suite =
+  lazy (Suite.run ~apps:[ Suite.Sor; Suite.Quicksort ] ~nprocs:4 ~scale:0.05 ())
+
+let test_suite_runs () =
+  let s = Lazy.force suite in
+  Alcotest.(check int) "two entries" 2 (List.length s.Suite.entries);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "rt verified" true e.Suite.rt.Midway_apps.Outcome.ok;
+      Alcotest.(check bool) "vm verified" true e.Suite.vm.Midway_apps.Outcome.ok;
+      Alcotest.(check bool) "standalone verified" true e.Suite.standalone.Midway_apps.Outcome.ok)
+    s.Suite.entries;
+  Alcotest.(check bool) "entry lookup" true (Suite.entry s Suite.Sor == List.hd s.Suite.entries)
+
+let test_app_names_roundtrip () =
+  List.iter
+    (fun app ->
+      match Suite.app_of_string (Suite.app_name app) with
+      | Ok app' -> Alcotest.(check bool) "round trip" true (app = app')
+      | Error e -> Alcotest.fail e)
+    Suite.apps;
+  Alcotest.(check bool) "unknown rejected" true
+    (match Suite.app_of_string "frobnicate" with Error _ -> true | Ok _ -> false)
+
+let test_table1 () =
+  let s = Midway_report.Table1.render Midway_stats.Cost_model.default in
+  List.iter
+    (fun needle -> Alcotest.(check bool) ("mentions " ^ needle) true (contains s needle))
+    [ "dirtybit set"; "page write fault"; "0.360"; "1200"; "30,000" ]
+
+let render_mentions_apps render =
+  let s = Lazy.force suite in
+  let out = render s in
+  Alcotest.(check bool) "mentions sor" true (contains out "sor");
+  Alcotest.(check bool) "mentions quicksort" true (contains out "quicksort");
+  Alcotest.(check bool) "mentions paper" true (contains out "paper")
+
+let test_table2 () = render_mentions_apps Midway_report.Table2.render
+
+let test_table3 () =
+  render_mentions_apps Midway_report.Table3.render;
+  let s = Lazy.force suite in
+  let rt_ms, vm_ms = Midway_report.Table3.measured_ms s Suite.Sor in
+  Alcotest.(check bool) "positive costs" true (rt_ms > 0.0 && vm_ms > 0.0);
+  Alcotest.(check bool) "sor trapping favours RT (paper shape)" true (rt_ms < vm_ms)
+
+let test_table4 () =
+  render_mentions_apps Midway_report.Table4.render;
+  let s = Lazy.force suite in
+  let rt_ms, vm_ms = Midway_report.Table4.measured_ms s Suite.Quicksort in
+  Alcotest.(check bool) "collection costs positive" true (rt_ms > 0.0 && vm_ms > 0.0)
+
+let test_table4_quicksort_shape () =
+  (* The paper's one VM-favouring cell — quicksort write collection —
+     needs the paper's task size to show: the fixed per-page diff cost
+     dominates when leaves are small, so this runs at full scale. *)
+  let s = Suite.run ~apps:[ Suite.Quicksort ] ~nprocs:8 ~scale:1.0 () in
+  let rt_ms, vm_ms = Midway_report.Table4.measured_ms s Suite.Quicksort in
+  Alcotest.(check bool)
+    (Printf.sprintf "quicksort collection favours VM (rt=%.1f vm=%.1f)" rt_ms vm_ms)
+    true (vm_ms < rt_ms)
+
+let test_table5 () = render_mentions_apps Midway_report.Table5.render
+
+let test_fig2 () =
+  let s = Lazy.force suite in
+  let out = Midway_report.Fig2.render s in
+  Alcotest.(check bool) "has execution-time chart" true (contains out "Execution time");
+  Alcotest.(check bool) "has data chart" true (contains out "Total data transferred")
+
+let test_sweep_endpoints () =
+  let s = Lazy.force suite in
+  let lines = Sweep.trapping_lines s in
+  Alcotest.(check int) "one line per app" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      match (l.Sweep.points, List.rev l.Sweep.points) with
+      | lo :: _, hi :: _ ->
+          Alcotest.(check (float 0.5)) "sweep starts at 122 us" 122.0 lo.Sweep.fault_us;
+          Alcotest.(check (float 0.5)) "sweep ends at 1200 us" 1200.0 hi.Sweep.fault_us;
+          Alcotest.(check bool) "RT cost independent of fault time" true
+            (lo.Sweep.rt_ms = hi.Sweep.rt_ms);
+          Alcotest.(check bool) "VM cost grows with fault time" true
+            (lo.Sweep.vm_ms <= hi.Sweep.vm_ms)
+      | _ -> Alcotest.fail "empty sweep")
+    lines
+
+let test_break_even_math () =
+  let s = Lazy.force suite in
+  (* synthetic line: rt = 5 ms; vm = faults x fault cost with 10 faults =>
+     crossing at 500 us. *)
+  let points =
+    List.map
+      (fun fault_us -> { Sweep.fault_us; rt_ms = 5.0; vm_ms = 10.0 *. fault_us /. 1000.0 })
+      [ 122.0; 600.0; 1200.0 ]
+  in
+  let line = { Sweep.app = Suite.Sor; points } in
+  (match Sweep.break_even_us [ line ] with
+  | [ (_, Some us) ] -> Alcotest.(check (float 1.0)) "crossing at 500 us" 500.0 us
+  | _ -> Alcotest.fail "expected a crossing");
+  (* a line entirely above rt never crosses *)
+  let flat =
+    { Sweep.app = Suite.Sor;
+      points = List.map (fun p -> { p with Sweep.vm_ms = 100.0 }) points }
+  in
+  (match Sweep.break_even_us [ flat ] with
+  | [ (_, None) ] -> ()
+  | _ -> Alcotest.fail "expected no crossing");
+  ignore s
+
+let test_sweep_render () =
+  let s = Lazy.force suite in
+  let out = Sweep.render ~title:"Figure 3" s (Sweep.trapping_lines s) in
+  Alcotest.(check bool) "has plot" true (contains out "break-even");
+  Alcotest.(check bool) "has table" true (contains out "application")
+
+let test_csv () =
+  let s = Lazy.force suite in
+  let out = Midway_report.Csv.of_suite s in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + 3 rows per app" (1 + (3 * 2)) (List.length lines);
+  let cols s = List.length (String.split_on_char ',' s) in
+  let widths = List.map cols lines in
+  (match widths with
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "rectangular" w w') rest
+  | [] -> Alcotest.fail "empty csv");
+  Alcotest.(check bool) "header first" true (contains (List.hd lines) "app,system")
+
+let test_paper_data_consistency () =
+  (* guards against transcription typos: the published component rows
+     must sum to the published totals (Table 4), and Table 5 totals are
+     the sum of trapping and collection. *)
+  List.iter
+    (fun app ->
+      let p4 = Midway_report.Paper_data.table4 app in
+      let close a b = Float.abs (a -. b) <= 0.15 in
+      Alcotest.(check bool)
+        (Suite.app_name app ^ " rt table4 components sum")
+        true
+        (close
+           (p4.Midway_report.Paper_data.rt_clean_ms +. p4.Midway_report.Paper_data.rt_dirty_ms
+          +. p4.Midway_report.Paper_data.rt_updated_ms)
+           p4.Midway_report.Paper_data.rt_total_ms);
+      Alcotest.(check bool)
+        (Suite.app_name app ^ " vm table4 components sum")
+        true
+        (close
+           (p4.Midway_report.Paper_data.vm_diff_ms +. p4.Midway_report.Paper_data.vm_protect_ms
+          +. p4.Midway_report.Paper_data.vm_twin_ms)
+           p4.Midway_report.Paper_data.vm_total_ms);
+      (* Table 3 must follow from Table 2 counts x Table 1 costs *)
+      let p2 = Midway_report.Paper_data.table2 app in
+      let p3 = Midway_report.Paper_data.table3 app in
+      let rt_ms =
+        float_of_int
+          ((p2.Midway_report.Paper_data.rt_dirtybits_set * 360)
+          + (p2.Midway_report.Paper_data.rt_misclassified * 240))
+        /. 1.0e6
+      in
+      (* cholesky is inconsistent IN THE PAPER: Table 2 prints 1,284,004
+         dirtybits set (x 360 ns = 462.2 ms) while Table 3 prints
+         485.3 ms, which matches Table 5's 1,349k trapping references
+         instead — a published-table discrepancy, so allow it. *)
+      let tolerance = if app = Suite.Cholesky then 25.0 else 0.6 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s table3 rt from table2 (%.1f vs %.1f)" (Suite.app_name app) rt_ms
+           p3.Midway_report.Paper_data.rt_trap_ms)
+        true
+        (Float.abs (rt_ms -. p3.Midway_report.Paper_data.rt_trap_ms) <= tolerance);
+      let vm_ms = float_of_int (p2.Midway_report.Paper_data.vm_write_faults * 1_200_000) /. 1.0e6 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s table3 vm from table2 (%.1f vs %.1f)" (Suite.app_name app) vm_ms
+           p3.Midway_report.Paper_data.vm_trap_ms)
+        true
+        (Float.abs (vm_ms -. p3.Midway_report.Paper_data.vm_trap_ms) <= 0.6))
+    Suite.apps
+
+let test_markdown () =
+  let s = Lazy.force suite in
+  let out = Midway_report.Markdown.of_suite s in
+  Alcotest.(check bool) "has time table" true (contains out "## Execution time");
+  Alcotest.(check bool) "has data table" true (contains out "## Data transferred");
+  Alcotest.(check bool) "mentions the apps" true
+    (contains out "sor" && contains out "quicksort")
+
+let test_speedup_render () =
+  let out =
+    Midway_report.Speedup.render ~app:Suite.Sor ~scale:0.05 ~procs:[ 1; 2 ]
+  in
+  Alcotest.(check bool) "mentions app" true (contains out "sor");
+  Alcotest.(check bool) "has speedup column" true (contains out "speedup")
+
+let test_suite_rejects_failures () =
+  (* the suite refuses to report unverified runs; simulate by checking the
+     exception type is a Failure (we cannot easily force a failure without
+     breaking an app, so assert the check function exists via a passing
+     run). *)
+  let s = Lazy.force suite in
+  Alcotest.(check bool) "verified suite" true (List.for_all (fun e -> e.Suite.rt.Midway_apps.Outcome.ok) s.Suite.entries)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "runs and verifies" `Quick test_suite_runs;
+          Alcotest.test_case "app names" `Quick test_app_names_roundtrip;
+          Alcotest.test_case "rejects failures" `Quick test_suite_rejects_failures;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "table1" `Quick test_table1;
+          Alcotest.test_case "table2" `Quick test_table2;
+          Alcotest.test_case "table3" `Quick test_table3;
+          Alcotest.test_case "table4" `Quick test_table4;
+          Alcotest.test_case "table4 quicksort shape" `Slow test_table4_quicksort_shape;
+          Alcotest.test_case "table5" `Quick test_table5;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "fig2" `Quick test_fig2;
+          Alcotest.test_case "sweep endpoints" `Quick test_sweep_endpoints;
+          Alcotest.test_case "break-even math" `Quick test_break_even_math;
+          Alcotest.test_case "sweep render" `Quick test_sweep_render;
+          Alcotest.test_case "speedup render" `Quick test_speedup_render;
+          Alcotest.test_case "csv export" `Quick test_csv;
+          Alcotest.test_case "markdown export" `Quick test_markdown;
+          Alcotest.test_case "paper data self-consistency" `Quick
+            test_paper_data_consistency;
+        ] );
+    ]

@@ -1,0 +1,244 @@
+(* Tests for the discrete-event engine: clock accounting, min-clock
+   scheduling, block/wake, determinism and deadlock detection. *)
+
+module Engine = Midway_sched.Engine
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_charge_and_elapsed () =
+  let e = Engine.create ~nprocs:2 in
+  Engine.spawn e 0 (fun p -> Engine.charge p 100);
+  Engine.spawn e 1 (fun p -> Engine.charge p 250);
+  Engine.run e;
+  Alcotest.(check int) "p0 clock" 100 (Engine.clock_of e 0);
+  Alcotest.(check int) "p1 clock" 250 (Engine.clock_of e 1);
+  Alcotest.(check int) "elapsed is the max" 250 (Engine.elapsed e)
+
+let test_negative_charge () =
+  let e = Engine.create ~nprocs:1 in
+  Engine.spawn e 0 (fun p ->
+      Alcotest.check_raises "negative" (Invalid_argument "Engine.charge: negative charge")
+        (fun () -> Engine.charge p (-1)));
+  Engine.run e
+
+let test_min_clock_yield_order () =
+  (* Three processors record the order their post-yield sections run;
+     with distinct clocks the order must follow virtual time. *)
+  let e = Engine.create ~nprocs:3 in
+  let order = ref [] in
+  let body delay p =
+    Engine.charge p delay;
+    Engine.yield p;
+    order := Engine.proc_id p :: !order
+  in
+  Engine.spawn e 0 (body 300);
+  Engine.spawn e 1 (body 100);
+  Engine.spawn e 2 (body 200);
+  Engine.run e;
+  Alcotest.(check (list int)) "virtual-time order" [ 1; 2; 0 ] (List.rev !order)
+
+let test_block_and_wake () =
+  let e = Engine.create ~nprocs:2 in
+  let waker = ref None in
+  let woke_at = ref 0 in
+  Engine.spawn e 0 (fun p ->
+      Engine.block p ~setup:(fun ~wake -> waker := Some wake);
+      woke_at := Engine.clock p);
+  Engine.spawn e 1 (fun p ->
+      Engine.charge p 500;
+      Engine.yield p;
+      (Option.get !waker) ~at:700);
+  Engine.run e;
+  Alcotest.(check int) "blocked fiber resumed at wake time" 700 !woke_at;
+  Alcotest.(check int) "clock advanced to wake time" 700 (Engine.clock_of e 0)
+
+let test_wake_does_not_rewind () =
+  let e = Engine.create ~nprocs:2 in
+  let waker = ref None in
+  Engine.spawn e 0 (fun p ->
+      Engine.charge p 1_000;
+      Engine.block p ~setup:(fun ~wake -> waker := Some wake));
+  Engine.spawn e 1 (fun p ->
+      Engine.yield p;
+      (* wake time in the blocked fiber's past: clock must not go back *)
+      (Option.get !waker) ~at:10);
+  Engine.run e;
+  Alcotest.(check int) "clock not rewound" 1_000 (Engine.clock_of e 0)
+
+let test_double_wake_rejected () =
+  let e = Engine.create ~nprocs:2 in
+  let waker = ref None in
+  let failed = ref false in
+  Engine.spawn e 0 (fun p -> Engine.block p ~setup:(fun ~wake -> waker := Some wake));
+  Engine.spawn e 1 (fun p ->
+      Engine.yield p;
+      let w = Option.get !waker in
+      w ~at:5;
+      (try w ~at:6 with Invalid_argument _ -> failed := true));
+  Engine.run e;
+  Alcotest.(check bool) "second wake rejected" true !failed
+
+let test_deadlock_detection () =
+  let e = Engine.create ~nprocs:2 in
+  Engine.spawn e 0 (fun p -> Engine.block p ~setup:(fun ~wake:_ -> ()));
+  Engine.spawn e 1 (fun p -> Engine.charge p 42);
+  try
+    Engine.run e;
+    Alcotest.fail "expected Deadlock"
+  with Engine.Deadlock msg ->
+    Alcotest.(check bool) "names the stuck processor" true
+      (String.length msg > 0
+      &&
+      let has sub =
+        let n = String.length sub and h = String.length msg in
+        let rec go i = i + n <= h && (String.sub msg i n = sub || go (i + 1)) in
+        go 0
+      in
+      has "p0")
+
+let test_spawn_validation () =
+  let e = Engine.create ~nprocs:1 in
+  Engine.spawn e 0 (fun _ -> ());
+  Alcotest.check_raises "double spawn"
+    (Invalid_argument "Engine.spawn: processor already spawned") (fun () ->
+      Engine.spawn e 0 (fun _ -> ()));
+  Alcotest.check_raises "out of range" (Invalid_argument "Engine.spawn: processor out of range")
+    (fun () -> Engine.spawn e 1 (fun _ -> ()))
+
+let test_run_once () =
+  let e = Engine.create ~nprocs:1 in
+  Engine.spawn e 0 (fun _ -> ());
+  Engine.run e;
+  Alcotest.check_raises "second run" (Invalid_argument "Engine.run: engine already ran")
+    (fun () -> Engine.run e)
+
+let test_exception_propagates () =
+  let e = Engine.create ~nprocs:1 in
+  Engine.spawn e 0 (fun _ -> failwith "app bug");
+  Alcotest.check_raises "fiber exception escapes run" (Failure "app bug") (fun () ->
+      Engine.run e)
+
+let test_ping_pong () =
+  (* Two fibers hand a token back and forth with increasing wake times:
+     exercises repeated block/wake cycles on the same fibers. *)
+  let e = Engine.create ~nprocs:2 in
+  let wakers = [| None; None |] in
+  let hops = ref 0 in
+  let rec body p =
+    if !hops < 10 then begin
+      incr hops;
+      let me = Engine.proc_id p in
+      let other = 1 - me in
+      (match wakers.(other) with
+      | Some w ->
+          wakers.(other) <- None;
+          w ~at:(Engine.clock p + 10)
+      | None -> ());
+      Engine.block p ~setup:(fun ~wake -> wakers.(me) <- Some wake);
+      body p
+    end
+    else
+      match wakers.(1 - Engine.proc_id p) with
+      | Some w ->
+          wakers.(1 - Engine.proc_id p) <- None;
+          w ~at:(Engine.clock p)
+      | None -> ()
+  in
+  Engine.spawn e 0 (fun p ->
+      (* p0 kicks things off by waking p1 after its block is set up *)
+      Engine.charge p 1;
+      body p);
+  Engine.spawn e 1 (fun p ->
+      Engine.yield p;
+      body p);
+  (try Engine.run e with Engine.Deadlock _ -> ());
+  Alcotest.(check bool) "token moved" true (!hops >= 10)
+
+let engine_deterministic =
+  QCheck.Test.make ~name:"identical programs give identical schedules" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 8) (int_bound 1000))
+    (fun charges ->
+      let run_once () =
+        let n = List.length charges in
+        let e = Engine.create ~nprocs:n in
+        let trace = ref [] in
+        List.iteri
+          (fun i c ->
+            Engine.spawn e i (fun p ->
+                Engine.charge p c;
+                Engine.yield p;
+                trace := (i, Engine.clock p) :: !trace))
+          charges;
+        Engine.run e;
+        !trace
+      in
+      run_once () = run_once ())
+
+let random_wake_graph =
+  (* random dependency chains: each fiber (except 0) blocks until its
+     predecessor wakes it after a random charge; everything must finish
+     with nondecreasing clocks along the chain *)
+  QCheck.Test.make ~name:"random wake chains complete in causal order" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 7) (int_range 1 1_000))
+    (fun charges ->
+      let n = List.length charges + 1 in
+      let e = Engine.create ~nprocs:n in
+      let wakers = Array.make n None in
+      let finish = Array.make n 0 in
+      Engine.spawn e 0 (fun p ->
+          Engine.charge p 10;
+          Engine.yield p;
+          (match wakers.(1) with
+          | Some w -> w ~at:(Engine.clock p + 5)
+          | None -> ());
+          finish.(0) <- Engine.clock p);
+      List.iteri
+        (fun i charge ->
+          let id = i + 1 in
+          Engine.spawn e id (fun p ->
+              Engine.block p ~setup:(fun ~wake -> wakers.(id) <- Some wake);
+              Engine.charge p charge;
+              if id + 1 < n then begin
+                Engine.yield p;
+                match wakers.(id + 1) with
+                | Some w -> w ~at:(Engine.clock p + 5)
+                | None -> ()
+              end;
+              finish.(id) <- Engine.clock p))
+        charges;
+      (* fiber id+1 must be woken only after fiber id set up its waker;
+         spawn order guarantees that because fiber id blocks first *)
+      (try Engine.run e with Engine.Deadlock _ -> ());
+      let rec nondecreasing i =
+        i + 1 >= n || (finish.(i) <= finish.(i + 1) && nondecreasing (i + 1))
+      in
+      nondecreasing 0)
+
+let test_proc_accessor_bounds () =
+  let e = Engine.create ~nprocs:2 in
+  ignore (Engine.proc e 0);
+  ignore (Engine.proc e 1);
+  Alcotest.check_raises "out of range" (Invalid_argument "Engine.proc: index out of range")
+    (fun () -> ignore (Engine.proc e 2))
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "charge and elapsed" `Quick test_charge_and_elapsed;
+          Alcotest.test_case "negative charge" `Quick test_negative_charge;
+          Alcotest.test_case "min-clock yield order" `Quick test_min_clock_yield_order;
+          Alcotest.test_case "block and wake" `Quick test_block_and_wake;
+          Alcotest.test_case "wake never rewinds" `Quick test_wake_does_not_rewind;
+          Alcotest.test_case "double wake rejected" `Quick test_double_wake_rejected;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "spawn validation" `Quick test_spawn_validation;
+          Alcotest.test_case "run once" `Quick test_run_once;
+          Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+          Alcotest.test_case "ping pong" `Quick test_ping_pong;
+          qtest engine_deterministic;
+          qtest random_wake_graph;
+          Alcotest.test_case "proc accessor bounds" `Quick test_proc_accessor_bounds;
+        ] );
+    ]

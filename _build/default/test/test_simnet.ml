@@ -1,0 +1,94 @@
+(* Tests for the interconnect model: transfer-time arithmetic and
+   per-processor payload accounting. *)
+
+module Net = Midway_simnet.Net
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_transfer_time () =
+  let net = Net.create ~latency_ns:150_000 ~ns_per_byte:57 ~header_bytes:64 ~nprocs:2 () in
+  Alcotest.(check int) "empty message = latency + header"
+    (150_000 + (64 * 57))
+    (Net.transfer_ns net ~payload_bytes:0);
+  Alcotest.(check int) "1 KB payload"
+    (150_000 + ((64 + 1024) * 57))
+    (Net.transfer_ns net ~payload_bytes:1024)
+
+let test_send_accounting () =
+  let net = Net.create ~nprocs:3 () in
+  let t1 = Net.send net ~kind:Net.Lock_request ~src:0 ~dst:1 ~payload_bytes:100 ~at:5 in
+  Alcotest.(check bool) "delivery after send" true (t1 > 5);
+  ignore (Net.send net ~kind:Net.Lock_reply ~src:1 ~dst:0 ~payload_bytes:200 ~at:t1);
+  Alcotest.(check int) "p0 sent one message" 1 (Net.messages_sent net ~proc:0);
+  Alcotest.(check int) "p1 sent one message" 1 (Net.messages_sent net ~proc:1);
+  Alcotest.(check int) "p0 payload out" 100 (Net.bytes_sent net ~proc:0);
+  Alcotest.(check int) "p0 payload in" 200 (Net.bytes_received net ~proc:0);
+  Alcotest.(check int) "totals" 2 (Net.total_messages net);
+  Alcotest.(check int) "total payload" 300 (Net.total_payload_bytes net);
+  Alcotest.(check int) "kind counter" 1 (Net.messages_of_kind net Net.Lock_request)
+
+let test_self_send_free () =
+  let net = Net.create ~nprocs:2 () in
+  let t = Net.send net ~kind:Net.Barrier_arrive ~src:1 ~dst:1 ~payload_bytes:4096 ~at:77 in
+  Alcotest.(check int) "no time" 77 t;
+  Alcotest.(check int) "no message" 0 (Net.total_messages net);
+  Alcotest.(check int) "no payload" 0 (Net.total_payload_bytes net)
+
+let test_overhead_excluded_from_accounting () =
+  let net = Net.create ~latency_ns:0 ~ns_per_byte:1 ~header_bytes:0 ~nprocs:2 () in
+  let t = Net.send ~overhead_bytes:50 net ~kind:Net.Lock_reply ~src:0 ~dst:1 ~payload_bytes:10 ~at:0 in
+  Alcotest.(check int) "wire time includes overhead" 60 t;
+  Alcotest.(check int) "accounting excludes overhead" 10 (Net.bytes_sent net ~proc:0)
+
+let test_validation () =
+  let net = Net.create ~nprocs:2 () in
+  Alcotest.check_raises "bad proc" (Invalid_argument "Net.send: processor out of range")
+    (fun () -> ignore (Net.send net ~kind:Net.Startup ~src:0 ~dst:2 ~payload_bytes:0 ~at:0));
+  Alcotest.check_raises "negative payload" (Invalid_argument "Net.send: negative payload")
+    (fun () -> ignore (Net.send net ~kind:Net.Startup ~src:0 ~dst:1 ~payload_bytes:(-1) ~at:0))
+
+let test_kind_names () =
+  List.iter
+    (fun k -> Alcotest.(check bool) "nonempty name" true (String.length (Net.kind_name k) > 0))
+    [ Net.Lock_request; Net.Lock_reply; Net.Lock_forward; Net.Barrier_arrive;
+      Net.Barrier_release; Net.Startup ]
+
+let delivery_monotone =
+  QCheck.Test.make ~name:"delivery time grows with payload" ~count:200
+    QCheck.(pair (int_bound 100_000) (int_bound 100_000))
+    (fun (a, b) ->
+      let net = Net.create ~nprocs:2 () in
+      let lo = min a b and hi = max a b in
+      Net.send net ~kind:Net.Lock_reply ~src:0 ~dst:1 ~payload_bytes:lo ~at:0
+      <= Net.send net ~kind:Net.Lock_reply ~src:0 ~dst:1 ~payload_bytes:hi ~at:0)
+
+let accounting_balance =
+  QCheck.Test.make ~name:"bytes sent equals bytes received across the fabric" ~count:100
+    QCheck.(list (pair (pair (int_bound 3) (int_bound 3)) (int_bound 10_000)))
+    (fun msgs ->
+      let net = Net.create ~nprocs:4 () in
+      List.iter
+        (fun ((src, dst), bytes) ->
+          ignore (Net.send net ~kind:Net.Lock_reply ~src ~dst ~payload_bytes:bytes ~at:0))
+        msgs;
+      let sent = List.init 4 (fun p -> Net.bytes_sent net ~proc:p) |> List.fold_left ( + ) 0 in
+      let recv =
+        List.init 4 (fun p -> Net.bytes_received net ~proc:p) |> List.fold_left ( + ) 0
+      in
+      sent = recv)
+
+let () =
+  Alcotest.run "simnet"
+    [
+      ( "net",
+        [
+          Alcotest.test_case "transfer time" `Quick test_transfer_time;
+          Alcotest.test_case "send accounting" `Quick test_send_accounting;
+          Alcotest.test_case "self-send free" `Quick test_self_send_free;
+          Alcotest.test_case "overhead bytes" `Quick test_overhead_excluded_from_accounting;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "kind names" `Quick test_kind_names;
+          qtest delivery_monotone;
+          qtest accounting_balance;
+        ] );
+    ]

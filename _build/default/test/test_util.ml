@@ -1,0 +1,246 @@
+(* Unit and property tests for Midway_util: PRNG, min-heap, text tables,
+   plots and unit formatting. *)
+
+module Prng = Midway_util.Prng
+module Minheap = Midway_util.Minheap
+module Texttab = Midway_util.Texttab
+module Units = Midway_util.Units
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- Prng ------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" false (Prng.bits64 a = Prng.bits64 b)
+
+let test_prng_copy_independent () =
+  let a = Prng.create ~seed:7 in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy starts from same state" (Prng.bits64 a) (Prng.bits64 b);
+  ignore (Prng.bits64 a);
+  let c = Prng.copy b in
+  Alcotest.(check int64) "copy of b tracks b" (Prng.bits64 b) (Prng.bits64 c)
+
+let test_prng_split () =
+  let a = Prng.create ~seed:9 in
+  let b = Prng.split a in
+  Alcotest.(check bool) "split stream differs from parent" false
+    (Prng.bits64 a = Prng.bits64 b)
+
+let test_prng_int_bounds_invalid () =
+  let g = Prng.create ~seed:1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let prng_int_in_range =
+  QCheck.Test.make ~name:"Prng.int stays in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_bound 10_000))
+    (fun (seed, bound) ->
+      let bound = bound + 1 in
+      let g = Prng.create ~seed in
+      let v = Prng.int g bound in
+      v >= 0 && v < bound)
+
+let prng_int_in_inclusive =
+  QCheck.Test.make ~name:"Prng.int_in stays in [lo, hi]" ~count:500
+    QCheck.(triple small_int (int_range (-500) 500) (int_bound 1000))
+    (fun (seed, lo, span) ->
+      let hi = lo + span in
+      let g = Prng.create ~seed in
+      let v = Prng.int_in g lo hi in
+      v >= lo && v <= hi)
+
+let prng_float_in_range =
+  QCheck.Test.make ~name:"Prng.float stays in [0, bound)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let v = Prng.float g 3.5 in
+      v >= 0.0 && v < 3.5)
+
+let prng_shuffle_permutation =
+  QCheck.Test.make ~name:"Prng.shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let a = Array.of_list xs in
+      let g = Prng.create ~seed in
+      Prng.shuffle g a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+(* --- Minheap ---------------------------------------------------------- *)
+
+let test_heap_basic () =
+  let h = Minheap.create () in
+  Alcotest.(check bool) "fresh heap empty" true (Minheap.is_empty h);
+  Minheap.push h ~key:5 "five";
+  Minheap.push h ~key:1 "one";
+  Minheap.push h ~key:3 "three";
+  Alcotest.(check int) "length" 3 (Minheap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Minheap.peek_key h);
+  Alcotest.(check (option (pair int string))) "pop min" (Some (1, "one")) (Minheap.pop h);
+  Alcotest.(check (option (pair int string))) "pop next" (Some (3, "three")) (Minheap.pop h);
+  Alcotest.(check (option (pair int string))) "pop last" (Some (5, "five")) (Minheap.pop h);
+  Alcotest.(check (option (pair int string))) "empty pop" None (Minheap.pop h)
+
+let test_heap_fifo_ties () =
+  let h = Minheap.create () in
+  List.iter (fun v -> Minheap.push h ~key:7 v) [ "a"; "b"; "c"; "d" ];
+  let order = List.init 4 (fun _ -> snd (Option.get (Minheap.pop h))) in
+  Alcotest.(check (list string)) "insertion order on equal keys" [ "a"; "b"; "c"; "d" ] order
+
+let test_heap_clear () =
+  let h = Minheap.create () in
+  Minheap.push h ~key:1 1;
+  Minheap.clear h;
+  Alcotest.(check bool) "cleared" true (Minheap.is_empty h)
+
+let heap_sorts =
+  QCheck.Test.make ~name:"Minheap pops keys in nondecreasing order" ~count:300
+    QCheck.(list (int_bound 1000))
+    (fun keys ->
+      let h = Minheap.create () in
+      List.iteri (fun i k -> Minheap.push h ~key:k i) keys;
+      let rec drain acc =
+        match Minheap.pop h with Some (k, _) -> drain (k :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare keys)
+
+let heap_interleaved_model =
+  QCheck.Test.make ~name:"Minheap matches a sorted-list model under interleaving" ~count:200
+    QCheck.(list (option (int_bound 100)))
+    (fun ops ->
+      let h = Minheap.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some k ->
+              Minheap.push h ~key:k !seq;
+              model := (k, !seq) :: !model;
+              incr seq
+          | None -> (
+              let expected =
+                match List.sort compare !model with [] -> None | x :: _ -> Some x
+              in
+              match (Minheap.pop h, expected) with
+              | None, None -> ()
+              | Some (k, v), Some ((mk, mv) as m) ->
+                  if k <> mk || v <> mv then ok := false;
+                  model := List.filter (fun e -> e <> m) !model
+              | _ -> ok := false))
+        ops;
+      !ok)
+
+(* --- Texttab ---------------------------------------------------------- *)
+
+let test_fmt_int () =
+  Alcotest.(check string) "thousands" "1,284,004" (Texttab.fmt_int 1_284_004);
+  Alcotest.(check string) "small" "42" (Texttab.fmt_int 42);
+  Alcotest.(check string) "negative" "-1,000" (Texttab.fmt_int (-1_000));
+  Alcotest.(check string) "zero" "0" (Texttab.fmt_int 0)
+
+let test_fmt_float () =
+  Alcotest.(check string) "one decimal" "3,499.2" (Texttab.fmt_float ~decimals:1 3499.2);
+  Alcotest.(check string) "negative" "-29.1" (Texttab.fmt_float ~decimals:1 (-29.1))
+
+let test_table_render () =
+  let t = Texttab.create ~columns:[ ("name", Texttab.Left); ("value", Texttab.Right) ] in
+  Texttab.row t [ "water"; "43,180" ];
+  Texttab.separator t;
+  Texttab.row t [ "sor" ];
+  let s = Texttab.render t in
+  Alcotest.(check bool) "mentions data" true (contains s "water");
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> l <> "") |> List.map String.length
+  in
+  (match lines with
+  | [] -> Alcotest.fail "no output"
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "aligned lines" w w') rest);
+  Alcotest.check_raises "too many cells" (Invalid_argument "Texttab.row: too many cells")
+    (fun () -> Texttab.row t [ "a"; "b"; "c" ])
+
+(* --- Units ------------------------------------------------------------ *)
+
+let test_units () =
+  Alcotest.(check string) "ns" "360 ns" (Units.pp_time 360);
+  Alcotest.(check string) "ms" "1.20 ms" (Units.pp_time 1_200_000);
+  Alcotest.(check string) "s" "104.20 s" (Units.pp_time 104_200_000_000);
+  Alcotest.(check string) "bytes" "784.0 KB" (Units.pp_bytes (784 * 1024));
+  Alcotest.(check (float 1e-9)) "kb" 2.0 (Units.kb_of_bytes 2048);
+  Alcotest.(check (float 1e-9)) "us" 1.2 (Units.us_of_ns 1200)
+
+(* --- Asciiplot --------------------------------------------------------- *)
+
+let test_plot_smoke () =
+  let p =
+    Midway_util.Asciiplot.create ~width:30 ~height:8 ~title:"t" ~x_label:"x" ~y_label:"y" ()
+  in
+  Midway_util.Asciiplot.series p ~name:"a" ~marker:'*' [ (0.0, 0.0); (1.0, 2.0); (2.0, 1.0) ];
+  Midway_util.Asciiplot.diagonal p;
+  let s = Midway_util.Asciiplot.render p in
+  Alcotest.(check bool) "has legend" true (contains s "[*] a");
+  Alcotest.(check bool) "has diagonal note" true (contains s "break-even")
+
+let test_plot_empty () =
+  let p = Midway_util.Asciiplot.create ~title:"empty" ~x_label:"x" ~y_label:"y" () in
+  Alcotest.(check bool) "notes absence of data" true
+    (contains (Midway_util.Asciiplot.render p) "no data")
+
+let test_bars_smoke () =
+  let s =
+    Midway_util.Asciiplot.bars ~title:"times" ~unit_label:"s"
+      ~groups:[ ("water", [ ("rt", 1.0); ("vm", 2.0) ]) ]
+  in
+  Alcotest.(check bool) "mentions group" true (contains s "water");
+  Alcotest.(check bool) "mentions bar" true (contains s "rt")
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_prng_copy_independent;
+          Alcotest.test_case "split" `Quick test_prng_split;
+          Alcotest.test_case "invalid bound" `Quick test_prng_int_bounds_invalid;
+          qtest prng_int_in_range;
+          qtest prng_int_in_inclusive;
+          qtest prng_float_in_range;
+          qtest prng_shuffle_permutation;
+        ] );
+      ( "minheap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          qtest heap_sorts;
+          qtest heap_interleaved_model;
+        ] );
+      ( "texttab",
+        [
+          Alcotest.test_case "fmt_int" `Quick test_fmt_int;
+          Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+          Alcotest.test_case "render" `Quick test_table_render;
+        ] );
+      ("units", [ Alcotest.test_case "formatting" `Quick test_units ]);
+      ( "asciiplot",
+        [
+          Alcotest.test_case "plot" `Quick test_plot_smoke;
+          Alcotest.test_case "empty plot" `Quick test_plot_empty;
+          Alcotest.test_case "bars" `Quick test_bars_smoke;
+        ] );
+    ]

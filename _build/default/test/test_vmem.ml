@@ -1,0 +1,178 @@
+(* Tests for the VM substrate: word-granularity diffing and the simulated
+   page table. *)
+
+module Diff = Midway_vmem.Diff
+module Page_table = Midway_vmem.Page_table
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Diff --------------------------------------------------------------- *)
+
+let test_diff_empty () =
+  let a = Bytes.make 64 'x' in
+  let runs, transitions = Diff.diff ~old_:a ~new_:(Bytes.copy a) ~off:0 ~len:64 in
+  Alcotest.(check int) "no runs" 0 (List.length runs);
+  Alcotest.(check int) "no transitions" 0 transitions;
+  Alcotest.(check int) "no bytes" 0 (Diff.runs_bytes runs)
+
+let test_diff_all_changed () =
+  let a = Bytes.make 64 'a' and b = Bytes.make 64 'b' in
+  let runs, transitions = Diff.diff ~old_:a ~new_:b ~off:0 ~len:64 in
+  Alcotest.(check int) "one run" 1 (List.length runs);
+  Alcotest.(check int) "covers everything" 64 (Diff.runs_bytes runs);
+  Alcotest.(check int) "no transitions" 0 transitions
+
+let test_diff_alternating () =
+  (* Change every other 4-byte word: maximal transitions. *)
+  let n = 64 in
+  let old_ = Bytes.make n '\000' in
+  let new_ = Bytes.copy old_ in
+  let words = n / 4 in
+  for w = 0 to words - 1 do
+    if w mod 2 = 0 then Bytes.set new_ (w * 4) '\001'
+  done;
+  let runs, transitions = Diff.diff ~old_ ~new_ ~off:0 ~len:n in
+  Alcotest.(check int) "every other word is a run" (words / 2) (List.length runs);
+  Alcotest.(check int) "maximal transitions" (words - 1) transitions
+
+let test_diff_offsets () =
+  let old_ = Bytes.make 32 '\000' and new_ = Bytes.make 32 '\000' in
+  Bytes.set new_ 10 'z';
+  let runs, _ = Diff.diff ~old_ ~new_ ~off:8 ~len:8 in
+  (match runs with
+  | [ r ] ->
+      Alcotest.(check int) "word-aligned run offset" 8 r.Diff.off;
+      Alcotest.(check int) "one word" 4 r.Diff.len
+  | _ -> Alcotest.fail "expected exactly one run");
+  let runs2, _ = Diff.diff ~old_ ~new_ ~off:16 ~len:8 in
+  Alcotest.(check int) "change outside range invisible" 0 (List.length runs2)
+
+let test_diff_bounds () =
+  let b = Bytes.make 8 ' ' in
+  Alcotest.check_raises "out of bounds" (Invalid_argument "Diff.diff: range out of bounds")
+    (fun () -> ignore (Diff.diff ~old_:b ~new_:b ~off:4 ~len:8))
+
+let diff_apply_roundtrip =
+  QCheck.Test.make ~name:"apply(diff(old, new)) turns old into new" ~count:300
+    QCheck.(pair (int_bound 200) (list (pair (int_bound 199) (int_bound 255))))
+    (fun (len, edits) ->
+      let len = len + 4 in
+      let old_ = Bytes.init len (fun i -> Char.chr (i mod 251)) in
+      let new_ = Bytes.copy old_ in
+      List.iter (fun (pos, v) -> if pos < len then Bytes.set new_ pos (Char.chr v)) edits;
+      let runs, _ = Diff.diff ~old_ ~new_ ~off:0 ~len in
+      let patched = Bytes.copy old_ in
+      Diff.apply ~src:new_ ~dst:patched runs;
+      Bytes.equal patched new_)
+
+let diff_runs_sorted_disjoint =
+  QCheck.Test.make ~name:"diff runs are sorted, disjoint and modified" ~count:300
+    QCheck.(list (pair (int_bound 127) (int_bound 255)))
+    (fun edits ->
+      let len = 128 in
+      let old_ = Bytes.make len '\000' in
+      let new_ = Bytes.copy old_ in
+      List.iter (fun (pos, v) -> Bytes.set new_ pos (Char.chr v)) edits;
+      let runs, _ = Diff.diff ~old_ ~new_ ~off:0 ~len in
+      let rec check prev_end = function
+        | [] -> true
+        | r :: rest ->
+            r.Diff.off >= prev_end && r.Diff.len > 0 && check (r.Diff.off + r.Diff.len) rest
+      in
+      check 0 runs)
+
+let test_apply_to_relocation () =
+  (* run offsets are relative to [src_off]/[dst_off] *)
+  let src = Bytes.of_string "AAAABBBBCCCC" in
+  let dst = Bytes.make 20 '.' in
+  Diff.apply_to ~src ~dst ~src_off:0 ~dst_off:8 [ { Diff.off = 4; len = 4 } ];
+  Alcotest.(check string) "relocated" "............BBBB...." (Bytes.to_string dst)
+
+(* --- Page_table ---------------------------------------------------------- *)
+
+let test_page_table_validation () =
+  Alcotest.check_raises "power of two"
+    (Invalid_argument "Page_table.create: page_size must be a positive power of two")
+    (fun () -> ignore (Page_table.create ~page_size:1000))
+
+let test_page_lazily_protected () =
+  let pt = Page_table.create ~page_size:4096 in
+  let p = Page_table.page_of_addr pt 5_000 in
+  Alcotest.(check int) "page number" 1 p.Page_table.number;
+  Alcotest.(check bool) "starts read-only" true (p.Page_table.prot = Page_table.Read_only);
+  Alcotest.(check bool) "starts clean" false p.Page_table.dirty;
+  Alcotest.(check int) "base" 4096 (Page_table.page_base pt p);
+  Alcotest.(check bool) "same page object" true (p == Page_table.page_of_addr pt 4_096)
+
+let test_fault_semantics () =
+  let pt = Page_table.create ~page_size:64 in
+  let contents = Bytes.init 64 (fun i -> Char.chr i) in
+  (match Page_table.fault_on_write pt ~addr:70 ~contents with
+  | None -> Alcotest.fail "first write must fault"
+  | Some p ->
+      Alcotest.(check bool) "writable now" true (p.Page_table.prot = Page_table.Read_write);
+      Alcotest.(check bool) "dirty" true p.Page_table.dirty;
+      (match p.Page_table.twin with
+      | Some twin ->
+          Alcotest.(check bytes) "twin snapshots the pre-store contents" contents twin;
+          Alcotest.(check bool) "twin is a copy" true (not (twin == contents))
+      | None -> Alcotest.fail "twin missing"));
+  Alcotest.(check (option unit)) "second write does not fault"
+    None
+    (Option.map (fun _ -> ()) (Page_table.fault_on_write pt ~addr:71 ~contents));
+  Alcotest.check_raises "bad twin size"
+    (Invalid_argument "Page_table.fault_on_write: contents must be page-sized") (fun () ->
+      ignore (Page_table.fault_on_write pt ~addr:500 ~contents:(Bytes.make 3 ' ')))
+
+let test_clean () =
+  let pt = Page_table.create ~page_size:64 in
+  let contents = Bytes.make 64 'q' in
+  let p = Option.get (Page_table.fault_on_write pt ~addr:0 ~contents) in
+  Page_table.clean pt p;
+  Alcotest.(check bool) "protected again" true (p.Page_table.prot = Page_table.Read_only);
+  Alcotest.(check bool) "clean" false p.Page_table.dirty;
+  Alcotest.(check bool) "twin dropped" true (p.Page_table.twin = None);
+  (* next write faults again *)
+  Alcotest.(check bool) "refaults" true
+    (Page_table.fault_on_write pt ~addr:1 ~contents <> None)
+
+let test_pages_in_range () =
+  let pt = Page_table.create ~page_size:128 in
+  Alcotest.(check int) "empty range" 0 (List.length (Page_table.pages_in_range pt ~addr:50 ~len:0));
+  let pages = Page_table.pages_in_range pt ~addr:50 ~len:300 in
+  Alcotest.(check (list int)) "covers 3 pages" [ 0; 1; 2 ]
+    (List.map (fun p -> p.Page_table.number) pages)
+
+let test_dirty_pages_sorted () =
+  let pt = Page_table.create ~page_size:64 in
+  let contents = Bytes.make 64 ' ' in
+  ignore (Page_table.fault_on_write pt ~addr:(5 * 64) ~contents);
+  ignore (Page_table.fault_on_write pt ~addr:(2 * 64) ~contents);
+  ignore (Page_table.fault_on_write pt ~addr:(9 * 64) ~contents);
+  Alcotest.(check (list int)) "ascending dirty pages" [ 2; 5; 9 ]
+    (List.map (fun p -> p.Page_table.number) (Page_table.dirty_pages pt))
+
+let () =
+  Alcotest.run "vmem"
+    [
+      ( "diff",
+        [
+          Alcotest.test_case "empty" `Quick test_diff_empty;
+          Alcotest.test_case "all changed" `Quick test_diff_all_changed;
+          Alcotest.test_case "alternating words" `Quick test_diff_alternating;
+          Alcotest.test_case "offsets" `Quick test_diff_offsets;
+          Alcotest.test_case "bounds" `Quick test_diff_bounds;
+          Alcotest.test_case "apply_to relocation" `Quick test_apply_to_relocation;
+          qtest diff_apply_roundtrip;
+          qtest diff_runs_sorted_disjoint;
+        ] );
+      ( "page_table",
+        [
+          Alcotest.test_case "validation" `Quick test_page_table_validation;
+          Alcotest.test_case "lazy protection" `Quick test_page_lazily_protected;
+          Alcotest.test_case "fault semantics" `Quick test_fault_semantics;
+          Alcotest.test_case "clean" `Quick test_clean;
+          Alcotest.test_case "pages in range" `Quick test_pages_in_range;
+          Alcotest.test_case "dirty pages sorted" `Quick test_dirty_pages_sorted;
+        ] );
+    ]
