@@ -9,7 +9,52 @@
 let experiments =
   [ "table1"; "fig2"; "table2"; "table3"; "fig3"; "table4"; "fig4"; "table5"; "speedup" ]
 
-let run only scale nprocs apps csv_file md_file =
+(* "drop=0.02,dup=0.01,jitter=5000,seed=42": knobs for the fault sweep.
+   [drop] narrows the sweep to the baseline and that one rate; without it
+   the full 0%..5% default grid runs. *)
+let parse_fault_spec spec =
+  let drop = ref None and dup = ref None and jitter = ref None and seed = ref None in
+  List.iter
+    (fun kv ->
+      let fail () =
+        Printf.eprintf
+          "bad --faults entry %S (expected drop=F, dup=F, jitter=NS or seed=N)\n" kv;
+        exit 2
+      in
+      match String.index_opt kv '=' with
+      | None -> fail ()
+      | Some i -> (
+          let key = String.sub kv 0 i
+          and value = String.sub kv (i + 1) (String.length kv - i - 1) in
+          match key with
+          | "drop" -> drop := Some (try float_of_string value with _ -> fail ())
+          | "dup" | "duplicate" -> dup := Some (try float_of_string value with _ -> fail ())
+          | "jitter" | "jitter_ns" -> jitter := Some (try int_of_string value with _ -> fail ())
+          | "seed" -> seed := Some (try int_of_string value with _ -> fail ())
+          | _ -> fail ()))
+    (String.split_on_char ',' spec |> List.filter (fun s -> s <> ""));
+  (!drop, !dup, !jitter, !seed)
+
+let run_fault_sweep spec scale nprocs apps =
+  let drop, duplicate, jitter_ns, seed = parse_fault_spec spec in
+  let drops = match drop with None -> Midway_report.Faultsweep.default_drops | Some d -> [ 0.0; d ] in
+  Printf.printf "Fault-injection sweep (drop rates: %s)...\n%!"
+    (String.concat ", " (List.map (fun d -> Printf.sprintf "%.1f%%" (d *. 100.)) drops));
+  let t0 = Unix.gettimeofday () in
+  match Midway_report.Faultsweep.run ~apps ~drops ?duplicate ?jitter_ns ?seed ~nprocs ~scale () with
+  | sweep ->
+      Printf.printf "...sweep complete in %.1f s of host time.\n\n%!"
+        (Unix.gettimeofday () -. t0);
+      print_endline (Midway_report.Faultsweep.render sweep)
+  | exception Midway_simnet.Reliable.Exhausted msg ->
+      Printf.eprintf
+        "fault sweep aborted: %s\n\
+         (the loss rate defeated the retry budget; lower drop= or raise \
+         Config.retrans_max_attempts)\n"
+        msg;
+      exit 1
+
+let run only scale nprocs apps csv_file md_file faults =
   (* the scaling sweep is opt-in: it reruns each application eight times *)
   let default = List.filter (fun e -> e <> "speedup") experiments in
   let only = match only with [] -> default | l -> l in
@@ -33,11 +78,14 @@ let run only scale nprocs apps csv_file md_file =
                 exit 2)
           names
   in
-  let needs_suite = List.exists (fun e -> e <> "table1") only in
   Printf.printf
     "Midway write-detection experiments (scale %.2f, %d processors)\n\
      Reproduction of: Software Write Detection for a Distributed Shared Memory (OSDI '94)\n\n"
     scale nprocs;
+  match faults with
+  | Some spec -> run_fault_sweep spec scale nprocs apps
+  | None ->
+  let needs_suite = List.exists (fun e -> e <> "table1") only in
   if List.mem "table1" only then
     print_endline (Midway_report.Table1.render Midway_stats.Cost_model.default);
   if needs_suite then begin
@@ -122,10 +170,21 @@ let md_file =
     & info [ "md" ] ~docv:"FILE"
         ~doc:"Also write a markdown summary (measured vs paper) to $(docv).")
 
+let faults =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Run the fault-injection sweep instead of the paper experiments.  $(docv) is \
+           comma-separated $(b,key=value) pairs: $(b,drop) (probability; without it the full \
+           0%..5% grid runs), $(b,dup), $(b,jitter) (ns) and $(b,seed).  Example: \
+           $(b,--faults drop=0.02,seed=42).")
+
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "midway-experiments" ~doc)
-    Term.(const run $ only $ scale $ nprocs $ apps $ csv_file $ md_file)
+    Term.(const run $ only $ scale $ nprocs $ apps $ csv_file $ md_file $ faults)
 
 let () = exit (Cmd.eval cmd)

@@ -43,6 +43,10 @@ type t = {
   release_ns : int;
   apply_line_ns : int;
   seed : int;
+  faults : Midway_simnet.Net.fault_policy option;
+  retrans_timeout_ns : int;
+  retrans_backoff_cap_ns : int;
+  retrans_max_attempts : int;
 }
 
 let make ?(cost = Midway_stats.Cost_model.default) backend ~nprocs =
@@ -66,4 +70,21 @@ let make ?(cost = Midway_stats.Cost_model.default) backend ~nprocs =
     release_ns = 1_000;
     apply_line_ns = 100;
     seed = 0x5EED;
+    faults = None;
+    retrans_timeout_ns = Midway_simnet.Reliable.default_config.Midway_simnet.Reliable.timeout_ns;
+    retrans_backoff_cap_ns =
+      Midway_simnet.Reliable.default_config.Midway_simnet.Reliable.backoff_cap_ns;
+    retrans_max_attempts =
+      Midway_simnet.Reliable.default_config.Midway_simnet.Reliable.max_attempts;
+  }
+
+let with_faults ?duplicate ?jitter_ns ?seed ~drop cfg =
+  let seed = Option.value seed ~default:cfg.seed in
+  { cfg with faults = Some (Midway_simnet.Net.uniform_faults ?duplicate ?jitter_ns ~seed ~drop ()) }
+
+let reliable_config (cfg : t) =
+  {
+    Midway_simnet.Reliable.timeout_ns = cfg.retrans_timeout_ns;
+    backoff_cap_ns = cfg.retrans_backoff_cap_ns;
+    max_attempts = cfg.retrans_max_attempts;
   }

@@ -55,10 +55,32 @@ type t = {
   release_ns : int;  (** local bookkeeping at release *)
   apply_line_ns : int;  (** fixed per-line cost of applying an incoming update *)
   seed : int;
+  (* fault injection *)
+  faults : Midway_simnet.Net.fault_policy option;
+      (** [None] (the default) is the perfectly reliable fabric — the
+          protocol takes exactly the pre-fault code path, so runs are
+          bit-identical to a build without the fault layer.  [Some
+          policy] arms {!Midway_simnet.Net} fault injection and routes
+          every protocol message through the
+          {!Midway_simnet.Reliable} ack/retransmission channel. *)
+  retrans_timeout_ns : int;  (** initial ack timeout of the reliable channel *)
+  retrans_backoff_cap_ns : int;  (** exponential backoff cap *)
+  retrans_max_attempts : int;  (** transmissions of one message before giving up *)
 }
 
 val make : ?cost:Midway_stats.Cost_model.t -> backend -> nprocs:int -> t
 (** Defaults model the paper's testbed: 4 KB pages, 16 MiB regions, 64 B
     default lines, 150 us message latency, 57 ns/byte, 8-byte line
     descriptors, [Plain] RT trapping, an update-log window of 16
-    incarnations. *)
+    incarnations, no faults, and the {!Midway_simnet.Reliable} default
+    retransmission parameters. *)
+
+val with_faults : ?duplicate:float -> ?jitter_ns:int -> ?seed:int -> drop:float -> t -> t
+(** Arm uniform fault injection: every link drops a copy with
+    probability [drop], duplicates with [duplicate] (default 0), and
+    jitters arrival by up to [jitter_ns] (default 0).  The injection
+    seed defaults to the run seed, so a configuration is reproducible
+    end to end. *)
+
+val reliable_config : t -> Midway_simnet.Reliable.config
+(** The retransmission parameters as the reliable channel wants them. *)

@@ -2,6 +2,7 @@ module Engine = Midway_sched.Engine
 module Space = Midway_memory.Space
 module Region = Midway_memory.Region
 module Net = Midway_simnet.Net
+module Reliable = Midway_simnet.Reliable
 module Counters = Midway_stats.Counters
 module Cost_model = Midway_stats.Cost_model
 
@@ -29,6 +30,9 @@ and t = {
   engine : Engine.t;
   space : Space.t;
   net : Net.t;
+  reliable : Reliable.t option;
+      (* Some iff cfg.faults is armed: every protocol message then goes
+         through the ack/retransmission channel *)
   mutable ctxs : ctx array;  (* filled right after construction *)
   rt_untargetted_history : (int, Timestamp.t) Hashtbl.t;
       (* untargetted update-queue mode: global line -> stamp history *)
@@ -50,12 +54,20 @@ let create (cfg : Config.t) =
     Net.create ~latency_ns:cfg.net_latency_ns ~ns_per_byte:cfg.net_ns_per_byte
       ~header_bytes:cfg.net_header_bytes ~nprocs:cfg.nprocs ()
   in
+  let reliable =
+    match cfg.faults with
+    | None -> None
+    | Some policy ->
+        Net.set_fault_policy net policy;
+        Some (Reliable.create ~config:(Config.reliable_config cfg) net)
+  in
   let machine =
     {
       cfg;
       engine;
       space;
       net;
+      reliable;
       ctxs = [||];
       rt_untargetted_history = Hashtbl.create 64;
       trace = Trace.create ~capacity:cfg.trace_capacity;
@@ -325,20 +337,35 @@ let rt_collect_lock (c : ctx) db (l : Sync.lock) ~for_ =
 let rt_apply (c : ctx) db (lines : Payload.rt_line list) =
   let cfg = c.machine.cfg in
   let cost = cfg.cost in
+  (* With the reliable channel armed, protocol retries can replay a
+     logical update: a line whose installed stamp already reaches the
+     incoming one is stale and skipped.  The test never runs on a
+     fault-free fabric, keeping those runs bit-identical to the seed. *)
+  let guard_stale = c.machine.reliable <> None in
   let apply_ns = ref 0 in
   List.iter
     (fun (ln : Payload.rt_line) ->
-      Space.write_bytes c.machine.space ~proc:c.cid ln.addr ln.data;
       let region = region_of c ln.addr in
-      Dirtybits.set_ts db ~region ~addr:ln.addr ~ts:ln.ts;
-      if cfg.untargetted && cfg.rt_mode = Config.Update_queue then
-        (match Hashtbl.find_opt c.machine.rt_untargetted_history ln.addr with
-        | Some old when old >= ln.ts -> ()
-        | _ -> Hashtbl.replace c.machine.rt_untargetted_history ln.addr ln.ts);
-      c.counters.dirtybits_updated <- c.counters.dirtybits_updated + 1;
-      apply_ns :=
-        !apply_ns + cost.dirtybit_update_ns + cfg.apply_line_ns
-        + Cost_model.copy_cost_ns cost ~bytes:ln.len ~warm:true)
+      let stale =
+        guard_stale
+        &&
+        let cur = Dirtybits.line_ts db ~region ~addr:ln.addr in
+        Timestamp.is_stamp cur && cur >= ln.ts
+      in
+      if stale then
+        c.counters.duplicates_suppressed <- c.counters.duplicates_suppressed + 1
+      else begin
+        Space.write_bytes c.machine.space ~proc:c.cid ln.addr ln.data;
+        Dirtybits.set_ts db ~region ~addr:ln.addr ~ts:ln.ts;
+        if cfg.untargetted && cfg.rt_mode = Config.Update_queue then
+          (match Hashtbl.find_opt c.machine.rt_untargetted_history ln.addr with
+          | Some old when old >= ln.ts -> ()
+          | _ -> Hashtbl.replace c.machine.rt_untargetted_history ln.addr ln.ts);
+        c.counters.dirtybits_updated <- c.counters.dirtybits_updated + 1;
+        apply_ns :=
+          !apply_ns + cost.dirtybit_update_ns + cfg.apply_line_ns
+          + Cost_model.copy_cost_ns cost ~bytes:ln.len ~warm:true
+      end)
     lines;
   !apply_ns
 
@@ -623,6 +650,26 @@ let vmfine_apply (c : ctx) vm db (lines : Payload.rt_line list) =
 let wire_overhead (cfg : Config.t) payload =
   Payload.descriptors payload * cfg.line_descriptor_bytes
 
+(* Route one protocol message.  With faults off this is the bare fabric —
+   the exact pre-fault code path, so such runs stay bit-identical to the
+   seed.  With faults armed the message goes through the reliable
+   channel, and the channel's per-message activity is attributed to the
+   sender's counters (retransmissions, observed drops, backoff) and the
+   destination's (suppressed duplicates).  Either way the result is the
+   virtual time the payload lands at [dst]. *)
+let send_msg ?(overhead_bytes = 0) (t : t) ~kind ~src ~dst ~payload_bytes ~at =
+  match t.reliable with
+  | None ->
+      Net.delivery (Net.send ~overhead_bytes t.net ~kind ~src ~dst ~payload_bytes ~at)
+  | Some ch ->
+      let d = Reliable.send ~overhead_bytes ch ~kind ~src ~dst ~payload_bytes ~at in
+      let sc = t.ctxs.(src).counters and dc = t.ctxs.(dst).counters in
+      sc.retransmits <- sc.retransmits + d.Reliable.retransmits;
+      sc.drops_observed <- sc.drops_observed + d.Reliable.drops_seen;
+      sc.backoff_time_ns <- sc.backoff_time_ns + d.Reliable.backoff_ns;
+      dc.duplicates_suppressed <- dc.duplicates_suppressed + d.Reliable.dups_suppressed;
+      d.Reliable.delivered_at
+
 (* Serve one pending request: runs at the releaser side (conceptually on
    its runtime thread), computes the update payload, applies it at the
    requester and schedules the requester's resumption.  A shared-mode
@@ -655,7 +702,7 @@ let serve t (l : Sync.lock) ~requester:q ~arrival ~mode ~waker =
   rc.counters.data_sent_bytes <- rc.counters.data_sent_bytes + app;
   rc.counters.messages <- rc.counters.messages + 1;
   let deliver =
-    Net.send ~overhead_bytes:(wire_overhead t.cfg payload) t.net ~kind:Net.Lock_reply
+    send_msg ~overhead_bytes:(wire_overhead t.cfg payload) t ~kind:Net.Lock_reply
       ~src:releaser ~dst:q ~payload_bytes:app ~at:(service_time + collect_ns)
   in
   (* Apply at the requester (it is blocked; its memory is quiescent). *)
@@ -754,10 +801,14 @@ let acquire_mode c l mode =
       (Trace.Lock_requested
          { t = now_ns c; lock = l.Sync.lid; proc = c.cid; shared = (mode = Sync.Shared) });
     let arrival =
-      Net.send t.net ~kind:Net.Lock_request ~src:c.cid ~dst:l.Sync.owner ~payload_bytes:0
+      send_msg t ~kind:Net.Lock_request ~src:c.cid ~dst:l.Sync.owner ~payload_bytes:0
         ~at:(now_ns c)
     in
-    Engine.block c.proc ~setup:(fun ~wake ->
+    Engine.block c.proc
+      ~reason:
+        (Printf.sprintf "acquire of lock %d (%s mode)" l.Sync.lid
+           (match mode with Sync.Exclusive -> "exclusive" | Sync.Shared -> "shared"))
+      ~setup:(fun ~wake ->
         Sync.enqueue_request l ~proc:c.cid ~arrival ~mode ~waker:wake;
         service_queue t l)
   end
@@ -883,9 +934,8 @@ let barrier_release t (b : Sync.barrier) =
         t.ctxs.(b.Sync.manager).counters.messages <-
           t.ctxs.(b.Sync.manager).counters.messages + 1;
       let deliver =
-        Net.send ~overhead_bytes:(wire_overhead t.cfg payload) t.net
-          ~kind:Net.Barrier_release ~src:b.Sync.manager ~dst:p ~payload_bytes:app
-          ~at:t_release
+        send_msg ~overhead_bytes:(wire_overhead t.cfg payload) t ~kind:Net.Barrier_release
+          ~src:b.Sync.manager ~dst:p ~payload_bytes:app ~at:t_release
       in
       let apply_ns =
         match (pc.backend, payload) with
@@ -927,14 +977,15 @@ let barrier c b =
     c.counters.data_sent_bytes <- c.counters.data_sent_bytes + app;
     if c.cid <> b.Sync.manager then c.counters.messages <- c.counters.messages + 1;
     let deliver =
-      Net.send ~overhead_bytes:(wire_overhead t.cfg payload) t.net
-        ~kind:Net.Barrier_arrive ~src:c.cid ~dst:b.Sync.manager ~payload_bytes:app
-        ~at:(now_ns c)
+      send_msg ~overhead_bytes:(wire_overhead t.cfg payload) t ~kind:Net.Barrier_arrive
+        ~src:c.cid ~dst:b.Sync.manager ~payload_bytes:app ~at:(now_ns c)
     in
     Trace.record t.trace
       (Trace.Barrier_arrived
          { t = now_ns c; barrier = b.Sync.bid; proc = c.cid; payload_bytes = app });
-    Engine.block c.proc ~setup:(fun ~wake ->
+    Engine.block c.proc
+      ~reason:(Printf.sprintf "barrier %d (episode %d)" b.Sync.bid b.Sync.episode)
+      ~setup:(fun ~wake ->
         b.Sync.arrived <-
           b.Sync.arrived
           @ [
@@ -1054,6 +1105,12 @@ let check_invariants t =
         report "barrier %d has %d processor(s) parked at end of run" b.Sync.bid
           (List.length b.Sync.arrived))
     t.barriers;
+  (* Reliable channel: every message must have been acked by end of run. *)
+  (match t.reliable with
+  | Some ch when Reliable.unacked ch > 0 ->
+      report "reliable channel has %d unacked message(s) in flight at end of run"
+        (Reliable.unacked ch)
+  | Some _ | None -> ());
   (* VM: every dirty page must have a twin. *)
   Array.iter
     (fun (ctx : ctx) ->

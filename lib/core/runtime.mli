@@ -72,9 +72,10 @@ val check_invariants : t -> string list
 (** After [run]: verify structural protocol invariants — no lock or
     barrier left held/parked, no pending requests, no locally-dirty RT
     lines on non-owners of a lock's data (a write without ownership), no
-    VM dirty page without a twin.  Returns human-readable violations
-    (empty = clean).  Useful in tests and when debugging simulated
-    programs. *)
+    VM dirty page without a twin, and (under fault injection) no message
+    left unacked in the reliable channel.  Returns human-readable
+    violations (empty = clean).  Useful in tests and when debugging
+    simulated programs. *)
 
 val elapsed_ns : t -> int
 (** After [run]: simulated execution time (max over processors). *)

@@ -26,6 +26,10 @@ let header =
       "trap_time_ms";
       "collect_time_ms";
       "percent_dirty_data";
+      "retransmits";
+      "drops_observed";
+      "duplicates_suppressed";
+      "backoff_time_ms";
     ]
 
 let row (suite : Suite.t) app system (o : Midway_apps.Outcome.t) =
@@ -56,6 +60,10 @@ let row (suite : Suite.t) app system (o : Midway_apps.Outcome.t) =
       Printf.sprintf "%.3f" (Midway_util.Units.ms_of_ns c.Counters.trap_time_ns);
       Printf.sprintf "%.3f" (Midway_util.Units.ms_of_ns c.Counters.collect_time_ns);
       Printf.sprintf "%.1f" (Counters.percent_dirty_data c);
+      string_of_int c.Counters.retransmits;
+      string_of_int c.Counters.drops_observed;
+      string_of_int c.Counters.duplicates_suppressed;
+      Printf.sprintf "%.3f" (Midway_util.Units.ms_of_ns c.Counters.backoff_time_ns);
     ]
 
 let of_suite (suite : Suite.t) =

@@ -1,0 +1,112 @@
+module Counters = Midway_stats.Counters
+module Texttab = Midway_util.Texttab
+
+type point = {
+  drop : float;
+  elapsed_s : float;
+  slowdown : float;
+  retransmits : int;
+  drops_observed : int;
+  duplicates_suppressed : int;
+  backoff_ms : float;
+}
+
+type line = { app : Suite.app; points : point list }
+
+type t = {
+  nprocs : int;
+  scale : float;
+  fault_seed : int;
+  drops : float list;
+  lines : line list;
+}
+
+let default_drops = [ 0.0; 0.005; 0.01; 0.02; 0.05 ]
+
+let sum_counters machine f =
+  Array.fold_left (fun acc c -> acc + f c) 0 (Midway.Runtime.all_counters machine)
+
+let run ?apps:(selection = Suite.apps) ?(drops = default_drops) ?duplicate ?jitter_ns
+    ?(seed = 42) ~nprocs ~scale () =
+  let lines =
+    List.map
+      (fun app ->
+        let baseline = ref 0.0 in
+        let points =
+          List.map
+            (fun drop ->
+              let cfg = Midway.Config.make Midway.Config.Rt ~nprocs in
+              let cfg =
+                if drop = 0.0 then cfg
+                else Midway.Config.with_faults ?duplicate ?jitter_ns ~seed ~drop cfg
+              in
+              let o = Suite.run_app app cfg ~scale in
+              if not o.Midway_apps.Outcome.ok then
+                failwith
+                  (Printf.sprintf "faultsweep: %s failed verification at drop %.3f"
+                     (Suite.app_name app) drop);
+              (match Midway.Runtime.check_invariants o.Midway_apps.Outcome.machine with
+              | [] -> ()
+              | violations ->
+                  failwith
+                    (Printf.sprintf "faultsweep: %s violated invariants at drop %.3f: %s"
+                       (Suite.app_name app) drop
+                       (String.concat "; " violations)));
+              let machine = o.Midway_apps.Outcome.machine in
+              let elapsed_s = Midway_apps.Outcome.elapsed_s o in
+              if drop = 0.0 then baseline := elapsed_s;
+              {
+                drop;
+                elapsed_s;
+                slowdown = (if !baseline > 0.0 then elapsed_s /. !baseline else 1.0);
+                retransmits = sum_counters machine (fun c -> c.Counters.retransmits);
+                drops_observed = sum_counters machine (fun c -> c.Counters.drops_observed);
+                duplicates_suppressed =
+                  sum_counters machine (fun c -> c.Counters.duplicates_suppressed);
+                backoff_ms =
+                  Midway_util.Units.ms_of_ns
+                    (sum_counters machine (fun c -> c.Counters.backoff_time_ns));
+              })
+            drops
+        in
+        { app; points })
+      selection
+  in
+  { nprocs; scale; fault_seed = seed; lines; drops }
+
+let render t =
+  let tab =
+    Texttab.create
+      ~columns:
+        [
+          ("application", Texttab.Left);
+          ("drop", Texttab.Right);
+          ("elapsed (s)", Texttab.Right);
+          ("slowdown", Texttab.Right);
+          ("retransmits", Texttab.Right);
+          ("drops seen", Texttab.Right);
+          ("dups suppressed", Texttab.Right);
+          ("backoff (ms)", Texttab.Right);
+        ]
+  in
+  List.iteri
+    (fun i line ->
+      if i > 0 then Texttab.separator tab;
+      List.iter
+        (fun p ->
+          Texttab.row tab
+            [
+              Suite.app_name line.app;
+              Printf.sprintf "%.1f%%" (p.drop *. 100.0);
+              Printf.sprintf "%.4f" p.elapsed_s;
+              Printf.sprintf "%.2fx" p.slowdown;
+              Texttab.fmt_int p.retransmits;
+              Texttab.fmt_int p.drops_observed;
+              Texttab.fmt_int p.duplicates_suppressed;
+              Texttab.fmt_float ~decimals:2 p.backoff_ms;
+            ])
+        line.points)
+    t.lines;
+  Printf.sprintf
+    "Elapsed time under fault injection (RT-DSM, %d processors, scale %.2f, fault seed %d)\n%s"
+    t.nprocs t.scale t.fault_seed (Texttab.render tab)

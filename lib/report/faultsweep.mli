@@ -1,0 +1,57 @@
+(** Elapsed-time degradation under an unreliable interconnect.
+
+    The paper's testbed assumes a reliable ATM fabric; this report asks
+    what the entry-consistency protocol pays when that assumption is
+    relaxed.  Each application runs on the RT-DSM backend while the
+    per-link drop probability sweeps from 0% (the baseline every other
+    table uses) up to 5%, with every message routed through the
+    {!Midway_simnet.Reliable} ack/retransmission channel.  The table
+    reports the elapsed-time slowdown relative to the fault-free run and
+    the channel's activity: retransmissions, observed drops, suppressed
+    duplicates and total backoff time.
+
+    Every run is still verified against the application's sequential
+    oracle and the protocol invariants — the point of the report is that
+    correctness holds while only the timing degrades. *)
+
+type point = {
+  drop : float;  (** per-link drop probability of this run *)
+  elapsed_s : float;
+  slowdown : float;  (** elapsed relative to the drop = 0 run of the same app *)
+  retransmits : int;  (** summed over processors *)
+  drops_observed : int;
+  duplicates_suppressed : int;
+  backoff_ms : float;
+}
+
+type line = { app : Suite.app; points : point list }
+
+type t = {
+  nprocs : int;
+  scale : float;
+  fault_seed : int;
+  drops : float list;
+  lines : line list;
+}
+
+val default_drops : float list
+(** [0; 0.5%; 1%; 2%; 5%]. *)
+
+val run :
+  ?apps:Suite.app list ->
+  ?drops:float list ->
+  ?duplicate:float ->
+  ?jitter_ns:int ->
+  ?seed:int ->
+  nprocs:int ->
+  scale:float ->
+  unit ->
+  t
+(** Execute the sweep.  [duplicate], [jitter_ns] (default 0) and [seed]
+    (default 42) shape the fault policy of every non-zero-drop run.
+    Raises [Failure] if any run fails oracle verification or leaves a
+    protocol invariant violated — a faulty fabric must degrade timing,
+    never correctness. *)
+
+val render : t -> string
+(** The sweep as an aligned text table, one row group per application. *)

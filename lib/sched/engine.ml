@@ -2,6 +2,7 @@ type proc = {
   id : int;
   mutable clock : int;
   mutable finished : bool;
+  mutable blocked_reason : string option;
 }
 
 type t = {
@@ -23,7 +24,7 @@ let create ~nprocs =
   if nprocs <= 0 then invalid_arg "Engine.create: nprocs must be positive";
   {
     n = nprocs;
-    procs = Array.init nprocs (fun id -> { id; clock = 0; finished = false });
+    procs = Array.init nprocs (fun id -> { id; clock = 0; finished = false; blocked_reason = None });
     runq = Midway_util.Minheap.create ();
     bodies = Array.make nprocs None;
     live = 0;
@@ -52,7 +53,9 @@ let spawn t id body =
 
 let yield p = Effect.perform (Yield p)
 
-let block p ~setup = Effect.perform (Block (p, setup))
+let block ?reason p ~setup =
+  p.blocked_reason <- reason;
+  Effect.perform (Block (p, setup))
 
 (* Run one fiber slice under the deep handler.  The handler returns when
    the fiber suspends (its continuation is then parked in the run queue)
@@ -81,6 +84,7 @@ let start_fiber t p body =
                         invalid_arg
                           (Printf.sprintf "Engine: processor %d woken twice" q.id);
                       fired := true;
+                      q.blocked_reason <- None;
                       Midway_util.Minheap.push t.runq ~key:at (fun () ->
                           if at > q.clock then q.clock <- at;
                           continue k ())))
@@ -109,7 +113,11 @@ let run t =
           let stuck =
             Array.to_list t.procs
             |> List.filter (fun p -> not p.finished)
-            |> List.map (fun p -> Printf.sprintf "p%d@%dns" p.id p.clock)
+            |> List.map (fun p ->
+                   Printf.sprintf "p%d@%dns%s" p.id p.clock
+                     (match p.blocked_reason with
+                     | Some r -> Printf.sprintf " (blocked in %s)" r
+                     | None -> ""))
             |> String.concat ", "
           in
           raise

@@ -5,6 +5,7 @@ type kind =
   | Barrier_arrive
   | Barrier_release
   | Startup
+  | Ack
 
 let kind_name = function
   | Lock_request -> "lock-request"
@@ -13,6 +14,7 @@ let kind_name = function
   | Barrier_arrive -> "barrier-arrive"
   | Barrier_release -> "barrier-release"
   | Startup -> "startup"
+  | Ack -> "ack"
 
 let kind_index = function
   | Lock_request -> 0
@@ -21,6 +23,46 @@ let kind_index = function
   | Barrier_arrive -> 3
   | Barrier_release -> 4
   | Startup -> 5
+  | Ack -> 6
+
+let nkinds = 7
+
+type fault_link = { drop : float; duplicate : float; jitter_ns : int }
+
+let fault_free_link = { drop = 0.0; duplicate = 0.0; jitter_ns = 0 }
+
+type fault_window = {
+  w_from_ns : int;
+  w_until_ns : int;
+  w_kind : kind option;
+  w_src : int option;
+  w_dst : int option;
+}
+
+type fault_policy = {
+  link : fault_link;
+  overrides : ((int * int) * fault_link) list;
+  windows : fault_window list;
+  fault_seed : int;
+}
+
+let uniform_faults ?(duplicate = 0.0) ?(jitter_ns = 0) ?(seed = 42) ~drop () =
+  if drop < 0.0 || drop > 1.0 || duplicate < 0.0 || duplicate > 1.0 then
+    invalid_arg "Net.uniform_faults: probabilities must be in [0, 1]";
+  if jitter_ns < 0 then invalid_arg "Net.uniform_faults: negative jitter";
+  {
+    link = { drop; duplicate; jitter_ns };
+    overrides = [];
+    windows = [];
+    fault_seed = seed;
+  }
+
+type fault_state = {
+  policy : fault_policy;
+  prng : Midway_util.Prng.t;
+  mutable drops : int;
+  mutable dups : int;
+}
 
 type t = {
   nprocs : int;
@@ -31,6 +73,7 @@ type t = {
   payload_sent : int array;
   payload_received : int array;
   by_kind : int array;
+  mutable fault : fault_state option;
 }
 
 let create ?(latency_ns = 150_000) ?(ns_per_byte = 57) ?(header_bytes = 64) ~nprocs () =
@@ -43,25 +86,97 @@ let create ?(latency_ns = 150_000) ?(ns_per_byte = 57) ?(header_bytes = 64) ~npr
     msgs_sent = Array.make nprocs 0;
     payload_sent = Array.make nprocs 0;
     payload_received = Array.make nprocs 0;
-    by_kind = Array.make 6 0;
+    by_kind = Array.make nkinds 0;
+    fault = None;
   }
+
+let set_fault_policy t policy =
+  t.fault <-
+    Some
+      {
+        policy;
+        prng = Midway_util.Prng.create ~seed:policy.fault_seed;
+        drops = 0;
+        dups = 0;
+      }
+
+let fault_policy t = Option.map (fun f -> f.policy) t.fault
 
 let nprocs t = t.nprocs
 
 let transfer_ns t ~payload_bytes =
   t.latency_ns + ((t.header_bytes + payload_bytes) * t.ns_per_byte)
 
+type outcome = Delivered of int | Dropped | Duplicated of int * int
+
+let delivery = function
+  | Delivered at -> at
+  | Duplicated (at, _) -> at
+  | Dropped -> invalid_arg "Net.delivery: message was dropped"
+
+let window_matches ~kind ~src ~dst ~at w =
+  at >= w.w_from_ns && at < w.w_until_ns
+  && (match w.w_kind with None -> true | Some k -> k = kind)
+  && (match w.w_src with None -> true | Some s -> s = src)
+  && (match w.w_dst with None -> true | Some d -> d = dst)
+
+let link_hazards policy ~src ~dst =
+  match List.assoc_opt (src, dst) policy.overrides with
+  | Some l -> l
+  | None -> policy.link
+
+(* Decide one copy's fate.  Scripted windows are deterministic outages;
+   otherwise a drop draw, then a duplication draw, then a jitter draw per
+   arriving copy, always in that order so a fixed seed reproduces the
+   exact injection sequence. *)
+let inject f ~kind ~src ~dst ~at ~base ~echo_ns =
+  if List.exists (window_matches ~kind ~src ~dst ~at) f.policy.windows then begin
+    f.drops <- f.drops + 1;
+    Dropped
+  end
+  else begin
+    let link = link_hazards f.policy ~src ~dst in
+    let draw () = Midway_util.Prng.float f.prng 1.0 in
+    let jitter () =
+      if link.jitter_ns > 0 then Midway_util.Prng.int f.prng (link.jitter_ns + 1) else 0
+    in
+    if link.drop > 0.0 && draw () < link.drop then begin
+      f.drops <- f.drops + 1;
+      Dropped
+    end
+    else begin
+      let dup = link.duplicate > 0.0 && draw () < link.duplicate in
+      let first = base + jitter () in
+      if dup then begin
+        f.dups <- f.dups + 1;
+        (* the echo trails the original by one switch latency (plus jitter) *)
+        let second = first + echo_ns + jitter () in
+        Duplicated (first, second)
+      end
+      else Delivered first
+    end
+  end
+
 let send ?(overhead_bytes = 0) t ~kind ~src ~dst ~payload_bytes ~at =
   if src < 0 || src >= t.nprocs || dst < 0 || dst >= t.nprocs then
     invalid_arg "Net.send: processor out of range";
   if payload_bytes < 0 || overhead_bytes < 0 then invalid_arg "Net.send: negative payload";
-  if src = dst then at
+  if src = dst then Delivered at
   else begin
     t.msgs_sent.(src) <- t.msgs_sent.(src) + 1;
     t.payload_sent.(src) <- t.payload_sent.(src) + payload_bytes;
-    t.payload_received.(dst) <- t.payload_received.(dst) + payload_bytes;
     t.by_kind.(kind_index kind) <- t.by_kind.(kind_index kind) + 1;
-    at + transfer_ns t ~payload_bytes:(payload_bytes + overhead_bytes)
+    let base = at + transfer_ns t ~payload_bytes:(payload_bytes + overhead_bytes) in
+    let outcome =
+      match t.fault with
+      | None -> Delivered base
+      | Some f -> inject f ~kind ~src ~dst ~at ~base ~echo_ns:t.latency_ns
+    in
+    (match outcome with
+    | Dropped -> ()
+    | Delivered _ | Duplicated _ ->
+        t.payload_received.(dst) <- t.payload_received.(dst) + payload_bytes);
+    outcome
   end
 
 let messages_sent t ~proc = t.msgs_sent.(proc)
@@ -75,3 +190,7 @@ let total_messages t = Array.fold_left ( + ) 0 t.msgs_sent
 let total_payload_bytes t = Array.fold_left ( + ) 0 t.payload_sent
 
 let messages_of_kind t kind = t.by_kind.(kind_index kind)
+
+let drops_injected t = match t.fault with None -> 0 | Some f -> f.drops
+
+let duplicates_injected t = match t.fault with None -> 0 | Some f -> f.dups

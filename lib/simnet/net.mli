@@ -9,7 +9,15 @@
 
     Only *application* payload counts toward the paper's "data
     transferred" figures; protocol headers contribute to transfer time but
-    not to the payload accounting. *)
+    not to the payload accounting.
+
+    The fabric is perfectly reliable by default.  A {!fault_policy} makes
+    it lossy: per-link drop and duplication probabilities, latency
+    jitter, and scripted fault windows ("drop every [Lock_reply] between
+    2 ms and 5 ms"), all driven by a seeded {!Midway_util.Prng} so every
+    faulty run is exactly reproducible.  Faulty delivery is reported
+    through the {!outcome} of {!send}; the retransmission machinery that
+    survives it lives one layer up, in {!Reliable}. *)
 
 type kind =
   | Lock_request
@@ -18,15 +26,56 @@ type kind =
   | Barrier_arrive
   | Barrier_release
   | Startup
+  | Ack  (** reliable-channel acknowledgement (see {!Reliable}) *)
 
 val kind_name : kind -> string
+
+(** {1 Fault injection} *)
+
+type fault_link = {
+  drop : float;  (** probability a copy vanishes in the fabric, [0, 1] *)
+  duplicate : float;  (** probability the switch delivers a second copy *)
+  jitter_ns : int;  (** uniform extra latency in [0, jitter_ns] per copy *)
+}
+
+val fault_free_link : fault_link
+(** All-zero hazards: behaves exactly like the reliable fabric. *)
+
+type fault_window = {
+  w_from_ns : int;  (** window start (inclusive, virtual time of send) *)
+  w_until_ns : int;  (** window end (exclusive) *)
+  w_kind : kind option;  (** [None] matches every message kind *)
+  w_src : int option;  (** [None] matches every sender *)
+  w_dst : int option;  (** [None] matches every destination *)
+}
+(** A scripted outage: every matching message sent inside the window is
+    dropped, deterministically (no coin flip). *)
+
+type fault_policy = {
+  link : fault_link;  (** default hazards, applied to every link *)
+  overrides : ((int * int) * fault_link) list;
+      (** per-link (src, dst) hazard overrides, first match wins *)
+  windows : fault_window list;
+  fault_seed : int;  (** seed of the injection PRNG *)
+}
+
+val uniform_faults :
+  ?duplicate:float -> ?jitter_ns:int -> ?seed:int -> drop:float -> unit -> fault_policy
+(** A policy with the same hazards on every link and no scripted
+    windows.  Defaults: no duplication, no jitter, seed 42. *)
 
 type t
 
 val create :
   ?latency_ns:int -> ?ns_per_byte:int -> ?header_bytes:int -> nprocs:int -> unit -> t
 (** Defaults: 150 us per-message latency, 57 ns/byte (140 Mbit/s ATM at
-    AAL3/4 framing efficiency), 64-byte protocol header. *)
+    AAL3/4 framing efficiency), 64-byte protocol header.  No faults. *)
+
+val set_fault_policy : t -> fault_policy -> unit
+(** Arm fault injection.  Call once, before any traffic; calling again
+    resets the injection PRNG to the new policy's seed. *)
+
+val fault_policy : t -> fault_policy option
 
 val nprocs : t -> int
 
@@ -34,14 +83,37 @@ val transfer_ns : t -> payload_bytes:int -> int
 (** Wire time for one message carrying [payload_bytes] of application
     data: latency + (header + payload) x bandwidth cost. *)
 
+(** What the fabric did with one message. *)
+type outcome =
+  | Delivered of int  (** arrival time at the destination *)
+  | Dropped  (** the copy vanished; nothing arrives *)
+  | Duplicated of int * int
+      (** two copies arrive, first and second arrival times (first <= second) *)
+
+val delivery : outcome -> int
+(** First arrival time of a delivered message.  Raises
+    [Invalid_argument] on [Dropped] — callers on the fault-free path
+    (no policy armed) can rely on [send] never dropping. *)
+
 val send :
   ?overhead_bytes:int -> t -> kind:kind -> src:int -> dst:int -> payload_bytes:int ->
-  at:int -> int
+  at:int -> outcome
 (** [send t ~kind ~src ~dst ~payload_bytes ~at] records the message and
-    returns its delivery time ([at + transfer time]).  [overhead_bytes]
-    (default 0) models per-line/per-run descriptors: it adds wire time but
-    is excluded from the payload accounting, as in the paper.  Self-sends
-    are legal (local lock service) and cost nothing. *)
+    returns its delivery outcome.  Without a fault policy this is always
+    [Delivered (at + transfer time)].  [overhead_bytes] (default 0)
+    models per-line/per-run descriptors: it adds wire time but is
+    excluded from the payload accounting, as in the paper.
+
+    Self-sends ([src = dst]) are legal (local lock service), cost
+    nothing, arrive instantly, update no counter, and are NEVER subject
+    to fault injection: a message that does not cross the fabric cannot
+    be dropped, duplicated or jittered.
+
+    Accounting under faults: every copy put on the wire counts as sent
+    ([messages_sent], [bytes_sent], the kind counter), but only messages
+    that actually arrive count as received, and a duplicated payload is
+    received once (the second copy is a protocol-level artifact the
+    {!Reliable} layer suppresses). *)
 
 val messages_sent : t -> proc:int -> int
 
@@ -55,3 +127,9 @@ val total_messages : t -> int
 val total_payload_bytes : t -> int
 
 val messages_of_kind : t -> kind -> int
+
+val drops_injected : t -> int
+(** Copies the fault layer destroyed (0 without a policy). *)
+
+val duplicates_injected : t -> int
+(** Second copies the fault layer manufactured (0 without a policy). *)

@@ -19,6 +19,10 @@ type t = {
   mutable barrier_crossings : int;
   mutable trap_time_ns : int;
   mutable collect_time_ns : int;
+  mutable retransmits : int;
+  mutable drops_observed : int;
+  mutable duplicates_suppressed : int;
+  mutable backoff_time_ns : int;
 }
 
 let create () =
@@ -43,6 +47,10 @@ let create () =
     barrier_crossings = 0;
     trap_time_ns = 0;
     collect_time_ns = 0;
+    retransmits = 0;
+    drops_observed = 0;
+    duplicates_suppressed = 0;
+    backoff_time_ns = 0;
   }
 
 let reset t =
@@ -65,7 +73,11 @@ let reset t =
   t.lock_acquires_remote <- 0;
   t.barrier_crossings <- 0;
   t.trap_time_ns <- 0;
-  t.collect_time_ns <- 0
+  t.collect_time_ns <- 0;
+  t.retransmits <- 0;
+  t.drops_observed <- 0;
+  t.duplicates_suppressed <- 0;
+  t.backoff_time_ns <- 0
 
 let add ~into t =
   into.dirtybits_set <- into.dirtybits_set + t.dirtybits_set;
@@ -87,7 +99,11 @@ let add ~into t =
   into.lock_acquires_remote <- into.lock_acquires_remote + t.lock_acquires_remote;
   into.barrier_crossings <- into.barrier_crossings + t.barrier_crossings;
   into.trap_time_ns <- into.trap_time_ns + t.trap_time_ns;
-  into.collect_time_ns <- into.collect_time_ns + t.collect_time_ns
+  into.collect_time_ns <- into.collect_time_ns + t.collect_time_ns;
+  into.retransmits <- into.retransmits + t.retransmits;
+  into.drops_observed <- into.drops_observed + t.drops_observed;
+  into.duplicates_suppressed <- into.duplicates_suppressed + t.duplicates_suppressed;
+  into.backoff_time_ns <- into.backoff_time_ns + t.backoff_time_ns
 
 let total arr =
   let acc = create () in
@@ -119,6 +135,10 @@ let average arr =
     acc.barrier_crossings <- acc.barrier_crossings / n;
     acc.trap_time_ns <- acc.trap_time_ns / n;
     acc.collect_time_ns <- acc.collect_time_ns / n;
+    acc.retransmits <- acc.retransmits / n;
+    acc.drops_observed <- acc.drops_observed / n;
+    acc.duplicates_suppressed <- acc.duplicates_suppressed / n;
+    acc.backoff_time_ns <- acc.backoff_time_ns / n;
     acc
   end
 

@@ -34,6 +34,12 @@ type t = {
   (* --- accumulated virtual time (ns) attributed to detection --- *)
   mutable trap_time_ns : int;  (** charged inline to application writes *)
   mutable collect_time_ns : int;  (** charged on the runtime path at synchronization *)
+  (* --- reliable-channel activity under fault injection (all zero on a
+     fault-free fabric) --- *)
+  mutable retransmits : int;  (** data copies this processor resent after an ack timeout *)
+  mutable drops_observed : int;  (** data/ack copies of this processor's messages the fabric destroyed *)
+  mutable duplicates_suppressed : int;  (** redundant incoming copies discarded by sequence number *)
+  mutable backoff_time_ns : int;  (** virtual time this processor's messages spent in retransmission timeouts *)
 }
 
 val create : unit -> t

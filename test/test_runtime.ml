@@ -336,6 +336,68 @@ let test_deadlock_detected () =
        in
        has "held by p0" && has "waiting p1")
 
+(* --- fault injection end to end ----------------------------------------- *)
+
+let sum_counters machine f = Array.fold_left (fun acc c -> acc + f c) 0 (R.all_counters machine)
+
+(* The protocol must survive a lossy fabric: mutual exclusion and data
+   movement stay correct, only the timing degrades. *)
+let faulty_counter_test backend () =
+  let nprocs = 4 in
+  let cfg =
+    Config.with_faults ~duplicate:0.05 ~jitter_ns:10_000 ~seed:9 ~drop:0.1
+      (Config.make backend ~nprocs)
+  in
+  let machine = R.create cfg in
+  let counter = R.alloc machine ~line_size:8 8 in
+  let lock = R.new_lock machine [ Range.v counter 8 ] in
+  R.run machine (fun c ->
+      for _ = 1 to 25 do
+        R.acquire c lock;
+        R.write_int c counter (R.read_int c counter + 1);
+        R.release c lock;
+        R.work_ns c (1_000 * (R.id c + 1))
+      done);
+  Alcotest.(check int) "all increments survive a 10% drop rate" 100
+    (read_direct machine ~proc:lock.Midway.Sync.owner counter);
+  Alcotest.(check (list string)) "invariants clean" [] (R.check_invariants machine);
+  Alcotest.(check bool) "losses forced retransmissions" true
+    (sum_counters machine (fun c -> c.Counters.retransmits) > 0);
+  Alcotest.(check bool) "backoff time accumulated" true
+    (sum_counters machine (fun c -> c.Counters.backoff_time_ns) > 0)
+
+(* Same faulty configuration, same seed => bit-identical run. *)
+let test_faulty_run_deterministic () =
+  let run () =
+    let cfg = Config.with_faults ~duplicate:0.1 ~seed:3 ~drop:0.15 (Config.make Config.Rt ~nprocs:4) in
+    let machine = R.create cfg in
+    let counter = R.alloc machine ~line_size:8 8 in
+    let lock = R.new_lock machine [ Range.v counter 8 ] in
+    R.run machine (fun c ->
+        for _ = 1 to 10 do
+          R.acquire c lock;
+          R.write_int c counter (R.read_int c counter + 1);
+          R.release c lock
+        done);
+    ( R.elapsed_ns machine,
+      sum_counters machine (fun c -> c.Counters.retransmits),
+      sum_counters machine (fun c -> c.Counters.duplicates_suppressed) )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical elapsed and channel activity" true (a = b)
+
+(* The acceptance benchmark: quicksort — rebinding, a contended task
+   queue — sorts correctly under a 2% drop rate, leaves the protocol
+   invariants clean, and visibly exercised the retransmission machinery. *)
+let test_quicksort_under_drops () =
+  let cfg = Config.with_faults ~seed:42 ~drop:0.02 (Config.make Config.Rt ~nprocs:4) in
+  let o = Midway_apps.Quicksort.run cfg (Midway_apps.Quicksort.scaled 0.05) in
+  Alcotest.(check bool) "sorted output verified" true o.Midway_apps.Outcome.ok;
+  let machine = o.Midway_apps.Outcome.machine in
+  Alcotest.(check (list string)) "invariants clean" [] (R.check_invariants machine);
+  Alcotest.(check bool) "retransmissions happened" true
+    (sum_counters machine (fun c -> c.Counters.retransmits) > 0)
+
 (* --- uniprocessor semantics (paper section 4, Figure 2 discussion) -------- *)
 
 let test_uniprocessor_vm_never_diffs () =
@@ -989,6 +1051,13 @@ let () =
           Alcotest.test_case "leaked lock" `Quick test_invariants_catch_leaked_lock;
           Alcotest.test_case "write without ownership" `Quick
             test_invariants_catch_unlocked_write;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "counter under faults (rt)" `Quick (faulty_counter_test Config.Rt);
+          Alcotest.test_case "counter under faults (vm)" `Quick (faulty_counter_test Config.Vm);
+          Alcotest.test_case "faulty run deterministic" `Quick test_faulty_run_deterministic;
+          Alcotest.test_case "quicksort under 2% drop" `Slow test_quicksort_under_drops;
         ] );
       ( "tracing",
         [

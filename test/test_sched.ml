@@ -78,6 +78,32 @@ let test_double_wake_rejected () =
   Engine.run e;
   Alcotest.(check bool) "second wake rejected" true !failed
 
+(* A blocked fiber's reason string surfaces in the deadlock message, and
+   is cleared once the fiber is woken. *)
+let test_deadlock_blocked_reason () =
+  let e = Engine.create ~nprocs:3 in
+  let waker = ref None in
+  Engine.spawn e 0 (fun p ->
+      Engine.block p ~reason:"acquire of lock 7" ~setup:(fun ~wake:_ -> ()));
+  Engine.spawn e 1 (fun p ->
+      (* woken once, then wedged with no reason given *)
+      Engine.block p ~reason:"first wait" ~setup:(fun ~wake -> waker := Some wake);
+      Engine.block p ~setup:(fun ~wake:_ -> ()));
+  Engine.spawn e 2 (fun p ->
+      Engine.charge p 5;
+      (Option.get !waker) ~at:10);
+  try
+    Engine.run e;
+    Alcotest.fail "expected Deadlock"
+  with Engine.Deadlock msg ->
+    let has sub =
+      let n = String.length sub and h = String.length msg in
+      let rec go i = i + n <= h && (String.sub msg i n = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "reason included" true (has "p0@0ns (blocked in acquire of lock 7)");
+    Alcotest.(check bool) "cleared on wake" true (not (has "first wait"))
+
 let test_deadlock_detection () =
   let e = Engine.create ~nprocs:2 in
   Engine.spawn e 0 (fun p -> Engine.block p ~setup:(fun ~wake:_ -> ()));
@@ -233,6 +259,7 @@ let () =
           Alcotest.test_case "wake never rewinds" `Quick test_wake_does_not_rewind;
           Alcotest.test_case "double wake rejected" `Quick test_double_wake_rejected;
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "deadlock blocked reason" `Quick test_deadlock_blocked_reason;
           Alcotest.test_case "spawn validation" `Quick test_spawn_validation;
           Alcotest.test_case "run once" `Quick test_run_once;
           Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;

@@ -1,9 +1,14 @@
-(* Tests for the interconnect model: transfer-time arithmetic and
-   per-processor payload accounting. *)
+(* Tests for the interconnect model: transfer-time arithmetic,
+   per-processor payload accounting, fault injection and the reliable
+   delivery channel built on top of it. *)
 
 module Net = Midway_simnet.Net
+module Reliable = Midway_simnet.Reliable
 
 let qtest = QCheck_alcotest.to_alcotest
+
+let deliver net ?overhead_bytes ~kind ~src ~dst ~payload_bytes ~at () =
+  Net.delivery (Net.send ?overhead_bytes net ~kind ~src ~dst ~payload_bytes ~at)
 
 let test_transfer_time () =
   let net = Net.create ~latency_ns:150_000 ~ns_per_byte:57 ~header_bytes:64 ~nprocs:2 () in
@@ -16,7 +21,7 @@ let test_transfer_time () =
 
 let test_send_accounting () =
   let net = Net.create ~nprocs:3 () in
-  let t1 = Net.send net ~kind:Net.Lock_request ~src:0 ~dst:1 ~payload_bytes:100 ~at:5 in
+  let t1 = deliver net ~kind:Net.Lock_request ~src:0 ~dst:1 ~payload_bytes:100 ~at:5 () in
   Alcotest.(check bool) "delivery after send" true (t1 > 5);
   ignore (Net.send net ~kind:Net.Lock_reply ~src:1 ~dst:0 ~payload_bytes:200 ~at:t1);
   Alcotest.(check int) "p0 sent one message" 1 (Net.messages_sent net ~proc:0);
@@ -27,16 +32,32 @@ let test_send_accounting () =
   Alcotest.(check int) "total payload" 300 (Net.total_payload_bytes net);
   Alcotest.(check int) "kind counter" 1 (Net.messages_of_kind net Net.Lock_request)
 
+(* Pins the documented self-send contract: src = dst costs nothing,
+   arrives instantly and updates no counter. *)
 let test_self_send_free () =
   let net = Net.create ~nprocs:2 () in
-  let t = Net.send net ~kind:Net.Barrier_arrive ~src:1 ~dst:1 ~payload_bytes:4096 ~at:77 in
+  let t = deliver net ~kind:Net.Barrier_arrive ~src:1 ~dst:1 ~payload_bytes:4096 ~at:77 () in
   Alcotest.(check int) "no time" 77 t;
   Alcotest.(check int) "no message" 0 (Net.total_messages net);
   Alcotest.(check int) "no payload" 0 (Net.total_payload_bytes net)
 
+(* ... and that fault injection never applies to self-sends: even under
+   a certain-drop policy a message that does not cross the fabric
+   arrives, and the injection counters stay at zero. *)
+let test_self_send_immune_to_faults () =
+  let net = Net.create ~nprocs:2 () in
+  Net.set_fault_policy net (Net.uniform_faults ~duplicate:1.0 ~drop:1.0 ());
+  (match Net.send net ~kind:Net.Lock_reply ~src:0 ~dst:0 ~payload_bytes:64 ~at:9 with
+  | Net.Delivered t -> Alcotest.(check int) "instant" 9 t
+  | Net.Dropped | Net.Duplicated _ -> Alcotest.fail "self-send was faulted");
+  Alcotest.(check int) "no injected drops" 0 (Net.drops_injected net);
+  Alcotest.(check int) "no injected duplicates" 0 (Net.duplicates_injected net)
+
 let test_overhead_excluded_from_accounting () =
   let net = Net.create ~latency_ns:0 ~ns_per_byte:1 ~header_bytes:0 ~nprocs:2 () in
-  let t = Net.send ~overhead_bytes:50 net ~kind:Net.Lock_reply ~src:0 ~dst:1 ~payload_bytes:10 ~at:0 in
+  let t =
+    deliver ~overhead_bytes:50 net ~kind:Net.Lock_reply ~src:0 ~dst:1 ~payload_bytes:10 ~at:0 ()
+  in
   Alcotest.(check int) "wire time includes overhead" 60 t;
   Alcotest.(check int) "accounting excludes overhead" 10 (Net.bytes_sent net ~proc:0)
 
@@ -51,7 +72,175 @@ let test_kind_names () =
   List.iter
     (fun k -> Alcotest.(check bool) "nonempty name" true (String.length (Net.kind_name k) > 0))
     [ Net.Lock_request; Net.Lock_reply; Net.Lock_forward; Net.Barrier_arrive;
-      Net.Barrier_release; Net.Startup ]
+      Net.Barrier_release; Net.Startup; Net.Ack ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_tag = function
+  | Net.Delivered t -> Printf.sprintf "D%d" t
+  | Net.Dropped -> "X"
+  | Net.Duplicated (a, b) -> Printf.sprintf "2[%d,%d]" a b
+
+(* Same seed, same traffic => the exact same sequence of drops,
+   duplicates and jittered arrival times. *)
+let test_fault_determinism () =
+  let run () =
+    let net = Net.create ~nprocs:4 () in
+    Net.set_fault_policy net (Net.uniform_faults ~duplicate:0.2 ~jitter_ns:5_000 ~seed:7 ~drop:0.3 ());
+    List.init 200 (fun i ->
+        outcome_tag
+          (Net.send net ~kind:Net.Lock_reply ~src:(i mod 4) ~dst:((i + 1) mod 4)
+             ~payload_bytes:(i * 13 mod 512) ~at:(i * 1000)))
+  in
+  Alcotest.(check (list string)) "identical fault schedule" (run ()) (run ())
+
+let test_fault_seed_changes_schedule () =
+  let run seed =
+    let net = Net.create ~nprocs:2 () in
+    Net.set_fault_policy net (Net.uniform_faults ~seed ~drop:0.5 ());
+    List.init 100 (fun i ->
+        outcome_tag (Net.send net ~kind:Net.Lock_reply ~src:0 ~dst:1 ~payload_bytes:0 ~at:i))
+  in
+  Alcotest.(check bool) "different seeds diverge" true (run 1 <> run 2)
+
+let test_certain_drop () =
+  let net = Net.create ~nprocs:2 () in
+  Net.set_fault_policy net (Net.uniform_faults ~drop:1.0 ());
+  for i = 0 to 9 do
+    match Net.send net ~kind:Net.Lock_request ~src:0 ~dst:1 ~payload_bytes:8 ~at:i with
+    | Net.Dropped -> ()
+    | Net.Delivered _ | Net.Duplicated _ -> Alcotest.fail "drop=1.0 delivered a message"
+  done;
+  Alcotest.(check int) "all drops counted" 10 (Net.drops_injected net);
+  (* dropped copies still count as sent, nothing as received *)
+  Alcotest.(check int) "sent accounting" 10 (Net.messages_sent net ~proc:0);
+  Alcotest.(check int) "nothing received" 0 (Net.bytes_received net ~proc:1)
+
+let test_certain_duplication () =
+  let net = Net.create ~latency_ns:1000 ~ns_per_byte:0 ~header_bytes:0 ~nprocs:2 () in
+  Net.set_fault_policy net (Net.uniform_faults ~duplicate:1.0 ~drop:0.0 ());
+  (match Net.send net ~kind:Net.Lock_reply ~src:0 ~dst:1 ~payload_bytes:100 ~at:0 with
+  | Net.Duplicated (a, b) ->
+      Alcotest.(check int) "first copy on time" 1000 a;
+      Alcotest.(check bool) "echo strictly later" true (b > a)
+  | Net.Delivered _ | Net.Dropped -> Alcotest.fail "duplicate=1.0 did not duplicate");
+  Alcotest.(check int) "duplicate counted" 1 (Net.duplicates_injected net);
+  (* a duplicated payload is received once *)
+  Alcotest.(check int) "received once" 100 (Net.bytes_received net ~proc:1)
+
+let test_fault_window () =
+  let net = Net.create ~nprocs:2 () in
+  let window =
+    { Net.w_from_ns = 2_000; w_until_ns = 5_000; w_kind = Some Net.Lock_reply;
+      w_src = None; w_dst = None }
+  in
+  Net.set_fault_policy net
+    { Net.link = Net.fault_free_link; overrides = []; windows = [ window ]; fault_seed = 1 };
+  let send kind at = Net.send net ~kind ~src:0 ~dst:1 ~payload_bytes:0 ~at in
+  (match send Net.Lock_reply 1_999 with
+  | Net.Delivered _ -> ()
+  | _ -> Alcotest.fail "before the window must deliver");
+  (match send Net.Lock_reply 2_000 with
+  | Net.Dropped -> ()
+  | _ -> Alcotest.fail "inside the window must drop");
+  (match send Net.Lock_request 3_000 with
+  | Net.Delivered _ -> ()
+  | _ -> Alcotest.fail "other kinds are not matched");
+  (match send Net.Lock_reply 5_000 with
+  | Net.Delivered _ -> ()
+  | _ -> Alcotest.fail "window end is exclusive")
+
+let test_delivery_of_dropped_raises () =
+  Alcotest.check_raises "delivery of Dropped"
+    (Invalid_argument "Net.delivery: message was dropped")
+    (fun () -> ignore (Net.delivery Net.Dropped))
+
+(* ------------------------------------------------------------------ *)
+(* Reliable channel                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_reliable_faultless_passthrough () =
+  let net = Net.create ~nprocs:2 () in
+  let ch = Reliable.create net in
+  let d = Reliable.send ch ~kind:Net.Lock_request ~src:0 ~dst:1 ~payload_bytes:32 ~at:10 in
+  Alcotest.(check int) "delivered on the bare-fabric schedule"
+    (Net.transfer_ns net ~payload_bytes:32 + 10)
+    d.Reliable.delivered_at;
+  Alcotest.(check int) "single transmission" 1 d.Reliable.transmissions;
+  Alcotest.(check int) "no retransmit" 0 d.Reliable.retransmits;
+  Alcotest.(check bool) "ack completes after delivery" true
+    (d.Reliable.acked_at > d.Reliable.delivered_at);
+  Alcotest.(check int) "nothing in flight" 0 (Reliable.unacked ch);
+  Alcotest.(check int) "sequence advanced" 1 (Reliable.next_seq ch ~src:0 ~dst:1)
+
+let test_reliable_self_send () =
+  let net = Net.create ~nprocs:2 () in
+  let ch = Reliable.create net in
+  let d = Reliable.send ch ~kind:Net.Lock_request ~src:1 ~dst:1 ~payload_bytes:64 ~at:3 in
+  Alcotest.(check int) "instant" 3 d.Reliable.delivered_at;
+  Alcotest.(check int) "no wire traffic" 0 d.Reliable.transmissions;
+  Alcotest.(check int) "no sequence consumed" 0 (Reliable.next_seq ch ~src:1 ~dst:1)
+
+let test_reliable_survives_drops () =
+  let net = Net.create ~nprocs:2 () in
+  Net.set_fault_policy net (Net.uniform_faults ~seed:11 ~drop:0.5 ());
+  let ch = Reliable.create net in
+  let retr = ref 0 in
+  for i = 0 to 99 do
+    let d = Reliable.send ch ~kind:Net.Lock_reply ~src:0 ~dst:1 ~payload_bytes:128 ~at:(i * 10_000) in
+    retr := !retr + d.Reliable.retransmits;
+    Alcotest.(check bool) "delivered at or after send" true
+      (d.Reliable.delivered_at >= i * 10_000)
+  done;
+  Alcotest.(check bool) "a 50% loss rate forced retransmissions" true (!retr > 0);
+  Alcotest.(check int) "channel totals agree" !retr (Reliable.total_retransmits ch);
+  Alcotest.(check bool) "backoff time accumulated" true (Reliable.total_backoff_ns ch > 0);
+  Alcotest.(check int) "all acked" 0 (Reliable.unacked ch)
+
+let test_reliable_suppresses_duplicates () =
+  let net = Net.create ~nprocs:2 () in
+  Net.set_fault_policy net (Net.uniform_faults ~duplicate:1.0 ~drop:0.0 ());
+  let ch = Reliable.create net in
+  let d = Reliable.send ch ~kind:Net.Lock_reply ~src:0 ~dst:1 ~payload_bytes:64 ~at:0 in
+  Alcotest.(check int) "second copy suppressed" 1 d.Reliable.dups_suppressed;
+  Alcotest.(check int) "payload delivered once (received accounting)" 64
+    (Net.bytes_received net ~proc:1)
+
+let test_reliable_backoff_doubles () =
+  (* Drop everything inside a long window: each retry waits twice the
+     previous timeout, capped, so total backoff for n retries is the
+     geometric sum. *)
+  let net = Net.create ~nprocs:2 () in
+  Net.set_fault_policy net
+    { Net.link = Net.fault_free_link; overrides = [];
+      windows =
+        [ { Net.w_from_ns = 0; w_until_ns = 3_500_000; w_kind = None; w_src = None;
+            w_dst = None } ];
+      fault_seed = 1 };
+  let ch =
+    Reliable.create
+      ~config:{ Reliable.timeout_ns = 1_000_000; backoff_cap_ns = 16_000_000; max_attempts = 20 }
+      net
+  in
+  let d = Reliable.send ch ~kind:Net.Lock_request ~src:0 ~dst:1 ~payload_bytes:0 ~at:0 in
+  (* copies at 0, 1ms, 3ms die in the window; the copy at 3ms+2ms*2=7ms
+     escapes: backoff = 1 + 2 + 4 ms *)
+  Alcotest.(check int) "three retransmissions" 3 d.Reliable.retransmits;
+  Alcotest.(check int) "geometric backoff" 7_000_000 d.Reliable.backoff_ns
+
+let test_reliable_exhausts () =
+  let net = Net.create ~nprocs:2 () in
+  Net.set_fault_policy net (Net.uniform_faults ~drop:1.0 ());
+  let ch =
+    Reliable.create
+      ~config:{ Reliable.timeout_ns = 1_000; backoff_cap_ns = 4_000; max_attempts = 3 } net
+  in
+  (match Reliable.send ch ~kind:Net.Lock_request ~src:0 ~dst:1 ~payload_bytes:0 ~at:0 with
+  | exception Reliable.Exhausted _ -> ()
+  | _ -> Alcotest.fail "a 100% loss rate must exhaust the retry budget");
+  Alcotest.(check int) "gave up cleanly: nothing left in flight" 0 (Reliable.unacked ch)
 
 let delivery_monotone =
   QCheck.Test.make ~name:"delivery time grows with payload" ~count:200
@@ -59,8 +248,8 @@ let delivery_monotone =
     (fun (a, b) ->
       let net = Net.create ~nprocs:2 () in
       let lo = min a b and hi = max a b in
-      Net.send net ~kind:Net.Lock_reply ~src:0 ~dst:1 ~payload_bytes:lo ~at:0
-      <= Net.send net ~kind:Net.Lock_reply ~src:0 ~dst:1 ~payload_bytes:hi ~at:0)
+      deliver net ~kind:Net.Lock_reply ~src:0 ~dst:1 ~payload_bytes:lo ~at:0 ()
+      <= deliver net ~kind:Net.Lock_reply ~src:0 ~dst:1 ~payload_bytes:hi ~at:0 ())
 
 let accounting_balance =
   QCheck.Test.make ~name:"bytes sent equals bytes received across the fabric" ~count:100
@@ -77,6 +266,27 @@ let accounting_balance =
       in
       sent = recv)
 
+let reliable_always_delivers =
+  QCheck.Test.make ~name:"reliable channel delivers under any sub-certain loss" ~count:50
+    QCheck.(pair (int_bound 1000) (int_bound 70))
+    (fun (seed, drop_pct) ->
+      let net = Net.create ~nprocs:2 () in
+      Net.set_fault_policy net
+        (Net.uniform_faults ~seed ~drop:(float_of_int drop_pct /. 100.) ());
+      (* at 70% loss the data+ack round trip survives an attempt with
+         probability 0.09; 256 attempts leave ~1e-11 odds of a flake *)
+      let ch =
+        Reliable.create
+          ~config:{ Reliable.timeout_ns = 100_000; backoff_cap_ns = 1_600_000; max_attempts = 256 }
+          net
+      in
+      let ok = ref true in
+      for i = 0 to 19 do
+        let d = Reliable.send ch ~kind:Net.Lock_reply ~src:0 ~dst:1 ~payload_bytes:64 ~at:(i * 1000) in
+        ok := !ok && d.Reliable.delivered_at >= i * 1000
+      done;
+      !ok && Reliable.unacked ch = 0)
+
 let () =
   Alcotest.run "simnet"
     [
@@ -85,10 +295,30 @@ let () =
           Alcotest.test_case "transfer time" `Quick test_transfer_time;
           Alcotest.test_case "send accounting" `Quick test_send_accounting;
           Alcotest.test_case "self-send free" `Quick test_self_send_free;
+          Alcotest.test_case "self-send immune to faults" `Quick test_self_send_immune_to_faults;
           Alcotest.test_case "overhead bytes" `Quick test_overhead_excluded_from_accounting;
           Alcotest.test_case "validation" `Quick test_validation;
           Alcotest.test_case "kind names" `Quick test_kind_names;
           qtest delivery_monotone;
           qtest accounting_balance;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "deterministic schedule" `Quick test_fault_determinism;
+          Alcotest.test_case "seed changes schedule" `Quick test_fault_seed_changes_schedule;
+          Alcotest.test_case "certain drop" `Quick test_certain_drop;
+          Alcotest.test_case "certain duplication" `Quick test_certain_duplication;
+          Alcotest.test_case "scripted window" `Quick test_fault_window;
+          Alcotest.test_case "delivery of Dropped raises" `Quick test_delivery_of_dropped_raises;
+        ] );
+      ( "reliable",
+        [
+          Alcotest.test_case "faultless passthrough" `Quick test_reliable_faultless_passthrough;
+          Alcotest.test_case "self-send" `Quick test_reliable_self_send;
+          Alcotest.test_case "survives drops" `Quick test_reliable_survives_drops;
+          Alcotest.test_case "suppresses duplicates" `Quick test_reliable_suppresses_duplicates;
+          Alcotest.test_case "exponential backoff" `Quick test_reliable_backoff_doubles;
+          Alcotest.test_case "retry budget exhaustion" `Quick test_reliable_exhausts;
+          qtest reliable_always_delivers;
         ] );
     ]
