@@ -1,0 +1,46 @@
+(* Sanity-check a BENCH_wallclock.json artifact: right schema, a
+   non-empty run list where every entry has an app/backend/wall_s/
+   sim_elapsed_ns/ok field with sane values.  Exits non-zero (with a
+   reason on stderr) on any malformation, so @benchsmoke catches a
+   broken bench before it lands in the repo. *)
+
+module Json = Midway_util.Json
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let get name conv v =
+  match Option.bind (Json.member name v) conv with
+  | Some x -> x
+  | None -> die "missing or mistyped field %S" name
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_wallclock.json" in
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error e -> die "cannot read %s: %s" path e
+  in
+  let doc = try Json.of_string contents with Json.Parse_error e -> die "%s: %s" path e in
+  if get "schema" Json.to_str doc <> "midway-wallclock/1" then
+    die "%s: unexpected schema" path;
+  let scale = get "scale" Json.to_float doc in
+  if scale <= 0.0 then die "%s: non-positive scale" path;
+  ignore (get "nprocs" Json.to_int doc);
+  let current = get "current" (fun v -> Json.member "runs" v) doc in
+  let runs = match Json.to_list current with Some l -> l | None -> die "runs not a list" in
+  if runs = [] then die "%s: empty run list" path;
+  List.iter
+    (fun run ->
+      let app = get "app" Json.to_str run in
+      let backend = get "backend" Json.to_str run in
+      let wall = get "wall_s" Json.to_float run in
+      let sim = get "sim_elapsed_ns" Json.to_int run in
+      let ok = get "ok" Json.to_bool run in
+      if wall < 0.0 then die "%s/%s: negative wall time" app backend;
+      if sim <= 0 then die "%s/%s: non-positive simulated time" app backend;
+      if not ok then die "%s/%s: oracle failed during bench" app backend)
+    runs;
+  Printf.printf "%s: ok (%d runs at scale %.2f)\n" path (List.length runs) scale

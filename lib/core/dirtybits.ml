@@ -96,6 +96,17 @@ let set_ts t ~region ~addr ~ts =
   tbl.ts.(line) <- ts;
   bump_group_max t tbl line ts
 
+(* Install one timestamp across [lines] consecutive lines starting at
+   [addr] — the apply side of a coalesced run (one table lookup for the
+   whole run). *)
+let set_ts_run t ~region ~addr ~lines ~ts =
+  let tbl = table_for t region in
+  let first = line_index region addr in
+  for line = first to first + lines - 1 do
+    tbl.ts.(line) <- ts;
+    bump_group_max t tbl line ts
+  done
+
 let fresh_counts () =
   { clean_reads = 0; dirty_reads = 0; groups_skipped = 0; group_checks = 0; queue_entries = 0 }
 
@@ -163,18 +174,23 @@ let scan_range t counts ~region ~range ~stamp ~select ~emit =
       done
 
 let scan_queue t counts ~region_of ~ranges ~stamp ~emit =
-  let keep = ref [] and consumed = ref [] in
+  let keep = ref [] and consumed = ref [] and kept = ref 0 in
   List.iter
     (fun entry ->
       let inside = Range.clip entry ~within:ranges in
-      if inside = [] then keep := entry :: !keep
+      if inside = [] then begin
+        keep := entry :: !keep;
+        incr kept
+      end
       else begin
         consumed := inside @ !consumed;
-        keep := Range.subtract entry ~minus:ranges @ !keep
+        let remain = Range.subtract entry ~minus:ranges in
+        keep := remain @ !keep;
+        kept := !kept + List.length remain
       end)
     t.queue;
   t.queue <- List.rev !keep;
-  t.queue_len <- List.length t.queue;
+  t.queue_len <- !kept;
   List.iter
     (fun (piece : Range.t) ->
       counts.queue_entries <- counts.queue_entries + 1;
@@ -188,7 +204,7 @@ let scan_queue t counts ~region_of ~ranges ~stamp ~emit =
              and emit (a transfer cursor is always below a fresh stamp). *)
           counts.dirty_reads <- counts.dirty_reads + 1;
           tbl.ts.(line) <- stamp;
-          emit
+          emit region
             ~addr:(Region.base region + (line * region.Region.line_size))
             ~len:region.Region.line_size ~ts:stamp ~fresh:true
         end
@@ -196,18 +212,73 @@ let scan_queue t counts ~region_of ~ranges ~stamp ~emit =
     !consumed;
   counts
 
+(* Pending run state for coalescing per-line visits into one emit per
+   contiguous run of lines sharing a timestamp and freshness. *)
+type run_acc = {
+  mutable r_addr : int;
+  mutable r_len : int;
+  mutable r_ts : Timestamp.t;
+  mutable r_fresh : bool;
+  mutable r_lines : int;
+  mutable r_region : int;  (* region index; a run never spans regions *)
+  mutable r_active : bool;
+}
+
 let scan t ~region_of ~ranges ~stamp ~select ~emit =
   let counts = fresh_counts () in
   let ranges = Range.normalize ranges in
-  match t.mode with
-  | Config.Update_queue -> scan_queue t counts ~region_of ~ranges ~stamp ~emit
+  let r =
+    {
+      r_addr = 0;
+      r_len = 0;
+      r_ts = 0;
+      r_fresh = false;
+      r_lines = 0;
+      r_region = -1;
+      r_active = false;
+    }
+  in
+  let flush () =
+    if r.r_active then begin
+      r.r_active <- false;
+      emit ~addr:r.r_addr ~len:r.r_len ~ts:r.r_ts ~fresh:r.r_fresh ~lines:r.r_lines
+    end
+  in
+  (* Per-line selection feeds the coalescer; discontiguity, a change of
+     timestamp/freshness, or a region boundary closes the pending run.  A
+     line visited twice (overlapping unmerged ranges) restarts a run
+     because its address does not extend the pending one, so nothing is
+     ever silently dropped. *)
+  let emit_line (region : Region.t) ~addr ~len ~ts ~fresh =
+    if
+      r.r_active && r.r_addr + r.r_len = addr && r.r_ts = ts && r.r_fresh = fresh
+      && r.r_region = region.Region.index
+    then begin
+      r.r_len <- r.r_len + len;
+      r.r_lines <- r.r_lines + 1
+    end
+    else begin
+      flush ();
+      r.r_active <- true;
+      r.r_addr <- addr;
+      r.r_len <- len;
+      r.r_ts <- ts;
+      r.r_fresh <- fresh;
+      r.r_lines <- 1;
+      r.r_region <- region.Region.index
+    end
+  in
+  (match t.mode with
+  | Config.Update_queue ->
+      ignore (scan_queue t counts ~region_of ~ranges ~stamp ~emit:emit_line)
   | Config.Plain | Config.Two_level ->
       List.iter
         (fun range ->
           if not (Range.is_empty range) then
             let region = region_of range.Range.addr in
-            scan_range t counts ~region ~range ~stamp ~select ~emit)
-        ranges;
-      counts
+            scan_range t counts ~region ~range ~stamp ~select ~emit:(emit_line region))
+        ranges);
+  flush ();
+  counts
 
 let queue_length t = t.queue_len

@@ -42,6 +42,12 @@ val line_ts : t -> region:Midway_memory.Region.t -> addr:int -> Timestamp.t
 val set_ts : t -> region:Midway_memory.Region.t -> addr:int -> ts:Timestamp.t -> unit
 (** Install an incoming update's timestamp at this processor. *)
 
+val set_ts_run :
+  t -> region:Midway_memory.Region.t -> addr:int -> lines:int -> ts:Timestamp.t -> unit
+(** Install one timestamp across [lines] consecutive lines starting at
+    [addr] — the apply side of a coalesced run.  The run must lie within
+    one region. *)
+
 type scan_counts = {
   mutable clean_reads : int;  (** lines read and found stamped *)
   mutable dirty_reads : int;  (** lines read and found locally dirty (stamped during the scan) *)
@@ -65,15 +71,19 @@ val scan :
   ranges:Range.t list ->
   stamp:Timestamp.t ->
   select:selection ->
-  emit:(addr:int -> len:int -> ts:Timestamp.t -> fresh:bool -> unit) ->
+  emit:(addr:int -> len:int -> ts:Timestamp.t -> fresh:bool -> lines:int -> unit) ->
   scan_counts
 (** Write collection for one synchronization point.  Visits the bound
-    lines, stamps locally dirty lines with [stamp], and calls [emit] for
-    each selected line ([fresh] marks lines stamped by this scan).
-    [region_of] maps an address to its region (lines never span regions).
-    In [Update_queue] mode only queued entries are visited: the caller is
-    responsible for lines it received from third parties (see the
-    runtime's per-lock history). *)
+    lines, stamps locally dirty lines with [stamp], and calls [emit] once
+    per contiguous *run* of selected lines sharing a timestamp and
+    freshness ([fresh] marks lines stamped by this scan; [lines] is the
+    number of lines coalesced into the run, [len] their total bytes).
+    Selection and stamping are still per line — only the emission is
+    batched, so the covered addresses, timestamps and counts are exactly
+    those of a per-line emission.  [region_of] maps an address to its
+    region (runs never span regions).  In [Update_queue] mode only queued
+    entries are visited: the caller is responsible for lines it received
+    from third parties (see the runtime's per-lock history). *)
 
 val queue_length : t -> int
 (** [Update_queue] mode: entries currently queued (0 in other modes). *)

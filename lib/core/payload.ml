@@ -1,6 +1,6 @@
 module Space = Midway_memory.Space
 
-type rt_line = { addr : int; len : int; ts : Timestamp.t; data : Bytes.t }
+type rt_line = { addr : int; len : int; ts : Timestamp.t; data : Bytes.t; descs : int }
 
 type vm_piece = { addr : int; data : Bytes.t }
 
@@ -24,7 +24,7 @@ let app_bytes = function
   | Empty -> 0
 
 let descriptors = function
-  | Rt_lines lines -> List.length lines
+  | Rt_lines lines -> List.fold_left (fun acc l -> acc + l.descs) 0 lines
   | Vm_updates updates -> List.fold_left (fun acc u -> acc + List.length u.pieces) 0 updates
   | Vm_full pieces | Blast_data pieces -> List.length pieces
   | Empty -> 0

@@ -6,7 +6,11 @@
     would exceed the bound data (or history has been discarded), the full
     bound data; the blast backend always ships the full bound data. *)
 
-type rt_line = { addr : int; len : int; ts : Timestamp.t; data : Bytes.t }
+type rt_line = { addr : int; len : int; ts : Timestamp.t; data : Bytes.t; descs : int }
+(** A run of [descs] contiguous equally-sized cache lines sharing one
+    timestamp.  [descs] is the number of line descriptors the run stands
+    for on the wire; per-line values (history, install costs) divide [len]
+    by [descs]. *)
 
 type vm_piece = { addr : int; data : Bytes.t }
 

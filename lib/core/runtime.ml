@@ -23,6 +23,7 @@ type ctx = {
   mutable lamport : int;
   mutable rt_global_seen : Timestamp.t;  (* untargetted mode: everything-consistent-as-of cursor *)
   backend : backend_state;
+  gather : Gather.t;  (* reusable run buffer for write collection *)
 }
 
 and t = {
@@ -96,6 +97,7 @@ let create (cfg : Config.t) =
                   ( Vm_state.create ~page_size:cfg.cost.page_size,
                     Dirtybits.create ~mode:Config.Plain ~group:cfg.two_level_group )
             | Config.Blast | Config.Standalone -> B_none);
+          gather = Gather.create ();
         });
   machine
 
@@ -262,24 +264,23 @@ let scan_cost (cfg : Config.t) (counts : Dirtybits.scan_counts) =
 (* Collect the update set a requester is missing, stamping this
    processor's fresh modifications.  [select] distinguishes lock
    transfers from barrier arrivals. *)
+(* Snapshot a run's bytes out of the collector's memory: one blit. *)
+let run_reader (c : ctx) ~addr ~len = Space.read_bytes c.machine.space ~proc:c.cid addr ~len
+
 let rt_collect (c : ctx) db ~ranges ~select =
   let cfg = c.machine.cfg in
   c.lamport <- c.lamport + 1;
   let stamp = Timestamp.make ~time:c.lamport ~proc:c.cid ~nprocs:cfg.nprocs in
-  let lines = ref [] in
-  let bytes = ref 0 in
-  let emit ~addr ~len ~ts ~fresh:_ =
-    let data = Space.read_bytes c.machine.space ~proc:c.cid addr ~len in
-    bytes := !bytes + len;
-    lines := { Payload.addr; len; ts; data } :: !lines
-  in
+  let g = c.gather in
+  Gather.clear g;
+  let emit ~addr ~len ~ts ~fresh:_ ~lines = Gather.push_run g ~addr ~len ~ts ~descs:lines in
   let counts = Dirtybits.scan db ~region_of:(region_of c) ~ranges ~stamp ~select ~emit in
   c.counters.clean_dirtybits_read <- c.counters.clean_dirtybits_read + counts.clean_reads;
   c.counters.dirty_dirtybits_read <- c.counters.dirty_dirtybits_read + counts.dirty_reads;
   c.counters.bound_bytes_scanned <-
     c.counters.bound_bytes_scanned + Range.total_bytes (Range.normalize ranges);
-  c.counters.dirty_bytes_found <- c.counters.dirty_bytes_found + !bytes;
-  (List.rev !lines, scan_cost cfg counts, stamp)
+  c.counters.dirty_bytes_found <- c.counters.dirty_bytes_found + Gather.total_bytes g;
+  (Gather.to_rt_lines g ~read:(run_reader c), scan_cost cfg counts, stamp)
 
 (* Untargetted consistency: the whole allocated shared space is the
    collection target of every transfer. *)
@@ -310,7 +311,15 @@ let rt_collect_lock (c : ctx) db (l : Sync.lock) ~for_ =
       let history =
         if targetted then l.Sync.rt_history else c.machine.rt_untargetted_history
       in
-      List.iter (fun (ln : Payload.rt_line) -> Hashtbl.replace history ln.addr ln.ts) lines;
+      (* The history is per line; expand each coalesced run back into its
+         constituent lines. *)
+      List.iter
+        (fun (ln : Payload.rt_line) ->
+          let line_len = ln.len / ln.descs in
+          for i = 0 to ln.descs - 1 do
+            Hashtbl.replace history (ln.addr + (i * line_len)) ln.ts
+          done)
+        lines;
       let extra = ref [] in
       let extra_count = ref 0 in
       Hashtbl.iter
@@ -326,6 +335,7 @@ let rt_collect_lock (c : ctx) db (l : Sync.lock) ~for_ =
                   len;
                   ts;
                   data = Space.read_bytes c.machine.space ~proc:c.cid addr ~len;
+                  descs = 1;
                 }
                 :: !extra
           end)
@@ -342,30 +352,56 @@ let rt_apply (c : ctx) db (lines : Payload.rt_line list) =
      incoming one is stale and skipped.  The test never runs on a
      fault-free fabric, keeping those runs bit-identical to the seed. *)
   let guard_stale = c.machine.reliable <> None in
+  let track_history = cfg.untargetted && cfg.rt_mode = Config.Update_queue in
+  let note_history addr ts =
+    match Hashtbl.find_opt c.machine.rt_untargetted_history addr with
+    | Some old when old >= ts -> ()
+    | _ -> Hashtbl.replace c.machine.rt_untargetted_history addr ts
+  in
   let apply_ns = ref 0 in
   List.iter
     (fun (ln : Payload.rt_line) ->
       let region = region_of c ln.addr in
-      let stale =
-        guard_stale
-        &&
-        let cur = Dirtybits.line_ts db ~region ~addr:ln.addr in
-        Timestamp.is_stamp cur && cur >= ln.ts
+      let line_len = ln.len / ln.descs in
+      (* Costs are charged per line: copy_cost_ns floors an integer
+         division, so charging the run as one block would drift from the
+         per-line total. *)
+      let per_line_ns =
+        cost.dirtybit_update_ns + cfg.apply_line_ns
+        + Cost_model.copy_cost_ns cost ~bytes:line_len ~warm:true
       in
-      if stale then
-        c.counters.duplicates_suppressed <- c.counters.duplicates_suppressed + 1
-      else begin
+      if not guard_stale then begin
+        (* Fast path: install the whole run with one blit and one
+           timestamp sweep. *)
         Space.write_bytes c.machine.space ~proc:c.cid ln.addr ln.data;
-        Dirtybits.set_ts db ~region ~addr:ln.addr ~ts:ln.ts;
-        if cfg.untargetted && cfg.rt_mode = Config.Update_queue then
-          (match Hashtbl.find_opt c.machine.rt_untargetted_history ln.addr with
-          | Some old when old >= ln.ts -> ()
-          | _ -> Hashtbl.replace c.machine.rt_untargetted_history ln.addr ln.ts);
-        c.counters.dirtybits_updated <- c.counters.dirtybits_updated + 1;
-        apply_ns :=
-          !apply_ns + cost.dirtybit_update_ns + cfg.apply_line_ns
-          + Cost_model.copy_cost_ns cost ~bytes:ln.len ~warm:true
-      end)
+        Dirtybits.set_ts_run db ~region ~addr:ln.addr ~lines:ln.descs ~ts:ln.ts;
+        if track_history then
+          for i = 0 to ln.descs - 1 do
+            note_history (ln.addr + (i * line_len)) ln.ts
+          done;
+        c.counters.dirtybits_updated <- c.counters.dirtybits_updated + ln.descs;
+        apply_ns := !apply_ns + (ln.descs * per_line_ns)
+      end
+      else
+        (* Replays may have installed some of the run's lines already, so
+           staleness is decided line by line. *)
+        for i = 0 to ln.descs - 1 do
+          let addr = ln.addr + (i * line_len) in
+          let stale =
+            let cur = Dirtybits.line_ts db ~region ~addr in
+            Timestamp.is_stamp cur && cur >= ln.ts
+          in
+          if stale then
+            c.counters.duplicates_suppressed <- c.counters.duplicates_suppressed + 1
+          else begin
+            Space.write_bytes c.machine.space ~proc:c.cid addr
+              (Bytes.sub ln.data (i * line_len) line_len);
+            Dirtybits.set_ts db ~region ~addr ~ts:ln.ts;
+            if track_history then note_history addr ln.ts;
+            c.counters.dirtybits_updated <- c.counters.dirtybits_updated + 1;
+            apply_ns := !apply_ns + per_line_ns
+          end
+        done)
     lines;
   !apply_ns
 
@@ -564,14 +600,9 @@ let vmfine_collect (c : ctx) vm db ~ranges ~last_seen =
           c.counters.dirtybits_updated <- c.counters.dirtybits_updated + 1;
           stamp_ns := !stamp_ns + cfg.cost.dirtybit_update_ns))
     pieces;
-  let lines = ref [] in
-  let bytes = ref 0 in
-  let emit ~addr ~len ~ts ~fresh:_ =
-    bytes := !bytes + len;
-    lines :=
-      { Payload.addr; len; ts; data = Space.read_bytes c.machine.space ~proc:c.cid addr ~len }
-      :: !lines
-  in
+  let g = c.gather in
+  Gather.clear g;
+  let emit ~addr ~len ~ts ~fresh:_ ~lines = Gather.push_run g ~addr ~len ~ts ~descs:lines in
   let counts =
     Dirtybits.scan db ~region_of:(region_of c) ~ranges ~stamp
       ~select:(Dirtybits.Transfer last_seen) ~emit
@@ -580,8 +611,8 @@ let vmfine_collect (c : ctx) vm db ~ranges ~last_seen =
   c.counters.dirty_dirtybits_read <- c.counters.dirty_dirtybits_read + counts.dirty_reads;
   c.counters.bound_bytes_scanned <-
     c.counters.bound_bytes_scanned + Range.total_bytes (Range.normalize ranges);
-  c.counters.dirty_bytes_found <- c.counters.dirty_bytes_found + !bytes;
-  (List.rev !lines, diff_ns + !stamp_ns + scan_cost cfg counts, stamp)
+  c.counters.dirty_bytes_found <- c.counters.dirty_bytes_found + Gather.total_bytes g;
+  (Gather.to_rt_lines g ~read:(run_reader c), diff_ns + !stamp_ns + scan_cost cfg counts, stamp)
 
 (* Barrier arrival: the fresh modifications are exactly the diffed
    pieces, so no scan is needed — stamp them and ship their lines. *)
@@ -594,11 +625,18 @@ let vmfine_barrier_collect (c : ctx) vm db ~ranges =
   c.lamport <- c.lamport + 1;
   let stamp = Timestamp.make ~time:c.lamport ~proc:c.cid ~nprocs:cfg.nprocs in
   let seen = Hashtbl.create 16 in
-  let lines = ref [] in
+  let g = c.gather in
+  Gather.clear g;
   let extra_ns = ref 0 in
+  let last_region = ref (-1) in
   List.iter
     (fun (p : Payload.vm_piece) ->
       let region = region_of c p.Payload.addr in
+      if region.Region.index <> !last_region then begin
+        (* Runs never span regions (line sizes may differ across them). *)
+        Gather.seal g;
+        last_region := region.Region.index
+      end;
       Range.iter_lines
         (Range.v p.Payload.addr (Bytes.length p.Payload.data))
         ~line_size:region.Region.line_size
@@ -608,28 +646,34 @@ let vmfine_barrier_collect (c : ctx) vm db ~ranges =
             Dirtybits.set_ts db ~region ~addr ~ts:stamp;
             c.counters.dirtybits_updated <- c.counters.dirtybits_updated + 1;
             extra_ns := !extra_ns + cfg.cost.dirtybit_update_ns;
-            lines :=
-              {
-                Payload.addr;
-                len;
-                ts = stamp;
-                data = Space.read_bytes c.machine.space ~proc:c.cid addr ~len;
-              }
-              :: !lines
+            Gather.push_line g ~addr ~len ~ts:stamp
           end))
     pieces;
-  let bytes = List.fold_left (fun acc (l : Payload.rt_line) -> acc + l.Payload.len) 0 !lines in
   c.counters.bound_bytes_scanned <-
     c.counters.bound_bytes_scanned + Range.total_bytes (Range.normalize ranges);
-  c.counters.dirty_bytes_found <- c.counters.dirty_bytes_found + bytes;
-  (List.rev !lines, diff_ns + !extra_ns, stamp)
+  c.counters.dirty_bytes_found <- c.counters.dirty_bytes_found + Gather.total_bytes g;
+  (Gather.to_rt_lines g ~read:(run_reader c), diff_ns + !extra_ns, stamp)
 
 let vmfine_apply (c : ctx) vm db (lines : Payload.rt_line list) =
   let cfg = c.machine.cfg in
   (* the data lands in memory and in any twin of a dirty page, then the
-     timestamps install as at an RT requester *)
+     timestamps install as at an RT requester.  Runs are split back into
+     per-line pieces: the copy cost model floors an integer division per
+     piece, so applying a run as one block would drift from the per-line
+     total. *)
   let pieces =
-    List.map (fun (ln : Payload.rt_line) -> { Payload.addr = ln.addr; data = ln.data }) lines
+    List.concat_map
+      (fun (ln : Payload.rt_line) ->
+        if ln.Payload.descs = 1 then [ { Payload.addr = ln.addr; data = ln.data } ]
+        else begin
+          let line_len = ln.len / ln.descs in
+          List.init ln.descs (fun i ->
+              {
+                Payload.addr = ln.addr + (i * line_len);
+                data = Bytes.sub ln.data (i * line_len) line_len;
+              })
+        end)
+      lines
   in
   let copy_ns =
     Vm_state.apply_pieces vm ~space:c.machine.space ~proc:c.cid ~counters:c.counters
@@ -638,9 +682,10 @@ let vmfine_apply (c : ctx) vm db (lines : Payload.rt_line list) =
   List.fold_left
     (fun acc (ln : Payload.rt_line) ->
       let region = region_of c ln.Payload.addr in
-      Dirtybits.set_ts db ~region ~addr:ln.Payload.addr ~ts:ln.Payload.ts;
-      c.counters.dirtybits_updated <- c.counters.dirtybits_updated + 1;
-      acc + cfg.cost.dirtybit_update_ns + cfg.apply_line_ns)
+      Dirtybits.set_ts_run db ~region ~addr:ln.Payload.addr ~lines:ln.Payload.descs
+        ~ts:ln.Payload.ts;
+      c.counters.dirtybits_updated <- c.counters.dirtybits_updated + ln.Payload.descs;
+      acc + (ln.Payload.descs * (cfg.cost.dirtybit_update_ns + cfg.apply_line_ns)))
     copy_ns lines
 
 (* ------------------------------------------------------------------ *)

@@ -12,9 +12,15 @@ type pending_page = {
 type t = {
   pt : Page_table.t;
   pending : (int, pending_page) Hashtbl.t;  (* page number -> saved diff *)
+  trace_faults : bool;  (* MIDWAY_FAULT_TRACE, sampled once at creation *)
 }
 
-let create ~page_size = { pt = Page_table.create ~page_size; pending = Hashtbl.create 64 }
+let create ~page_size =
+  {
+    pt = Page_table.create ~page_size;
+    pending = Hashtbl.create 64;
+    trace_faults = Sys.getenv_opt "MIDWAY_FAULT_TRACE" <> None;
+  }
 
 let page_table t = t.pt
 
@@ -32,9 +38,7 @@ let on_write t ~space ~proc ~counters ~cost ~addr =
       | None -> assert false (* the page was read-only *)
       | Some _page ->
           counters.Counters.write_faults <- counters.Counters.write_faults + 1;
-          (match Sys.getenv_opt "MIDWAY_FAULT_TRACE" with
-          | Some _ -> Printf.eprintf "FAULT %d\n" (addr / psize)
-          | None -> ());
+          if t.trace_faults then Printf.eprintf "FAULT %d\n" (addr / psize);
           cost.Cost_model.page_fault_ns)
 
 let pending_for t number =
@@ -46,16 +50,18 @@ let pending_for t number =
       p
 
 (* Stash the parts of a diffed page that are *not* bound to the object
-   being transferred, so a later transfer can ship them. *)
-let save_outside t ~page_number ~page_base ~current outside =
+   being transferred, so a later transfer can ship them.  [current] is a
+   live view of the page starting at [cur_off]. *)
+let save_outside t ~page_number ~page_base ~current ~cur_off outside =
   match outside with
   | [] -> ()
   | _ ->
       let p = pending_for t page_number in
       List.iter
         (fun (r : Range.t) ->
-          Bytes.blit current (r.Range.addr - page_base) p.shadow (r.Range.addr - page_base)
-            r.Range.len)
+          Bytes.blit current
+            (cur_off + (r.Range.addr - page_base))
+            p.shadow (r.Range.addr - page_base) r.Range.len)
         outside;
       p.dirty <- Range.normalize (outside @ p.dirty)
 
@@ -110,13 +116,16 @@ let collect t ~space ~proc ~counters ~cost ~ranges =
       let page = Page_table.page_of_addr t.pt (number * psize) in
       if page.Page_table.dirty then begin
         let page_base = number * psize in
-        let current = Space.read_bytes space ~proc page_base ~len:psize in
+        (* Zero-copy view of the processor's live page; only read below. *)
+        let current, cur_off = Space.backing_slice space ~proc page_base ~len:psize in
         let twin =
           match page.Page_table.twin with
           | Some tw -> tw
           | None -> assert false (* dirty implies twinned *)
         in
-        let runs, transitions = Diff.diff ~old_:twin ~new_:current ~off:0 ~len:psize in
+        let runs, transitions =
+          Diff.diff_between ~old_:twin ~old_off:0 ~new_:current ~new_off:cur_off ~len:psize
+        in
         counters.Counters.pages_diffed <- counters.Counters.pages_diffed + 1;
         total_cost :=
           !total_cost + Cost_model.diff_cost_ns cost ~words:(psize / 4) ~transitions;
@@ -132,11 +141,11 @@ let collect t ~space ~proc ~counters ~cost ~ranges =
             pieces :=
               {
                 Payload.addr = r.Range.addr;
-                data = Bytes.sub current (r.Range.addr - page_base) r.Range.len;
+                data = Bytes.sub current (cur_off + (r.Range.addr - page_base)) r.Range.len;
               }
               :: !pieces)
           (Range.normalize inside);
-        save_outside t ~page_number:number ~page_base ~current outside;
+        save_outside t ~page_number:number ~page_base ~current ~cur_off outside;
         (* All modified data is accounted for: the page is clean again. *)
         Page_table.clean t.pt page;
         counters.Counters.pages_write_protected <-

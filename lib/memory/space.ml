@@ -1,13 +1,23 @@
 type addr = int
 
+(* Last-hit accessor cache, one per processor: the apps' inner loops walk
+   arrays word by word, so nearly every access lands in the region (and
+   backing buffer) of the previous one.  Caching the pair skips the
+   region lookup and the per-proc backing resolution on repeat hits.
+   Safe because regions are never unmapped and a region's backing buffer
+   for a processor is created once and never replaced. *)
+type cache_entry = { mutable c_idx : int; mutable c_backing : Bytes.t }
+
 type t = {
   nprocs : int;
   region_size : int;
+  mask : int;  (* region_size - 1: offset within a region is [addr land mask] *)
   mutable regions : Region.t array;  (* indexed by region number; None slots are Region 0 / holes *)
   mutable region_list : Region.t list;  (* creation order, reversed *)
   mutable next_index : int;
   (* Bump-allocation cursors, keyed by (kind, line_size). *)
   cursors : (Region.kind * int, Region.t) Hashtbl.t;
+  cache : cache_entry array;  (* by proc *)
 }
 
 exception Unmapped of addr
@@ -21,10 +31,14 @@ let create ?(region_size = 16 * 1024 * 1024) ~nprocs () =
   {
     nprocs;
     region_size;
+    mask = region_size - 1;
     regions = Array.make 8 (Region.create ~index:0 ~kind:Private ~line_size:8 ~region_size:8 ~nprocs:1);
     region_list = [];
     next_index = 1;  (* region 0 stays unmapped so address 0 is null *)
     cursors = Hashtbl.create 8;
+    (* min_int sentinel: a negative address truncates toward zero, so -1
+       or 0 as the empty marker could falsely hit *)
+    cache = Array.init nprocs (fun _ -> { c_idx = min_int; c_backing = Bytes.empty });
   }
 
 let nprocs t = t.nprocs
@@ -95,33 +109,34 @@ let validate_range t a len =
   if len > 0 && a + len - 1 >= Region.limit r then raise (Unmapped (a + len - 1));
   r
 
-let backing_and_offset t ~proc a =
+(* Resolve the region, fill the cache and return the backing.  Only ever
+   called with a mapped address (region_of_addr raises otherwise), so the
+   cache never holds an unmapped index. *)
+let cache_miss t e ~proc a =
   let r = region_of_addr t a in
-  (Region.backing_for r ~proc, a - Region.base r)
+  let b = Region.backing_for r ~proc in
+  e.c_idx <- a / t.region_size;
+  e.c_backing <- b;
+  b
 
-let get_u8 t ~proc a =
-  let b, off = backing_and_offset t ~proc a in
-  Char.code (Bytes.get b off)
+(* The accessor hot path: no tuple allocation; the in-region offset is
+   [a land t.mask] because region bases are region_size-aligned. *)
+let[@inline] backing t ~proc a =
+  let idx = a / t.region_size in
+  let e = Array.unsafe_get t.cache proc in
+  if e.c_idx = idx then e.c_backing else cache_miss t e ~proc a
 
-let set_u8 t ~proc a v =
-  let b, off = backing_and_offset t ~proc a in
-  Bytes.set b off (Char.chr (v land 0xff))
+let get_u8 t ~proc a = Char.code (Bytes.get (backing t ~proc a) (a land t.mask))
 
-let get_i32 t ~proc a =
-  let b, off = backing_and_offset t ~proc a in
-  Bytes.get_int32_le b off
+let set_u8 t ~proc a v = Bytes.set (backing t ~proc a) (a land t.mask) (Char.chr (v land 0xff))
 
-let set_i32 t ~proc a v =
-  let b, off = backing_and_offset t ~proc a in
-  Bytes.set_int32_le b off v
+let get_i32 t ~proc a = Bytes.get_int32_le (backing t ~proc a) (a land t.mask)
 
-let get_i64 t ~proc a =
-  let b, off = backing_and_offset t ~proc a in
-  Bytes.get_int64_le b off
+let set_i32 t ~proc a v = Bytes.set_int32_le (backing t ~proc a) (a land t.mask) v
 
-let set_i64 t ~proc a v =
-  let b, off = backing_and_offset t ~proc a in
-  Bytes.set_int64_le b off v
+let get_i64 t ~proc a = Bytes.get_int64_le (backing t ~proc a) (a land t.mask)
+
+let set_i64 t ~proc a v = Bytes.set_int64_le (backing t ~proc a) (a land t.mask) v
 
 let get_f64 t ~proc a = Int64.float_of_bits (get_i64 t ~proc a)
 
@@ -133,13 +148,11 @@ let set_int t ~proc a v = set_i64 t ~proc a (Int64.of_int v)
 
 let read_bytes t ~proc a ~len =
   ignore (validate_range t a len);
-  let b, off = backing_and_offset t ~proc a in
-  Bytes.sub b off len
+  Bytes.sub (backing t ~proc a) (a land t.mask) len
 
 let write_bytes t ~proc a buf =
   ignore (validate_range t a (Bytes.length buf));
-  let b, off = backing_and_offset t ~proc a in
-  Bytes.blit buf 0 b off (Bytes.length buf)
+  Bytes.blit buf 0 (backing t ~proc a) (a land t.mask) (Bytes.length buf)
 
 let copy_range t ~src_proc ~dst_proc a ~len =
   let r = validate_range t a len in
@@ -148,10 +161,23 @@ let copy_range t ~src_proc ~dst_proc a ~len =
   let off = a - Region.base r in
   Bytes.blit src off dst off len
 
+let backing_slice t ~proc a ~len =
+  let r = validate_range t a len in
+  (Region.backing_for r ~proc, a - Region.base r)
+
 let ranges_equal t ~proc_a ~proc_b a ~len =
   let r = validate_range t a len in
   let ba = Region.backing_for r ~proc:proc_a in
   let bb = Region.backing_for r ~proc:proc_b in
   let off = a - Region.base r in
-  let rec go i = i >= len || (Bytes.get ba (off + i) = Bytes.get bb (off + i) && go (i + 1)) in
-  go 0
+  (* word-wise comparison with a byte-wise tail *)
+  let words = len / 8 in
+  let rec words_eq i =
+    i >= words
+    || (Bytes.get_int64_le ba (off + (i * 8)) = Bytes.get_int64_le bb (off + (i * 8))
+       && words_eq (i + 1))
+  in
+  let rec tail_eq i =
+    i >= len || (Bytes.get ba (off + i) = Bytes.get bb (off + i) && tail_eq (i + 1))
+  in
+  words_eq 0 && tail_eq (words * 8)

@@ -67,6 +67,14 @@ val set_int : t -> proc:int -> addr -> int -> unit
 val read_bytes : t -> proc:int -> addr -> len:int -> Bytes.t
 (** Copy [len] bytes out of the processor's memory. *)
 
+val backing_slice : t -> proc:int -> addr -> len:int -> Bytes.t * int
+(** [backing_slice t ~proc addr ~len] validates [addr .. addr+len-1] and
+    returns the processor's *live* backing buffer together with the
+    offset of [addr] within it — a zero-copy view for read-only
+    consumers (e.g. the VM diff engine).  The caller must not mutate the
+    buffer, and must not hold it across simulated writes it wants to be
+    isolated from. *)
+
 val write_bytes : t -> proc:int -> addr -> Bytes.t -> unit
 (** Copy a buffer into the processor's memory. *)
 
@@ -76,4 +84,5 @@ val copy_range : t -> src_proc:int -> dst_proc:int -> addr -> len:int -> unit
 
 val ranges_equal : t -> proc_a:int -> proc_b:int -> addr -> len:int -> bool
 (** Compare a range across two processors' copies (used by tests and by
-    the VM diff engine). *)
+    the VM diff engine).  Compares eight bytes at a time with a byte-wise
+    tail; equivalent to a byte-by-byte comparison. *)

@@ -21,6 +21,13 @@ val diff : old_:Bytes.t -> new_:Bytes.t -> off:int -> len:int -> run list * int
     modified and unmodified words.  Both buffers must be at least
     [off+len] long. *)
 
+val diff_between :
+  old_:Bytes.t -> old_off:int -> new_:Bytes.t -> new_off:int -> len:int -> run list * int
+(** Like {!diff} but the compared windows start at independent offsets in
+    the two buffers, and run offsets are reported relative to the start
+    of the window (0-based).  Lets the caller diff a page twin against a
+    zero-copy view of live memory without first copying the page. *)
+
 val runs_bytes : run list -> int
 (** Total modified bytes described by a diff. *)
 

@@ -140,13 +140,19 @@ let timestamp_total_order =
 let make_region () =
   Region.create ~index:1 ~kind:Region.Shared ~line_size:8 ~region_size:4096 ~nprocs:1
 
+(* Per-line view of the coalesced scan: expand each emitted run back into
+   its constituent lines, so expectations stay line-granular. *)
 let base_scan db ~region ~ranges ~stamp ~select =
   let emitted = ref [] in
   let counts =
     Dirtybits.scan db
       ~region_of:(fun _ -> region)
       ~ranges ~stamp ~select
-      ~emit:(fun ~addr ~len:_ ~ts ~fresh -> emitted := (addr, ts, fresh) :: !emitted)
+      ~emit:(fun ~addr ~len ~ts ~fresh ~lines ->
+        let line_len = len / lines in
+        for i = 0 to lines - 1 do
+          emitted := (addr + (i * line_len), ts, fresh) :: !emitted
+        done)
   in
   (counts, List.rev !emitted)
 
@@ -263,6 +269,103 @@ let two_level_equals_plain =
         !out
       in
       result plain = result two)
+
+(* Satellite of the hot-path overhaul: the run-coalesced scan must be an
+   emission-batching change only.  For random write patterns, in every
+   trapping mode, the runs expanded back to lines must equal a per-line
+   oracle (covered addresses, timestamps, freshness), the runs must be
+   structurally sound (line-aligned, len = lines * line_size), and the
+   scan_counts must match the per-line model. *)
+let scan_matches_per_line_oracle =
+  QCheck.Test.make ~name:"coalesced scan equals the per-line oracle" ~count:300
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 0 12) (pair (int_bound 63) (int_range 1 24)))
+        (int_bound 2) (int_bound 3))
+    (fun (writes, mode_idx, rounds) ->
+      let mode =
+        List.nth [ Config.Plain; Config.Two_level; Config.Update_queue ] mode_idx
+      in
+      let region = make_region () in
+      let db = Dirtybits.create ~mode ~group:4 in
+      let base = Region.base region in
+      let nlines = 64 in
+      (* scan 64 lines of 8 bytes *)
+      let model = Array.make nlines Timestamp.initial in
+      let ok = ref true in
+      let fail () = ok := false in
+      for round = 0 to rounds do
+        let dirtied = Array.make nlines false in
+        List.iter
+          (fun (off, len) ->
+            Dirtybits.note_write db ~region ~addr:(base + (off * 8)) ~len;
+            let last = ((off * 8) + len - 1) / 8 in
+            for l = off to min last (nlines - 1) do
+              dirtied.(l) <- true
+            done)
+          writes;
+        let stamp = 100 + round and cursor = 90 + round in
+        let runs = ref [] in
+        let counts =
+          Dirtybits.scan db
+            ~region_of:(fun _ -> region)
+            ~ranges:[ Range.v base (nlines * 8) ]
+            ~stamp ~select:(Dirtybits.Transfer cursor)
+            ~emit:(fun ~addr ~len ~ts ~fresh ~lines ->
+              runs := (addr, len, ts, fresh, lines) :: !runs)
+        in
+        let runs = List.rev !runs in
+        (* structural soundness of the runs *)
+        List.iter
+          (fun (addr, len, _, _, lines) ->
+            if lines <= 0 || len <> lines * 8 || (addr - base) mod 8 <> 0 then fail ())
+          runs;
+        let expanded =
+          List.concat_map
+            (fun (addr, len, ts, fresh, lines) ->
+              let ll = len / lines in
+              List.init lines (fun i -> (addr + (i * ll), ts, fresh)))
+            runs
+        in
+        match mode with
+        | Config.Update_queue ->
+            (* every line written this round emits exactly once, stamped
+               fresh (the whole queue drains: the range covers it) *)
+            let expected = ref [] in
+            for l = nlines - 1 downto 0 do
+              if dirtied.(l) then expected := (base + (l * 8), stamp, true) :: !expected
+            done;
+            if List.sort compare expanded <> List.sort compare !expected then fail ()
+        | Config.Plain | Config.Two_level ->
+            let expected = ref [] and clean = ref 0 and dirty = ref 0 in
+            for l = 0 to nlines - 1 do
+              if dirtied.(l) then begin
+                incr dirty;
+                model.(l) <- stamp;
+                if stamp > cursor then expected := (base + (l * 8), stamp, true) :: !expected
+              end
+              else begin
+                incr clean;
+                if model.(l) > cursor then
+                  expected := (base + (l * 8), model.(l), false) :: !expected
+              end
+            done;
+            if expanded <> List.rev !expected then fail ();
+            (* dirty lines are always read (their group's first-level bit
+               is set); skipped groups account for the missing cleans *)
+            if counts.Dirtybits.dirty_reads <> !dirty then fail ();
+            (match mode with
+            | Config.Plain ->
+                if counts.Dirtybits.clean_reads <> !clean then fail ()
+            | Config.Two_level ->
+                if
+                  counts.Dirtybits.clean_reads + counts.Dirtybits.dirty_reads
+                  + (4 * counts.Dirtybits.groups_skipped)
+                  <> nlines
+                then fail ()
+            | Config.Update_queue -> ())
+      done;
+      !ok)
 
 let test_update_queue_mode () =
   let region = make_region () in
@@ -439,9 +542,12 @@ let test_vm_apply_patches_twin () =
 (* --- Payload -------------------------------------------------------------- *)
 
 let test_payload_sizes () =
-  let line = { Payload.addr = 0; len = 64; ts = 5; data = Bytes.make 64 ' ' } in
+  let line = { Payload.addr = 0; len = 64; ts = 5; data = Bytes.make 64 ' '; descs = 1 } in
   Alcotest.(check int) "rt bytes" 128 (Payload.app_bytes (Payload.Rt_lines [ line; line ]));
   Alcotest.(check int) "rt descriptors" 2 (Payload.descriptors (Payload.Rt_lines [ line; line ]));
+  (* a coalesced run still stands for its per-line descriptors on the wire *)
+  let run = { Payload.addr = 0; len = 256; ts = 5; data = Bytes.make 256 ' '; descs = 4 } in
+  Alcotest.(check int) "run descriptors" 5 (Payload.descriptors (Payload.Rt_lines [ line; run ]));
   let piece = { Payload.addr = 0; data = Bytes.make 10 ' ' } in
   let update = { Payload.incarnation = 1; producer = 0; pieces = [ piece; piece ] } in
   Alcotest.(check int) "vm bytes" 20 (Payload.app_bytes (Payload.Vm_updates [ update ]));
@@ -569,6 +675,7 @@ let () =
           Alcotest.test_case "update-queue partial consumption" `Quick
             test_update_queue_partial_consumption;
           qtest two_level_equals_plain;
+          qtest scan_matches_per_line_oracle;
         ] );
       ( "vm_state",
         [

@@ -143,6 +143,50 @@ let test_bytes_and_copy_range () =
   Alcotest.(check bool) "copy made them equal" true
     (Space.ranges_equal s ~proc_a:0 ~proc_b:1 a ~len:(Bytes.length payload))
 
+(* The word-wise ranges_equal must agree with a byte-by-byte comparison,
+   in particular across tails shorter than its 8-byte stride. *)
+let ranges_equal_matches_bytewise =
+  QCheck.Test.make ~name:"ranges_equal equals byte-wise comparison (any tail)" ~count:500
+    QCheck.(
+      triple (int_bound 37) (list (pair (int_bound 36) (int_bound 255))) bool)
+    (fun (len, edits, mirror) ->
+      let s = Space.create ~nprocs:2 () in
+      let a = Space.alloc s ~kind:Region.Shared (max 1 len + 8) in
+      for i = 0 to len - 1 do
+        let v = (i * 13) land 0xff in
+        Space.set_u8 s ~proc:0 (a + i) v;
+        Space.set_u8 s ~proc:1 (a + i) v
+      done;
+      (* [mirror] applies the same edits to both copies, so both the equal
+         and the differing outcome are exercised. *)
+      List.iter
+        (fun (pos, v) ->
+          if pos < len then begin
+            Space.set_u8 s ~proc:1 (a + pos) v;
+            if mirror then Space.set_u8 s ~proc:0 (a + pos) v
+          end)
+        edits;
+      let byte_wise =
+        let rec eq i =
+          i >= len || (Space.get_u8 s ~proc:0 (a + i) = Space.get_u8 s ~proc:1 (a + i) && eq (i + 1))
+        in
+        eq 0
+      in
+      Space.ranges_equal s ~proc_a:0 ~proc_b:1 a ~len = byte_wise)
+
+let test_backing_slice_is_live () =
+  let s = Space.create ~nprocs:2 () in
+  let a = Space.alloc s ~kind:Region.Shared 32 in
+  Space.write_bytes s ~proc:0 a (Bytes.of_string "abcdefgh");
+  let b, off = Space.backing_slice s ~proc:0 a ~len:8 in
+  Alcotest.(check string) "view of the live copy" "abcdefgh" (Bytes.sub_string b off 8);
+  Space.set_u8 s ~proc:0 a (Char.code 'Z');
+  Alcotest.(check char) "sees later writes (no copy)" 'Z' (Bytes.get b off);
+  try
+    ignore (Space.backing_slice s ~proc:0 0 ~len:4);
+    Alcotest.fail "expected Unmapped"
+  with Space.Unmapped 0 -> ()
+
 let test_regions_listed_in_order () =
   let s = Space.create ~nprocs:1 () in
   ignore (Space.alloc s ~kind:Region.Shared ~line_size:8 16);
@@ -187,5 +231,7 @@ let () =
           Alcotest.test_case "u8 masking" `Quick test_u8;
           Alcotest.test_case "per-processor isolation" `Quick test_per_proc_isolation;
           Alcotest.test_case "bytes and copy_range" `Quick test_bytes_and_copy_range;
+          Alcotest.test_case "backing_slice is live" `Quick test_backing_slice_is_live;
+          qtest ranges_equal_matches_bytewise;
         ] );
     ]

@@ -81,6 +81,88 @@ let diff_runs_sorted_disjoint =
       in
       check 0 runs)
 
+(* Byte-at-a-time reference for the word-wise scan: word flags computed
+   with individual byte compares, then folded into runs and transitions. *)
+let ref_diff ~old_ ~new_ ~off ~len =
+  let runs = ref [] in
+  let transitions = ref 0 in
+  let run_start = ref (-1) in
+  let prev = ref false in
+  let i = ref 0 in
+  while !i < len do
+    let wlen = min Diff.word_size (len - !i) in
+    let modified = ref false in
+    for j = 0 to wlen - 1 do
+      if Bytes.get old_ (off + !i + j) <> Bytes.get new_ (off + !i + j) then modified := true
+    done;
+    if !modified <> !prev && !i > 0 then incr transitions;
+    if !modified && !run_start < 0 then run_start := !i;
+    if (not !modified) && !run_start >= 0 then begin
+      runs := { Diff.off = off + !run_start; len = !i - !run_start } :: !runs;
+      run_start := -1
+    end;
+    prev := !modified;
+    i := !i + wlen
+  done;
+  if !run_start >= 0 then runs := { Diff.off = off + !run_start; len = len - !run_start } :: !runs;
+  (List.rev !runs, !transitions)
+
+let run_pp (r : Diff.run) = Printf.sprintf "{off=%d; len=%d}" r.Diff.off r.Diff.len
+
+(* len + 4 is deliberately *not* forced to a word multiple: unaligned
+   tails shorter than a word must behave exactly like the reference. *)
+let diff_matches_bytewise_reference =
+  QCheck.Test.make ~name:"word-wise diff equals byte-wise reference (any tail)" ~count:500
+    QCheck.(
+      triple (int_bound 67) (int_bound 10) (list (pair (int_bound 80) (int_bound 255))))
+    (fun (len, off, edits) ->
+      let size = off + len in
+      let old_ = Bytes.init (max 1 size) (fun i -> Char.chr (i mod 251)) in
+      let new_ = Bytes.copy old_ in
+      List.iter
+        (fun (pos, v) -> if pos < size then Bytes.set new_ pos (Char.chr v))
+        edits;
+      let got = Diff.diff ~old_ ~new_ ~off ~len in
+      let expected = ref_diff ~old_ ~new_ ~off ~len in
+      if got <> expected then
+        QCheck.Test.fail_reportf "diff (%s, %d) <> reference (%s, %d)"
+          (String.concat ";" (List.map run_pp (fst got)))
+          (snd got)
+          (String.concat ";" (List.map run_pp (fst expected)))
+          (snd expected)
+      else true)
+
+(* diff_between over live windows must equal diff over copied-out windows
+   (modulo the 0-based run offsets), whatever the relative alignment. *)
+let diff_between_matches_diff =
+  QCheck.Test.make ~name:"diff_between equals diff on extracted windows" ~count:500
+    QCheck.(
+      QCheck.quad (int_bound 50) (int_bound 9) (int_bound 9)
+        (list (pair (int_bound 70) (int_bound 255))))
+    (fun (len, old_off, new_off, edits) ->
+      let old_ = Bytes.init (old_off + len + 1) (fun i -> Char.chr (i * 7 mod 256)) in
+      let new_ = Bytes.create (new_off + len + 1) in
+      Bytes.fill new_ 0 (Bytes.length new_) '\017';
+      Bytes.blit old_ old_off new_ new_off len;
+      List.iter
+        (fun (pos, v) ->
+          if pos < len then Bytes.set new_ (new_off + pos) (Char.chr v))
+        edits;
+      let got = Diff.diff_between ~old_ ~old_off ~new_ ~new_off ~len in
+      let expected =
+        Diff.diff
+          ~old_:(Bytes.sub old_ old_off len)
+          ~new_:(Bytes.sub new_ new_off len)
+          ~off:0 ~len
+      in
+      got = expected)
+
+let test_diff_between_bounds () =
+  let b = Bytes.make 8 ' ' in
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Diff.diff_between: range out of bounds") (fun () ->
+      ignore (Diff.diff_between ~old_:b ~old_off:2 ~new_:b ~new_off:0 ~len:7))
+
 let test_apply_to_relocation () =
   (* run offsets are relative to [src_off]/[dst_off] *)
   let src = Bytes.of_string "AAAABBBBCCCC" in
@@ -163,8 +245,11 @@ let () =
           Alcotest.test_case "offsets" `Quick test_diff_offsets;
           Alcotest.test_case "bounds" `Quick test_diff_bounds;
           Alcotest.test_case "apply_to relocation" `Quick test_apply_to_relocation;
+          Alcotest.test_case "diff_between bounds" `Quick test_diff_between_bounds;
           qtest diff_apply_roundtrip;
           qtest diff_runs_sorted_disjoint;
+          qtest diff_matches_bytewise_reference;
+          qtest diff_between_matches_diff;
         ] );
       ( "page_table",
         [
