@@ -54,7 +54,7 @@ let run_fault_sweep spec scale nprocs apps =
         msg;
       exit 1
 
-let run only scale nprocs apps csv_file md_file faults =
+let run only scale nprocs apps csv_file md_file faults ecsan =
   (* the scaling sweep is opt-in: it reruns each application eight times *)
   let default = List.filter (fun e -> e <> "speedup") experiments in
   let only = match only with [] -> default | l -> l in
@@ -83,7 +83,10 @@ let run only scale nprocs apps csv_file md_file faults =
      Reproduction of: Software Write Detection for a Distributed Shared Memory (OSDI '94)\n\n"
     scale nprocs;
   match faults with
-  | Some spec -> run_fault_sweep spec scale nprocs apps
+  | Some spec ->
+      if ecsan then
+        Printf.eprintf "note: --ecsan does not apply to the fault sweep; ignoring it\n%!";
+      run_fault_sweep spec scale nprocs apps
   | None ->
   let needs_suite = List.exists (fun e -> e <> "table1") only in
   if List.mem "table1" only then
@@ -91,7 +94,12 @@ let run only scale nprocs apps csv_file md_file faults =
   if needs_suite then begin
     Printf.printf "Running the application suite (RT, VM and standalone per application)...\n%!";
     let t0 = Unix.gettimeofday () in
-    let suite = Midway_report.Suite.run ~apps ~nprocs ~scale () in
+    let suite =
+      try Midway_report.Suite.run ~apps ~ecsan ~nprocs ~scale ()
+      with Failure msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    in
     Printf.printf "...suite complete in %.1f s of host time.\n\n%!" (Unix.gettimeofday () -. t0);
     let emit name render = if List.mem name only then print_endline (render suite) in
     emit "fig2" Midway_report.Fig2.render;
@@ -181,10 +189,18 @@ let faults =
            0%..5% grid runs), $(b,dup), $(b,jitter) (ns) and $(b,seed).  Example: \
            $(b,--faults drop=0.02,seed=42).")
 
+let ecsan =
+  Arg.(
+    value & flag
+    & info [ "ecsan" ]
+        ~doc:
+          "Run every suite application under the entry-consistency sanitizer; any \
+           violation aborts the experiment with a nonzero exit.")
+
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "midway-experiments" ~doc)
-    Term.(const run $ only $ scale $ nprocs $ apps $ csv_file $ md_file $ faults)
+    Term.(const run $ only $ scale $ nprocs $ apps $ csv_file $ md_file $ faults $ ecsan)
 
 let () = exit (Cmd.eval cmd)

@@ -39,7 +39,7 @@ let print_stats outcome =
   Printf.printf "  collection time        : %s\n"
     (Midway_util.Units.pp_time avg.Counters.collect_time_ns)
 
-let run app_name backend_name nprocs scale rt_mode_name untargetted trace_n =
+let run app_name backend_name nprocs scale rt_mode_name untargetted trace_n ecsan =
   let app =
     match Midway_report.Suite.app_of_string app_name with
     | Ok a -> a
@@ -63,6 +63,10 @@ let run app_name backend_name nprocs scale rt_mode_name untargetted trace_n =
         Printf.eprintf "unknown rt mode %S (expected plain|two-level|update-queue)\n" s;
         exit 2
   in
+  if ecsan && untargetted then begin
+    Printf.eprintf "--ecsan does not support the untargetted model (no per-lock bindings to check)\n";
+    exit 2
+  end;
   let nprocs = if backend = Midway.Config.Standalone then 1 else nprocs in
   let cfg =
     {
@@ -70,6 +74,7 @@ let run app_name backend_name nprocs scale rt_mode_name untargetted trace_n =
       Midway.Config.rt_mode;
       untargetted;
       trace_capacity = trace_n;
+      ecsan;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -82,6 +87,11 @@ let run app_name backend_name nprocs scale rt_mode_name untargetted trace_n =
     let tr = Midway.Runtime.trace outcome.Midway_apps.Outcome.machine in
     Printf.printf "\nlast %d of %d protocol events:\n%s" (Midway.Trace.length tr)
       (Midway.Trace.total tr) (Midway.Trace.dump tr)
+  end;
+  if ecsan then begin
+    let rep = Midway.Runtime.check_report outcome.Midway_apps.Outcome.machine in
+    Printf.printf "\n%s" (Midway_check.Report.render rep);
+    if Midway_check.Report.has_violations rep then exit 1
   end;
   if not outcome.Midway_apps.Outcome.ok then exit 1
 
@@ -118,8 +128,17 @@ let trace_n =
     value & opt int 0
     & info [ "trace" ] ~docv:"N" ~doc:"Print the last N protocol events of the run.")
 
+let ecsan =
+  Arg.(
+    value & flag
+    & info [ "ecsan" ]
+        ~doc:
+          "Run under the entry-consistency sanitizer: report unsynchronized accesses, \
+           writes under shared holds, unbound shared data, misclassified private stores, \
+           stale-binding accesses and binding-table lint, and exit nonzero on any violation.")
+
 let cmd =
   let doc = "run one DSM benchmark application" in
-  Cmd.v (Cmd.info "midway-run" ~doc) Term.(const run $ app_arg $ backend $ nprocs $ scale $ rt_mode $ untargetted $ trace_n)
+  Cmd.v (Cmd.info "midway-run" ~doc) Term.(const run $ app_arg $ backend $ nprocs $ scale $ rt_mode $ untargetted $ trace_n $ ecsan)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,18 @@
+(* Opt-in sanitizer hook shared by the example programs.
+
+   Set MIDWAY_ECSAN=1 in the environment to run any example under ECSan:
+   [arm] switches the configuration's [ecsan] flag on, and [finish]
+   prints the sanitizer report after the run and exits nonzero if any
+   violation was found.  With the variable unset both are no-ops, so the
+   examples behave exactly as before. *)
+
+let enabled = Sys.getenv_opt "MIDWAY_ECSAN" <> None
+
+let arm cfg = if enabled then { cfg with Midway.Config.ecsan = true } else cfg
+
+let finish machine =
+  if enabled then begin
+    let rep = Midway.Runtime.check_report machine in
+    print_string (Midway_check.Report.render rep);
+    if Midway_check.Report.has_violations rep then exit 1
+  end

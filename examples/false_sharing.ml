@@ -17,7 +17,7 @@ module Range = Midway.Range
 let rounds = 50
 
 let run backend =
-  let cfg = Midway.Config.make backend ~nprocs:2 in
+  let cfg = Ecsan_hook.arm (Midway.Config.make backend ~nprocs:2) in
   let machine = R.create cfg in
   (* two adjacent 8-byte words on the same page, separate locks *)
   let a = R.alloc machine ~line_size:8 8 in
@@ -46,7 +46,8 @@ let run backend =
     (Midway_util.Units.pp_time (R.elapsed_ns machine))
     (Midway_util.Units.kb_of_bytes avg.data_received_bytes)
     avg.write_faults avg.pages_diffed
-    (avg.clean_dirtybits_read + avg.dirty_dirtybits_read)
+    (avg.clean_dirtybits_read + avg.dirty_dirtybits_read);
+  Ecsan_hook.finish machine
 
 let () =
   Printf.printf

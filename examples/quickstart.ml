@@ -13,7 +13,7 @@ module Range = Midway.Range
 let () =
   (* 1. Configure a machine: backend (Rt = the paper's contribution, Vm =
      the page-based baseline) and processor count. *)
-  let cfg = Midway.Config.make Midway.Config.Rt ~nprocs:4 in
+  let cfg = Ecsan_hook.arm (Midway.Config.make Midway.Config.Rt ~nprocs:4) in
   let machine = R.create cfg in
 
   (* 2. Lay out shared memory.  Addresses are plain ints; line_size is the
@@ -65,4 +65,5 @@ let () =
   let c0 = R.counters machine 0 in
   Printf.printf "p0 dirtybits set: %d, clean reads: %d, dirty reads: %d\n"
     c0.Midway_stats.Counters.dirtybits_set c0.Midway_stats.Counters.clean_dirtybits_read
-    c0.Midway_stats.Counters.dirty_dirtybits_read
+    c0.Midway_stats.Counters.dirty_dirtybits_read;
+  Ecsan_hook.finish machine

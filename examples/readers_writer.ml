@@ -19,7 +19,7 @@ let fields = 8
 let snapshots = 6
 
 let () =
-  let cfg = Midway.Config.make Midway.Config.Rt ~nprocs in
+  let cfg = Ecsan_hook.arm (Midway.Config.make Midway.Config.Rt ~nprocs) in
   let machine = R.create cfg in
   let table = R.alloc machine ~line_size:8 (fields * 8) in
   let lock = R.new_lock machine [ Range.v table (fields * 8) ] in
@@ -56,4 +56,5 @@ let () =
     (Midway_util.Units.pp_time (R.elapsed_ns machine));
   let avg = Midway_stats.Counters.average (R.all_counters machine) in
   Printf.printf "data moved per processor: %s (readers fetch only the fields they miss)\n"
-    (Midway_util.Units.pp_bytes avg.Midway_stats.Counters.data_received_bytes)
+    (Midway_util.Units.pp_bytes avg.Midway_stats.Counters.data_received_bytes);
+  Ecsan_hook.finish machine

@@ -22,7 +22,7 @@ let cells = 512
 let steps = 20
 
 let run ~line_size =
-  let cfg = Midway.Config.make Midway.Config.Rt ~nprocs in
+  let cfg = Ecsan_hook.arm (Midway.Config.make Midway.Config.Rt ~nprocs) in
   let machine = R.create cfg in
   (* each cell is one 8-byte float; allocate per band so we can pick the
      line size of the shared edge cells *)
@@ -71,7 +71,8 @@ let run ~line_size =
   let avg = Midway_stats.Counters.average (R.all_counters machine) in
   Printf.printf "  line size %4d B: %7.2f KB/proc moved, %s simulated\n" line_size
     (Midway_util.Units.kb_of_bytes avg.Midway_stats.Counters.data_received_bytes)
-    (Midway_util.Units.pp_time (R.elapsed_ns machine))
+    (Midway_util.Units.pp_time (R.elapsed_ns machine));
+  Ecsan_hook.finish machine
 
 let () =
   Printf.printf

@@ -21,7 +21,7 @@ let blocks = 16
 let block_elems = 64
 
 let run backend =
-  let cfg = Midway.Config.make backend ~nprocs in
+  let cfg = Ecsan_hook.arm (Midway.Config.make backend ~nprocs) in
   let machine = R.create cfg in
   let n = blocks * block_elems in
   let data = R.alloc machine ~line_size:8 (n * 8) in
@@ -86,7 +86,8 @@ let run backend =
     (if !ok then "OK    " else "BROKEN")
     (Midway_util.Units.pp_time (R.elapsed_ns machine))
     (Midway_util.Units.kb_of_bytes avg.Midway_stats.Counters.data_received_bytes)
-    (Midway_simnet.Net.total_messages (R.net machine))
+    (Midway_simnet.Net.total_messages (R.net machine));
+  Ecsan_hook.finish machine
 
 let () =
   Printf.printf "task queue with lock re-binding: %d blocks of %d words, %d workers\n\n"

@@ -1,0 +1,109 @@
+type kind = Lock | Barrier
+
+type sync = {
+  id : int;
+  kind : kind;
+  mutable cur : Interval.t list;
+  mutable retired : Interval.t list;
+  sync_count : int array;
+  mutable episode : int;
+}
+
+type t = {
+  nprocs : int;
+  syncs : (int, sync) Hashtbl.t;
+  word_index : (int, int list) Hashtbl.t;  (* word -> ids currently binding it *)
+  retired_index : (int, int list) Hashtbl.t;  (* word -> ids that retired it *)
+  mutable ever : Interval.t list;  (* word-granular: every word ever bound *)
+  mutable degenerate : (int * int * int) list;  (* newest first *)
+}
+
+let create ~nprocs =
+  {
+    nprocs;
+    syncs = Hashtbl.create 16;
+    word_index = Hashtbl.create 256;
+    retired_index = Hashtbl.create 64;
+    ever = [];
+    degenerate = [];
+  }
+
+let intervals_of_raw raw = Interval.normalize (List.map (fun (addr, len) -> Interval.v ~lo:addr ~len) raw)
+
+(* Byte intervals widened to the 8-byte words they touch. *)
+let words_of ivs =
+  Interval.normalize
+    (List.filter_map
+       (fun (i : Interval.t) ->
+         if Interval.is_empty i then None
+         else Some { Interval.lo = i.Interval.lo asr 3; hi = ((i.Interval.hi - 1) asr 3) + 1 })
+       ivs)
+
+let index_add tbl ivs id =
+  Interval.iter_points (words_of ivs) ~f:(fun w ->
+      let ids = Option.value (Hashtbl.find_opt tbl w) ~default:[] in
+      if not (List.mem id ids) then Hashtbl.replace tbl w (ids @ [ id ]))
+
+let index_remove tbl ivs id =
+  Interval.iter_points (words_of ivs) ~f:(fun w ->
+      match Hashtbl.find_opt tbl w with
+      | None -> ()
+      | Some ids -> (
+          match List.filter (fun i -> i <> id) ids with
+          | [] -> Hashtbl.remove tbl w
+          | ids -> Hashtbl.replace tbl w ids))
+
+let note_degenerate t ~id ~raw =
+  List.iter
+    (fun (addr, len) -> if len = 0 then t.degenerate <- (id, addr, len) :: t.degenerate)
+    raw
+
+let register t ~id ~kind ~raw =
+  if Hashtbl.mem t.syncs id then invalid_arg "Binding_index.register: duplicate sync id";
+  note_degenerate t ~id ~raw;
+  let cur = intervals_of_raw raw in
+  let s = { id; kind; cur; retired = []; sync_count = Array.make t.nprocs 0; episode = 0 } in
+  Hashtbl.replace t.syncs id s;
+  index_add t.word_index cur id;
+  t.ever <- Interval.union t.ever (words_of cur)
+
+let find t id = Hashtbl.find_opt t.syncs id
+
+let get t id =
+  match find t id with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Binding_index: unknown sync id %d" id)
+
+let rebind t ~id ~raw =
+  note_degenerate t ~id ~raw;
+  let s = get t id in
+  let nw = intervals_of_raw raw in
+  index_remove t.word_index s.cur id;
+  index_add t.word_index nw id;
+  let new_retired = Interval.subtract (Interval.union s.retired s.cur) ~minus:nw in
+  index_remove t.retired_index s.retired id;
+  index_remove t.retired_index s.cur id;
+  index_add t.retired_index new_retired id;
+  s.retired <- new_retired;
+  s.cur <- nw;
+  t.ever <- Interval.union t.ever (words_of nw)
+
+let all t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.syncs []
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let ids_at tbl t w =
+  match Hashtbl.find_opt tbl w with
+  | None -> []
+  | Some ids -> List.map (get t) ids
+
+let syncs_at t w = ids_at t.word_index t w
+
+let retired_at t w = ids_at t.retired_index t w
+
+let ever_bound t w = Interval.mem t.ever w
+
+let degenerate t = List.rev t.degenerate
+
+let current_ranges t ~id =
+  List.map (fun (i : Interval.t) -> (i.Interval.lo, i.Interval.hi - i.Interval.lo)) (get t id).cur

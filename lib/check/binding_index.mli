@@ -1,0 +1,57 @@
+(** The sanitizer's mirror of the machine's binding table.
+
+    The runtime reports every [new_lock] / [new_barrier] / [rebind] with
+    the *raw* (pre-normalization) range list; the index keeps, per sync
+    object: the current normalized binding, the retired set (every byte
+    once bound but no longer), a per-processor count of synchronizations
+    performed, and — for barriers — a mirror of the episode number.
+
+    Queries are word-granular (8-byte words, the access granularity of
+    the simulator's typed stores): [word = byte_addr lsr 3]. *)
+
+type kind = Lock | Barrier
+
+type sync = {
+  id : int;
+  kind : kind;
+  mutable cur : Interval.t list;  (** current binding, byte-granular, normalized *)
+  mutable retired : Interval.t list;  (** once bound, no longer; byte-granular *)
+  sync_count : int array;  (** per processor: acquisitions / barrier crossings *)
+  mutable episode : int;  (** barriers: mirror of the runtime episode number *)
+}
+
+type t
+
+val create : nprocs:int -> t
+
+val register : t -> id:int -> kind:kind -> raw:(int * int) list -> unit
+(** A lock or barrier came into existence binding the raw
+    [(addr, len)] list. *)
+
+val rebind : t -> id:int -> raw:(int * int) list -> unit
+(** The lock's binding changed; bytes of the old binding not covered by
+    the new one join the retired set (and leave it again if a later
+    rebind re-covers them). *)
+
+val find : t -> int -> sync option
+
+val all : t -> sync list
+(** All registered sync objects, by ascending id. *)
+
+val syncs_at : t -> int -> sync list
+(** Sync objects whose *current* binding covers the given word, in
+    registration order. *)
+
+val retired_at : t -> int -> sync list
+(** Locks whose *retired* set covers the given word. *)
+
+val ever_bound : t -> int -> bool
+(** Whether any binding ever covered the given word. *)
+
+val degenerate : t -> (int * int * int) list
+(** Zero-length entries observed in raw binding lists, as
+    [(sync id, addr, len)], oldest first. *)
+
+val current_ranges : t -> id:int -> (int * int) list
+(** The current normalized binding as [(addr, len)] pairs — for
+    cross-checking against the runtime's own [Sync] records. *)

@@ -1,0 +1,46 @@
+type t = { lo : int; hi : int }
+
+let v ~lo ~len = { lo; hi = lo + len }
+
+let is_empty i = i.hi <= i.lo
+
+let mem ivs x = List.exists (fun i -> x >= i.lo && x < i.hi) ivs
+
+let normalize ivs =
+  let sorted =
+    List.sort (fun a b -> if a.lo <> b.lo then compare a.lo b.lo else compare a.hi b.hi)
+      (List.filter (fun i -> not (is_empty i)) ivs)
+  in
+  let rec merge = function
+    | a :: b :: rest when b.lo <= a.hi -> merge ({ lo = a.lo; hi = max a.hi b.hi } :: rest)
+    | a :: rest -> a :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let union a b = normalize (a @ b)
+
+let subtract ivs ~minus =
+  let cut i =
+    (* pieces of [i] not covered by [minus] *)
+    List.fold_left
+      (fun pieces m ->
+        List.concat_map
+          (fun (p : t) ->
+            if m.hi <= p.lo || m.lo >= p.hi then [ p ]
+            else
+              List.filter
+                (fun x -> not (is_empty x))
+                [ { lo = p.lo; hi = m.lo }; { lo = m.hi; hi = p.hi } ])
+          pieces)
+      [ i ] minus
+  in
+  normalize (List.concat_map cut ivs)
+
+let iter_points ivs ~f =
+  List.iter
+    (fun i ->
+      for x = i.lo to i.hi - 1 do
+        f x
+      done)
+    ivs

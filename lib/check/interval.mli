@@ -1,0 +1,29 @@
+(** Half-open integer intervals, the sanitizer's internal range algebra.
+
+    {!Midway_check} sits below the [midway] library (the runtime calls
+    into it), so it cannot use [Midway.Range]; this module provides the
+    small interval-set algebra the binding index needs — normalization,
+    membership, union and subtraction — over plain [(lo, hi)] pairs.
+    The semantics mirror [Range.normalize]: sorting, dropping empties and
+    merging overlapping or adjacent intervals. *)
+
+type t = { lo : int; hi : int }  (** the half-open interval [\[lo, hi)] *)
+
+val v : lo:int -> len:int -> t
+
+val is_empty : t -> bool
+
+val mem : t list -> int -> bool
+(** Membership of a point in a normalized list. *)
+
+val normalize : t list -> t list
+(** Sort, drop empties, merge overlapping and adjacent intervals. *)
+
+val union : t list -> t list -> t list
+(** Union of two normalized lists (result normalized). *)
+
+val subtract : t list -> minus:t list -> t list
+(** Pieces of the first (normalized) list not covered by the second. *)
+
+val iter_points : t list -> f:(int -> unit) -> unit
+(** Visit every integer point of a normalized list. *)

@@ -1,0 +1,13 @@
+type entry = { id : int; exclusive : bool }
+
+type t = entry list array
+
+let create ~nprocs = Array.make nprocs []
+
+let add t ~proc ~id ~exclusive = t.(proc) <- { id; exclusive } :: t.(proc)
+
+let remove t ~proc ~id = t.(proc) <- List.filter (fun e -> e.id <> id) t.(proc)
+
+let holds t ~proc ~id = List.exists (fun e -> e.id = id) t.(proc)
+
+let holds_exclusive t ~proc ~id = List.exists (fun e -> e.id = id && e.exclusive) t.(proc)

@@ -1,0 +1,16 @@
+(** Per-processor held-lock state (the "lockset" of Eraser, adapted:
+    entry consistency cares which *specific* bound lock is held, not the
+    intersection over time). *)
+
+type t
+
+val create : nprocs:int -> t
+
+val add : t -> proc:int -> id:int -> exclusive:bool -> unit
+
+val remove : t -> proc:int -> id:int -> unit
+
+val holds : t -> proc:int -> id:int -> bool
+(** Held in either mode. *)
+
+val holds_exclusive : t -> proc:int -> id:int -> bool

@@ -1,0 +1,40 @@
+type t = {
+  enabled : bool;
+  accesses_checked : int;
+  words_tracked : int;
+  syncs_seen : int;
+  violations : Diag.violation list;
+}
+
+let disabled =
+  { enabled = false; accesses_checked = 0; words_tracked = 0; syncs_seen = 0; violations = [] }
+
+let has_violations t = t.violations <> []
+
+let render t =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  if not t.enabled then line "ECSan: disabled (Config.ecsan = false)"
+  else begin
+    line "ECSan: %d access(es) checked, %d word(s) tracked, %d sync object(s): %s" t.accesses_checked
+      t.words_tracked t.syncs_seen
+      (match t.violations with
+      | [] -> "no violations"
+      | vs -> Printf.sprintf "%d violation(s)" (List.length vs));
+    List.iter
+      (fun (v : Diag.violation) ->
+        line "  [%s] %s" (Diag.class_name v.Diag.cls) v.Diag.detail;
+        let who =
+          if v.Diag.proc < 0 then "static" else Printf.sprintf "p%d" v.Diag.proc
+        in
+        let sync =
+          if v.Diag.sync < 0 then "" else Printf.sprintf ", sync %d" v.Diag.sync
+        in
+        line "    %s, addresses [%#x,%#x)%s, %d occurrence(s)" who v.Diag.lo v.Diag.hi sync
+          v.Diag.count;
+        if not (Diag.is_lint v.Diag.cls) then
+          line "    first: %s at t=%dns" v.Diag.first_op v.Diag.first_time;
+        List.iter (fun c -> line "    | %s" c) v.Diag.context)
+      t.violations
+  end;
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Rendering ECSan results for humans and for exit codes. *)
+
+type t = {
+  enabled : bool;  (** false: the run was not sanitized *)
+  accesses_checked : int;
+  words_tracked : int;
+  syncs_seen : int;
+  violations : Diag.violation list;
+}
+
+val disabled : t
+(** The report of a machine built with [Config.ecsan = false]. *)
+
+val has_violations : t -> bool
+
+val render : t -> string
+(** Multi-line human-readable report (ends with a newline). *)

@@ -1,0 +1,26 @@
+type word = {
+  mutable excl : int;
+  mutable written : bool;
+  mutable last_writer : int;
+  mutable lw_sync : int;
+  mutable lw_episode : int;
+  mutable priv_writer : int;
+}
+
+type t = (int, word) Hashtbl.t
+
+let create () = Hashtbl.create 1024
+
+let find t w = Hashtbl.find_opt t w
+
+let touch t w ~proc =
+  match Hashtbl.find_opt t w with
+  | Some s -> s
+  | None ->
+      let s =
+        { excl = proc; written = false; last_writer = -1; lw_sync = -1; lw_episode = -1; priv_writer = -1 }
+      in
+      Hashtbl.replace t w s;
+      s
+
+let tracked t = Hashtbl.length t

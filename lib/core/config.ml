@@ -43,6 +43,7 @@ type t = {
   release_ns : int;
   apply_line_ns : int;
   seed : int;
+  ecsan : bool;
   faults : Midway_simnet.Net.fault_policy option;
   retrans_timeout_ns : int;
   retrans_backoff_cap_ns : int;
@@ -70,6 +71,7 @@ let make ?(cost = Midway_stats.Cost_model.default) backend ~nprocs =
     release_ns = 1_000;
     apply_line_ns = 100;
     seed = 0x5EED;
+    ecsan = false;
     faults = None;
     retrans_timeout_ns = Midway_simnet.Reliable.default_config.Midway_simnet.Reliable.timeout_ns;
     retrans_backoff_cap_ns =

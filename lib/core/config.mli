@@ -55,6 +55,15 @@ type t = {
   release_ns : int;  (** local bookkeeping at release *)
   apply_line_ns : int;  (** fixed per-line cost of applying an incoming update *)
   seed : int;
+  (* sanitizer *)
+  ecsan : bool;
+      (** arm ECSan, the entry-consistency sanitizer
+          ({!Midway_check.Check}): every instrumented access and
+          synchronization event is checked against the binding table and
+          violations are collected in {!Runtime.check_report}.  [false]
+          (the default) compiles the hooks down to a single [match] per
+          access, so simulated results are bit-identical to an
+          unsanitized build. *)
   (* fault injection *)
   faults : Midway_simnet.Net.fault_policy option;
       (** [None] (the default) is the perfectly reliable fabric — the

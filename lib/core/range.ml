@@ -24,7 +24,7 @@ let normalize ranges =
 
 let total_bytes ranges = List.fold_left (fun acc r -> acc + r.len) 0 ranges
 
-let overlaps a b = a.addr < limit b && b.addr < limit a
+let overlaps a b = max a.addr b.addr < min (limit a) (limit b)
 
 let intersect a b =
   let lo = max a.addr b.addr and hi = min (limit a) (limit b) in

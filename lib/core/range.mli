@@ -22,6 +22,9 @@ val total_bytes : t list -> int
     this function assumes a normalized list). *)
 
 val overlaps : t -> t -> bool
+(** Non-empty intersection.  Adjacent ranges do not overlap, and an
+    empty range overlaps nothing (not even a range containing its
+    address). *)
 
 val intersect : t -> t -> t option
 

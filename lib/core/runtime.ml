@@ -24,6 +24,7 @@ type ctx = {
   mutable rt_global_seen : Timestamp.t;  (* untargetted mode: everything-consistent-as-of cursor *)
   backend : backend_state;
   gather : Gather.t;  (* reusable run buffer for write collection *)
+  check : Midway_check.Check.t option;  (* ECSan, when cfg.ecsan *)
 }
 
 and t = {
@@ -42,6 +43,7 @@ and t = {
   mutable barriers : Sync.barrier list;
   mutable next_sync_id : int;
   mutable ran : bool;
+  checker : Midway_check.Check.t option;
 }
 
 let create (cfg : Config.t) =
@@ -62,6 +64,24 @@ let create (cfg : Config.t) =
         Net.set_fault_policy net policy;
         Some (Reliable.create ~config:(Config.reliable_config cfg) net)
   in
+  let trace = Trace.create ~capacity:cfg.trace_capacity in
+  let check =
+    if not cfg.ecsan then None
+    else if cfg.untargetted then
+      invalid_arg
+        "Runtime.create: ecsan assumes targetted entry consistency (any lock transfer makes \
+         everything consistent under the untargetted model, so binding checks do not apply)"
+    else
+      (* First-occurrence context: the tail of the protocol trace (empty
+         unless trace_capacity > 0). *)
+      let context () =
+        let evs = Trace.events trace in
+        let n = List.length evs in
+        let rec drop k = function l when k <= 0 -> l | [] -> [] | _ :: tl -> drop (k - 1) tl in
+        List.map (Format.asprintf "%a" Trace.pp_event) (drop (n - 3) evs)
+      in
+      Some (Midway_check.Check.create ~context ~nprocs:cfg.nprocs ())
+  in
   let machine =
     {
       cfg;
@@ -71,11 +91,12 @@ let create (cfg : Config.t) =
       reliable;
       ctxs = [||];
       rt_untargetted_history = Hashtbl.create 64;
-      trace = Trace.create ~capacity:cfg.trace_capacity;
+      trace;
       locks = [];
       barriers = [];
       next_sync_id = 0;
       ran = false;
+      checker = check;
     }
   in
   machine.ctxs <-
@@ -98,6 +119,7 @@ let create (cfg : Config.t) =
                     Dirtybits.create ~mode:Config.Plain ~group:cfg.two_level_group )
             | Config.Blast | Config.Standalone -> B_none);
           gather = Gather.create ();
+          check;
         });
   machine
 
@@ -118,11 +140,20 @@ let alloc t ?line_size ?(private_ = false) bytes =
   let kind = if private_ then Region.Private else Region.Shared in
   Space.alloc t.space ~kind ~line_size bytes
 
+(* ECSan sees the caller's raw range lists (pre-normalization), so its
+   lint can flag degenerate entries the protocol silently drops. *)
+let raw_pairs ranges = List.map (fun (r : Range.t) -> (r.Range.addr, r.Range.len)) ranges
+
 let new_lock t ?(owner = 0) ranges =
   let lid = t.next_sync_id in
   t.next_sync_id <- lid + 1;
   let l = Sync.make_lock ~lid ~nprocs:t.cfg.nprocs ~owner ~ranges in
   t.locks <- l :: t.locks;
+  (match t.checker with
+  | Some ch ->
+      Midway_check.Check.on_new_sync ch ~id:lid ~kind:Midway_check.Binding_index.Lock
+        ~raw:(raw_pairs ranges)
+  | None -> ());
   l
 
 let new_barrier t ?participants ?(manager = 0) ranges =
@@ -131,6 +162,11 @@ let new_barrier t ?participants ?(manager = 0) ranges =
   t.next_sync_id <- bid + 1;
   let b = Sync.make_barrier ~bid ~nprocs:t.cfg.nprocs ~participants ~manager ~ranges in
   t.barriers <- b :: t.barriers;
+  (match t.checker with
+  | Some ch ->
+      Midway_check.Check.on_new_sync ch ~id:bid ~kind:Midway_check.Binding_index.Barrier
+        ~raw:(raw_pairs ranges)
+  | None -> ());
   b
 
 (* ------------------------------------------------------------------ *)
@@ -216,39 +252,77 @@ let trap c addr len =
 (* Typed access                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let read_f64 c addr = Space.get_f64 c.machine.space ~proc:c.cid addr
+(* ECSan hook: a no-op match with the sanitizer off, so unsanitized runs
+   take the exact pre-sanitizer code path. *)
+let ecsan_access c addr len ~op ~access =
+  match c.check with
+  | None -> ()
+  | Some ch ->
+      let shared_region =
+        match Space.find_region c.machine.space addr with
+        | Some r -> r.Region.kind = Region.Shared
+        | None -> false
+      in
+      Midway_check.Check.on_access ch ~proc:c.cid ~time:(now_ns c) ~addr ~len ~op ~access
+        ~shared_region
 
-let read_int c addr = Space.get_int c.machine.space ~proc:c.cid addr
+let read_f64 c addr =
+  let v = Space.get_f64 c.machine.space ~proc:c.cid addr in
+  ecsan_access c addr 8 ~op:"read_f64" ~access:Midway_check.Check.Read;
+  v
 
-let read_i32 c addr = Space.get_i32 c.machine.space ~proc:c.cid addr
+let read_int c addr =
+  let v = Space.get_int c.machine.space ~proc:c.cid addr in
+  ecsan_access c addr 8 ~op:"read_int" ~access:Midway_check.Check.Read;
+  v
 
-let read_u8 c addr = Space.get_u8 c.machine.space ~proc:c.cid addr
+let read_i32 c addr =
+  let v = Space.get_i32 c.machine.space ~proc:c.cid addr in
+  ecsan_access c addr 4 ~op:"read_i32" ~access:Midway_check.Check.Read;
+  v
 
-let read_bytes c addr ~len = Space.read_bytes c.machine.space ~proc:c.cid addr ~len
+let read_u8 c addr =
+  let v = Space.get_u8 c.machine.space ~proc:c.cid addr in
+  ecsan_access c addr 1 ~op:"read_u8" ~access:Midway_check.Check.Read;
+  v
+
+let read_bytes c addr ~len =
+  let v = Space.read_bytes c.machine.space ~proc:c.cid addr ~len in
+  ecsan_access c addr len ~op:"read_bytes" ~access:Midway_check.Check.Read;
+  v
 
 let write_f64 c addr v =
   trap c addr 8;
-  Space.set_f64 c.machine.space ~proc:c.cid addr v
+  Space.set_f64 c.machine.space ~proc:c.cid addr v;
+  ecsan_access c addr 8 ~op:"write_f64" ~access:Midway_check.Check.Write
 
 let write_int c addr v =
   trap c addr 8;
-  Space.set_int c.machine.space ~proc:c.cid addr v
+  Space.set_int c.machine.space ~proc:c.cid addr v;
+  ecsan_access c addr 8 ~op:"write_int" ~access:Midway_check.Check.Write
 
 let write_i32 c addr v =
   trap c addr 4;
-  Space.set_i32 c.machine.space ~proc:c.cid addr v
+  Space.set_i32 c.machine.space ~proc:c.cid addr v;
+  ecsan_access c addr 4 ~op:"write_i32" ~access:Midway_check.Check.Write
 
 let write_u8 c addr v =
   trap c addr 1;
-  Space.set_u8 c.machine.space ~proc:c.cid addr v
+  Space.set_u8 c.machine.space ~proc:c.cid addr v;
+  ecsan_access c addr 1 ~op:"write_u8" ~access:Midway_check.Check.Write
 
 let write_bytes c addr buf =
   trap c addr (Bytes.length buf);
-  Space.write_bytes c.machine.space ~proc:c.cid addr buf
+  Space.write_bytes c.machine.space ~proc:c.cid addr buf;
+  ecsan_access c addr (Bytes.length buf) ~op:"write_bytes" ~access:Midway_check.Check.Write
 
-let write_f64_private c addr v = Space.set_f64 c.machine.space ~proc:c.cid addr v
+let write_f64_private c addr v =
+  Space.set_f64 c.machine.space ~proc:c.cid addr v;
+  ecsan_access c addr 8 ~op:"write_f64_private" ~access:Midway_check.Check.Private_write
 
-let write_int_private c addr v = Space.set_int c.machine.space ~proc:c.cid addr v
+let write_int_private c addr v =
+  Space.set_int c.machine.space ~proc:c.cid addr v;
+  ecsan_access c addr 8 ~op:"write_int_private" ~access:Midway_check.Check.Private_write
 
 (* ------------------------------------------------------------------ *)
 (* Write collection: RT                                                *)
@@ -856,7 +930,13 @@ let acquire_mode c l mode =
       ~setup:(fun ~wake ->
         Sync.enqueue_request l ~proc:c.cid ~arrival ~mode ~waker:wake;
         service_queue t l)
-  end
+  end;
+  (* Either path: the lock is held by this processor once we get here. *)
+  match c.check with
+  | Some ch ->
+      Midway_check.Check.on_acquire ch ~id:l.Sync.lid ~proc:c.cid
+        ~exclusive:(mode = Sync.Exclusive)
+  | None -> ()
 
 let acquire c l = acquire_mode c l Sync.Exclusive
 
@@ -867,13 +947,20 @@ let release c l =
   Engine.yield c.proc;
   Engine.charge c.proc t.cfg.release_ns;
   Trace.record t.trace (Trace.Lock_released { t = now_ns c; lock = l.Sync.lid; proc = c.cid });
+  let ecsan_release () =
+    match c.check with
+    | Some ch -> Midway_check.Check.on_release ch ~id:l.Sync.lid ~proc:c.cid
+    | None -> ()
+  in
   match l.Sync.held_by with
   | Some holder when holder = c.cid ->
+      ecsan_release ();
       l.Sync.held_by <- None;
       l.Sync.free_at <- now_ns c;
       service_queue t l
   | _ ->
       if List.mem c.cid l.Sync.readers then begin
+        ecsan_release ();
         l.Sync.readers <- List.filter (fun p -> p <> c.cid) l.Sync.readers;
         if l.Sync.readers = [] then begin
           l.Sync.free_at <- max l.Sync.free_at (now_ns c);
@@ -890,6 +977,9 @@ let rebind c l ranges =
   | _ -> failwith (Printf.sprintf "Runtime.rebind: lock %d not held by p%d" l.Sync.lid c.cid));
   Engine.charge c.proc c.machine.cfg.release_ns;
   Sync.rebind_lock l ~nprocs:c.machine.cfg.nprocs ~ranges;
+  (match c.check with
+  | Some ch -> Midway_check.Check.on_rebind ch ~id:l.Sync.lid ~raw:(raw_pairs ranges)
+  | None -> ());
   Trace.record c.machine.trace
     (Trace.Lock_rebound
        { t = now_ns c; lock = l.Sync.lid; proc = c.cid; bound_bytes = Sync.lock_bound_bytes l })
@@ -1001,7 +1091,10 @@ let barrier_release t (b : Sync.barrier) =
     (Trace.Barrier_completed { t = t_release; barrier = b.Sync.bid; episode = b.Sync.episode });
   b.Sync.episode <- b.Sync.episode + 1;
   b.Sync.crossings <- b.Sync.crossings + 1;
-  b.Sync.arrived <- []
+  b.Sync.arrived <- [];
+  match t.checker with
+  | Some ch -> Midway_check.Check.on_barrier_complete ch ~id:b.Sync.bid
+  | None -> ()
 
 let barrier c b =
   let t = c.machine in
@@ -1012,7 +1105,10 @@ let barrier c b =
        takes place — the paper's uniprocessor VM run "never diffs or write
        protects a page, since the data is never transferred". *)
     b.Sync.episode <- b.Sync.episode + 1;
-    b.Sync.crossings <- b.Sync.crossings + 1
+    b.Sync.crossings <- b.Sync.crossings + 1;
+    match t.checker with
+    | Some ch -> Midway_check.Check.on_barrier_complete ch ~id:b.Sync.bid
+    | None -> ()
   end
   else begin
     let payload, collect_ns, stamp = barrier_collect c b in
@@ -1043,7 +1139,11 @@ let barrier c b =
               };
             ];
         if List.length b.Sync.arrived = b.Sync.participants then barrier_release t b)
-  end
+  end;
+  (* Either path: this processor completed a crossing. *)
+  match c.check with
+  | Some ch -> Midway_check.Check.on_barrier_cross ch ~id:b.Sync.bid ~proc:c.cid
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Running                                                             *)
@@ -1095,6 +1195,17 @@ let run_each t bodies =
   if Array.length bodies <> t.cfg.nprocs then
     invalid_arg "Runtime.run_each: need one body per processor";
   t.ran <- true;
+  (* ECSan's static pass: lint the binding table as it stands at launch.
+     (During the run bindings may legitimately overlap transiently while
+     a worker splits and rebinds, so this runs exactly once, here.) *)
+  (match t.checker with
+  | Some ch ->
+      Midway_check.Check.lint ch
+        ~region_kind:(fun addr ->
+          match Space.find_region t.space addr with
+          | Some r -> if r.Region.kind = Region.Shared then `Shared else `Private
+          | None -> `Unmapped)
+  | None -> ());
   Array.iteri (fun i body -> Engine.spawn t.engine i (fun _proc -> body t.ctxs.(i))) bodies;
   try Engine.run t.engine
   with Engine.Deadlock msg ->
@@ -1169,7 +1280,43 @@ let check_invariants t =
             (Midway_vmem.Page_table.dirty_pages (Vm_state.page_table vm))
       | _ -> ())
     t.ctxs;
+  (* Every bound range must point at mapped, allocated memory: a lock
+     left bound to freed or never-allocated space would make collection
+     scan garbage. *)
+  let check_binding what id ranges =
+    List.iter
+      (fun (r : Range.t) ->
+        if not (Range.is_empty r) then
+          match Space.find_region t.space r.Range.addr with
+          | None -> report "%s %d: bound range [%#x,%#x) is unmapped" what id r.Range.addr (Range.limit r)
+          | Some reg ->
+              if Range.limit r > Region.base reg + reg.Region.used then
+                report "%s %d: bound range [%#x,%#x) extends past the region's allocated %d bytes"
+                  what id r.Range.addr (Range.limit r) reg.Region.used)
+      ranges
+  in
+  List.iter (fun (l : Sync.lock) -> check_binding "lock" l.Sync.lid l.Sync.ranges) t.locks;
+  List.iter (fun (b : Sync.barrier) -> check_binding "barrier" b.Sync.bid b.Sync.branges) t.barriers;
+  (* ECSan's binding index must mirror the protocol's Sync records
+     exactly — drift would mean the sanitizer checked stale bindings. *)
+  (match t.checker with
+  | Some ch ->
+      let expect what id ranges =
+        let mine = raw_pairs (Range.normalize ranges) in
+        let index = Midway_check.Check.current_ranges ch ~id in
+        if mine <> index then
+          report "%s %d: sanitizer binding index out of sync (%d vs %d range(s))" what id
+            (List.length index) (List.length mine)
+      in
+      List.iter (fun (l : Sync.lock) -> expect "lock" l.Sync.lid l.Sync.ranges) t.locks;
+      List.iter (fun (b : Sync.barrier) -> expect "barrier" b.Sync.bid b.Sync.branges) t.barriers
+  | None -> ());
   List.rev !problems
+
+let check_report t =
+  match t.checker with
+  | None -> Midway_check.Report.disabled
+  | Some ch -> Midway_check.Check.report ch
 
 let elapsed_ns t = Engine.elapsed t.engine
 

@@ -72,10 +72,19 @@ val check_invariants : t -> string list
 (** After [run]: verify structural protocol invariants — no lock or
     barrier left held/parked, no pending requests, no locally-dirty RT
     lines on non-owners of a lock's data (a write without ownership), no
-    VM dirty page without a twin, and (under fault injection) no message
+    VM dirty page without a twin, every binding inside mapped allocated
+    memory, (with ECSan on) the sanitizer's binding index in sync with
+    the protocol's own records, and (under fault injection) no message
     left unacked in the reliable channel.  Returns human-readable
     violations (empty = clean).  Useful in tests and when debugging
     simulated programs. *)
+
+val check_report : t -> Midway_check.Check.report
+(** The ECSan sanitizer's findings (see {!Midway_check.Check} and
+    doc/ECSAN.md).  With {!Config.t.ecsan} off this is
+    {!Midway_check.Report.disabled}; with it on, call after [run] for
+    the full report.  Render with {!Midway_check.Report.render}; gate
+    exit codes on {!Midway_check.Report.has_violations}. *)
 
 val elapsed_ns : t -> int
 (** After [run]: simulated execution time (max over processors). *)

@@ -60,13 +60,22 @@ let check outcome =
       failwith
         (Printf.sprintf "suite: %s violated protocol invariants: %s"
            outcome.Midway_apps.Outcome.app (String.concat "; " violations)));
+  let rep = Midway.Runtime.check_report outcome.Midway_apps.Outcome.machine in
+  if Midway_check.Report.has_violations rep then
+    failwith
+      (Printf.sprintf "suite: ECSan found violations in %s:\n%s"
+         outcome.Midway_apps.Outcome.app
+         (Midway_check.Report.render rep));
   outcome
 
-let run ?apps:(selection = apps) ?(cost = Midway_stats.Cost_model.default) ~nprocs ~scale () =
+let run ?apps:(selection = apps) ?(cost = Midway_stats.Cost_model.default) ?(ecsan = false)
+    ~nprocs ~scale () =
   let entries =
     List.map
       (fun app ->
-        let cfg backend n = { (Midway.Config.make backend ~nprocs:n) with cost } in
+        let cfg backend n =
+          { (Midway.Config.make backend ~nprocs:n) with cost; Midway.Config.ecsan }
+        in
         {
           app;
           rt = check (run_app app (cfg Midway.Config.Rt nprocs) ~scale);

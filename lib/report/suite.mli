@@ -35,12 +35,15 @@ type t = {
 val run :
   ?apps:app list ->
   ?cost:Midway_stats.Cost_model.t ->
+  ?ecsan:bool ->
   nprocs:int ->
   scale:float ->
   unit ->
   t
 (** Execute the suite.  Raises [Failure] if any application fails its
     oracle verification — a benchmark number from an incoherent run would
-    be meaningless. *)
+    be meaningless.  With [ecsan] (default false) every run also executes
+    under the entry-consistency sanitizer and any violation is likewise a
+    [Failure]. *)
 
 val entry : t -> app -> entry

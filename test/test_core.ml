@@ -43,6 +43,26 @@ let test_normalize_merges () =
     [ (0, 15); (30, 5) ]
     (List.map (fun (r : Range.t) -> (r.Range.addr, r.Range.len)) norm)
 
+let test_normalize_edge_cases () =
+  let pairs rs = List.map (fun (r : Range.t) -> (r.Range.addr, r.Range.len)) rs in
+  Alcotest.(check (list (pair int int)))
+    "zero-length ranges are dropped" [ (0, 4) ]
+    (pairs (Range.normalize [ Range.v 5 0; Range.v 0 4; Range.v 12 0 ]));
+  Alcotest.(check (list (pair int int)))
+    "all-empty input normalizes to nothing" []
+    (pairs (Range.normalize [ Range.v 0 0; Range.v 8 0 ]));
+  Alcotest.(check (list (pair int int)))
+    "adjacent ranges merge" [ (0, 16) ]
+    (pairs (Range.normalize [ Range.v 8 8; Range.v 0 8 ]))
+
+let test_overlaps_edge_cases () =
+  Alcotest.(check bool) "proper overlap" true (Range.overlaps (Range.v 0 10) (Range.v 5 10));
+  Alcotest.(check bool) "adjacent do not overlap" false (Range.overlaps (Range.v 0 8) (Range.v 8 8));
+  Alcotest.(check bool) "empty overlaps nothing" false (Range.overlaps (Range.v 5 0) (Range.v 0 10));
+  Alcotest.(check bool) "nothing overlaps empty" false (Range.overlaps (Range.v 0 10) (Range.v 5 0));
+  Alcotest.(check bool) "intersect agrees on adjacency" true
+    (Range.intersect (Range.v 0 8) (Range.v 8 8) = None)
+
 let normalize_preserves_coverage =
   QCheck.Test.make ~name:"normalize preserves byte coverage" ~count:300 range_list (fun rs ->
       let norm = Range.normalize rs in
@@ -574,13 +594,31 @@ let test_lock_queue_order () =
     [ (1, 30); (2, 50); (3, 50) ]
     (List.map (fun (p, a, _, _) -> (p, a)) l.Sync.pending)
 
+let test_lock_queue_tiebreak_determinism () =
+  (* Equal arrival times are broken by processor id, so the grant order
+     does not depend on the order the requests were enqueued in. *)
+  let build order =
+    let l = Sync.make_lock ~lid:0 ~nprocs:4 ~owner:0 ~ranges:[ Range.v 0 8 ] in
+    List.iter
+      (fun proc ->
+        Sync.enqueue_request l ~proc ~arrival:50 ~mode:Sync.Exclusive ~waker:(fun ~at:_ -> ()))
+      order;
+    List.map (fun (p, a, _, _) -> (p, a)) l.Sync.pending
+  in
+  let expected = [ (1, 50); (2, 50); (3, 50) ] in
+  Alcotest.(check (list (pair int int))) "ascending insertion" expected (build [ 1; 2; 3 ]);
+  Alcotest.(check (list (pair int int))) "descending insertion" expected (build [ 3; 2; 1 ]);
+  Alcotest.(check (list (pair int int))) "shuffled insertion" expected (build [ 2; 3; 1 ])
+
 let test_rebind_resets_history () =
   let l = Sync.make_lock ~lid:0 ~nprocs:2 ~owner:0 ~ranges:[ Range.v 0 8 ] in
   l.Sync.rt_last_seen.(1) <- 77;
   l.Sync.incarnation <- 5;
   l.Sync.vm_log <- [ (4, Sync.Pieces []) ];
+  Hashtbl.replace l.Sync.rt_history 0 42;
   Sync.rebind_lock l ~nprocs:2 ~ranges:[ Range.v 100 16 ];
   Alcotest.(check int) "cursor reset" Timestamp.never_seen l.Sync.rt_last_seen.(1);
+  Alcotest.(check int) "per-line history cleared" 0 (Hashtbl.length l.Sync.rt_history);
   Alcotest.(check int) "incarnation bumped" 6 l.Sync.incarnation;
   Alcotest.(check bool) "full marker recorded" true
     (match l.Sync.vm_log with [ (5, Sync.Full_marker) ] -> true | _ -> false);
@@ -650,6 +688,8 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_range_basics;
           Alcotest.test_case "normalize merges" `Quick test_normalize_merges;
+          Alcotest.test_case "normalize edge cases" `Quick test_normalize_edge_cases;
+          Alcotest.test_case "overlaps edge cases" `Quick test_overlaps_edge_cases;
           Alcotest.test_case "contains" `Quick test_contains;
           Alcotest.test_case "iter_lines widens" `Quick test_iter_lines_widens;
           qtest normalize_preserves_coverage;
@@ -694,6 +734,8 @@ let () =
       ( "sync",
         [
           Alcotest.test_case "queue order" `Quick test_lock_queue_order;
+          Alcotest.test_case "queue tie-break determinism" `Quick
+            test_lock_queue_tiebreak_determinism;
           Alcotest.test_case "rebind resets history" `Quick test_rebind_resets_history;
           Alcotest.test_case "barrier validation" `Quick test_barrier_validation;
         ] );
