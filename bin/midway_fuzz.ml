@@ -1,0 +1,231 @@
+(* The schedule explorer's command line.
+
+   Fuzz: sweep workloads x backends x schedule seeds, judging every run
+   by its sequential oracle, the protocol invariants and ECSan, and
+   shrink any failure to a minimal replayable counterexample:
+
+     midway-fuzz --schedules 16 --schedule-seed 1
+     midway-fuzz --apps counter,ecgen:7 --backends rt,vm,twin
+     midway-fuzz --faults 0.02 --fault-seed 42    # fault x thread schedules
+
+   Demo: hunt the deliberately buggy workloads (order-sensitive, racy)
+   and exit 0 only if every one is caught and shrunk within the grid —
+   the self-test wired into @fuzzsmoke:
+
+     midway-fuzz --demo-bug --schedules 12
+
+   Replay: re-execute a dumped counterexample and exit 0 iff the
+   failure reproduces:
+
+     midway-fuzz --schedules 8 --dump /tmp/cex.txt
+     midway-fuzz --replay /tmp/cex.txt *)
+
+module Config = Midway.Config
+module Explore = Midway_explore.Explore
+module Workload = Midway_explore.Workload
+
+let parse_names of_name csv =
+  String.split_on_char ',' csv
+  |> List.filter (fun s -> String.trim s <> "")
+  |> List.map (fun s ->
+         match of_name (String.trim s) with
+         | Ok v -> v
+         | Error msg ->
+             Printf.eprintf "%s\n" msg;
+             exit 2)
+
+let print_failure (c : Explore.counterexample) =
+  Printf.printf "FAIL %s/%s schedule-seed=%d%s\n" c.Explore.c_workload
+    (Config.backend_name c.Explore.c_backend)
+    c.Explore.c_schedule_seed
+    (match c.Explore.c_fault_seed with
+    | Some s -> Printf.sprintf " fault-seed=%d" s
+    | None -> "");
+  Printf.printf "  %s\n" c.Explore.c_reason;
+  (match c.Explore.c_choices with
+  | Some l -> Printf.printf "  recorded choices : %d\n" (List.length l)
+  | None -> Printf.printf "  recorded choices : unavailable (machine lost)\n");
+  (match c.Explore.c_shrunk with
+  | Some l ->
+      Printf.printf "  shrunk to        : [%s] (%d re-runs)\n"
+        (String.concat "," (List.map string_of_int l))
+        c.Explore.c_shrink_runs
+  | None -> Printf.printf "  shrunk to        : (failure did not reproduce under replay)\n");
+  if c.Explore.c_trace <> [] then begin
+    Printf.printf "  trace tail:\n";
+    List.iter (fun t -> Printf.printf "    %s\n" t) c.Explore.c_trace
+  end
+
+let dump_failures path failures =
+  let oc = open_out path in
+  List.iter (fun c -> output_string oc (Explore.render_counterexample c)) failures;
+  close_out oc;
+  Printf.printf "counterexample(s) written to %s\n" path
+
+let run_replay scale path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Result.bind (Explore.parse_counterexample text) (Explore.replay ~scale) with
+  | Error msg ->
+      Printf.eprintf "replay failed: %s\n" msg;
+      2
+  | Ok r ->
+      if r.Explore.rr_failed then begin
+        Printf.printf "failure reproduced:\n  %s\n" r.Explore.rr_reason;
+        0
+      end
+      else begin
+        Printf.printf "failure did NOT reproduce (run came back clean)\n";
+        1
+      end
+
+let run apps_csv backends_csv schedules schedule_seed nprocs scale faults fault_seed trace
+    no_ecsan demo_bug shrink_budget dump replay_file =
+  match replay_file with
+  | Some path -> run_replay scale path
+  | None ->
+      let workloads =
+        match (apps_csv, demo_bug) with
+        | Some csv, _ -> parse_names (Explore.workload_of_name ~scale) csv
+        | None, true -> Explore.buggy_workloads ()
+        | None, false ->
+            Explore.clean_workloads () @ [ Midway_explore.Ecgen.workload ~seed:1 () ]
+      in
+      let backends = parse_names Config.backend_of_string backends_csv in
+      let spec =
+        {
+          Explore.workloads;
+          backends;
+          schedules;
+          schedule_seed;
+          nprocs;
+          ecsan = not no_ecsan;
+          fault_drop = faults;
+          fault_seed;
+          trace_capacity = trace;
+          max_shrink_runs = shrink_budget;
+        }
+      in
+      let report = Explore.run_spec ~progress:print_endline spec in
+      let failures = report.Explore.failures in
+      Printf.printf "\n%d run(s) over %d grid point(s): %d failure(s)\n" report.Explore.total_runs
+        report.Explore.grid_points (List.length failures);
+      List.iter print_failure failures;
+      (match dump with Some path when failures <> [] -> dump_failures path failures | _ -> ());
+      if demo_bug then begin
+        (* self-test: every buggy workload must be caught somewhere in
+           the grid and shrunk to a verified-failing counterexample *)
+        let caught (w : Workload.t) =
+          List.exists
+            (fun c -> c.Explore.c_workload = w.Workload.name && c.Explore.c_shrunk <> None)
+            failures
+        in
+        let missed = List.filter (fun w -> not (caught w)) workloads in
+        if missed = [] then begin
+          Printf.printf "demo: every seeded bug was found and shrunk\n";
+          0
+        end
+        else begin
+          List.iter
+            (fun (w : Workload.t) ->
+              Printf.printf "demo: %s escaped the grid (or did not shrink)\n" w.Workload.name)
+            missed;
+          1
+        end
+      end
+      else if failures = [] then 0
+      else 1
+
+open Cmdliner
+
+let apps =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "apps"; "a" ] ~docv:"NAMES"
+        ~doc:
+          "Comma-separated workloads: counter, readers-writer, mix, order-sensitive, racy, \
+           ecgen:SEED, ecgen-buggy:SEED, or an application name (water, quicksort, matrix, \
+           sor, cholesky).  Default: the clean synthetic workloads plus ecgen:1.")
+
+let backends =
+  Arg.(
+    value & opt string "rt,vm"
+    & info [ "backends"; "b" ] ~docv:"LIST"
+        ~doc:"Comma-separated backends to sweep (rt, vm, twin, vm-fine, blast).")
+
+let schedules =
+  Arg.(
+    value & opt int 8
+    & info [ "schedules" ] ~docv:"N" ~doc:"Schedule seeds per (workload, backend) pair.")
+
+let schedule_seed =
+  Arg.(
+    value & opt int 1
+    & info [ "schedule-seed" ] ~docv:"SEED" ~doc:"Base schedule seed; run $(i,i) uses SEED+i.")
+
+let nprocs = Arg.(value & opt int 4 & info [ "nprocs"; "n" ] ~docv:"N")
+
+let scale =
+  Arg.(
+    value & opt float 0.05
+    & info [ "scale"; "s" ] ~docv:"S" ~doc:"Application problem scale (applications only).")
+
+let faults =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "faults" ] ~docv:"RATE"
+        ~doc:
+          "Compose fault schedules with thread schedules: drop each message copy with \
+           probability RATE; the per-run fault seed is derived from the schedule seed.")
+
+let fault_seed =
+  Arg.(
+    value & opt int 0x0FA7
+    & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Base seed of the fault-schedule derivation.")
+
+let trace =
+  Arg.(
+    value & opt int 64
+    & info [ "trace" ] ~docv:"N" ~doc:"Protocol trace capacity (tail is shown on failure).")
+
+let no_ecsan =
+  Arg.(value & flag & info [ "no-ecsan" ] ~doc:"Judge runs without the entry-consistency sanitizer.")
+
+let demo_bug =
+  Arg.(
+    value & flag
+    & info [ "demo-bug" ]
+        ~doc:
+          "Hunt the deliberately buggy workloads instead of the clean ones; exit 0 only if \
+           every seeded bug is found and shrunk within the grid.")
+
+let shrink_budget =
+  Arg.(
+    value & opt int 48
+    & info [ "shrink-budget" ] ~docv:"N" ~doc:"Re-executions one shrink may spend.")
+
+let dump =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump" ] ~docv:"FILE" ~doc:"Write shrunk counterexamples to FILE.")
+
+let replay_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:"Re-execute a dumped counterexample; exit 0 iff the failure reproduces.")
+
+let cmd =
+  let doc = "seeded schedule fuzzer with record/replay and counterexample shrinking" in
+  Cmd.v
+    (Cmd.info "midway-fuzz" ~doc)
+    Term.(
+      const run $ apps $ backends $ schedules $ schedule_seed $ nprocs $ scale $ faults
+      $ fault_seed $ trace $ no_ecsan $ demo_bug $ shrink_budget $ dump $ replay_file)
+
+let () = exit (Cmd.eval' cmd)

@@ -43,6 +43,7 @@ type t = {
   release_ns : int;
   apply_line_ns : int;
   seed : int;
+  sched_policy : Midway_sched.Engine.policy;
   ecsan : bool;
   faults : Midway_simnet.Net.fault_policy option;
   retrans_timeout_ns : int;
@@ -71,6 +72,7 @@ let make ?(cost = Midway_stats.Cost_model.default) backend ~nprocs =
     release_ns = 1_000;
     apply_line_ns = 100;
     seed = 0x5EED;
+    sched_policy = Midway_sched.Engine.Fifo;
     ecsan = false;
     faults = None;
     retrans_timeout_ns = Midway_simnet.Reliable.default_config.Midway_simnet.Reliable.timeout_ns;
@@ -79,6 +81,10 @@ let make ?(cost = Midway_stats.Cost_model.default) backend ~nprocs =
     retrans_max_attempts =
       Midway_simnet.Reliable.default_config.Midway_simnet.Reliable.max_attempts;
   }
+
+let with_schedule_seed seed cfg = { cfg with sched_policy = Midway_sched.Engine.Seeded seed }
+
+let with_replay choices cfg = { cfg with sched_policy = Midway_sched.Engine.Replay choices }
 
 let with_faults ?duplicate ?jitter_ns ?seed ~drop cfg =
   let seed = Option.value seed ~default:cfg.seed in

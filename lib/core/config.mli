@@ -55,6 +55,15 @@ type t = {
   release_ns : int;  (** local bookkeeping at release *)
   apply_line_ns : int;  (** fixed per-line cost of applying an incoming update *)
   seed : int;
+  (* scheduling *)
+  sched_policy : Midway_sched.Engine.policy;
+      (** Tie-break policy of the discrete-event engine
+          ({!Midway_sched.Engine.policy}).  [Fifo] (the default) is the
+          historical deterministic order and is bit-identical to builds
+          without the schedule explorer; [Seeded] / [Replay] make the
+          tie-break order among causally concurrent events an explored,
+          replayable dimension (see doc/SIMULATION.md and
+          [bin/midway_fuzz.ml]). *)
   (* sanitizer *)
   ecsan : bool;
       (** arm ECSan, the entry-consistency sanitizer
@@ -83,6 +92,17 @@ val make : ?cost:Midway_stats.Cost_model.t -> backend -> nprocs:int -> t
     descriptors, [Plain] RT trapping, an update-log window of 16
     incarnations, no faults, and the {!Midway_simnet.Reliable} default
     retransmission parameters. *)
+
+val with_schedule_seed : int -> t -> t
+(** Arm the seeded tie-break policy: the engine picks uniformly among
+    runnable fibers whose virtual clocks are tied, recording every
+    choice so the run is replayable from [(workload seed, schedule
+    seed)] alone. *)
+
+val with_replay : int list -> t -> t
+(** Replay a recorded tie-break choice list (see
+    {!Runtime.schedule_choices}); ties beyond the end of the list fall
+    back to FIFO. *)
 
 val with_faults : ?duplicate:float -> ?jitter_ns:int -> ?seed:int -> drop:float -> t -> t
 (** Arm uniform fault injection: every link drops a copy with

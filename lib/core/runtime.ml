@@ -51,7 +51,7 @@ let create (cfg : Config.t) =
     invalid_arg "Runtime.create: the standalone backend is uniprocessor only";
   if cfg.untargetted && cfg.backend <> Config.Rt then
     invalid_arg "Runtime.create: the untargetted model is implemented for the RT backend only";
-  let engine = Engine.create ~nprocs:cfg.nprocs in
+  let engine = Engine.create ~policy:cfg.sched_policy ~nprocs:cfg.nprocs () in
   let space = Space.create ~region_size:cfg.region_size ~nprocs:cfg.nprocs () in
   let net =
     Net.create ~latency_ns:cfg.net_latency_ns ~ns_per_byte:cfg.net_ns_per_byte
@@ -1321,3 +1321,5 @@ let check_report t =
 let elapsed_ns t = Engine.elapsed t.engine
 
 let proc_clock_ns t i = Engine.clock_of t.engine i
+
+let schedule_choices t = Engine.choices t.engine

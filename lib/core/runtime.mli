@@ -91,6 +91,13 @@ val elapsed_ns : t -> int
 
 val proc_clock_ns : t -> int -> int
 
+val schedule_choices : t -> int list
+(** The engine's recorded tie-break choices (oldest first; empty under
+    the default FIFO policy).  Replaying them via
+    {!Config.with_replay} reproduces the schedule exactly — the raw
+    material of the schedule explorer's counterexamples.  Valid during
+    and after [run], including when [run] raised. *)
+
 (** {1 Processor operations} *)
 
 val id : ctx -> int

@@ -1,0 +1,154 @@
+(* Random entry-consistency programs.
+
+   A program is generated deterministically from (seed, nprocs): a few
+   lock groups, each binding a contiguous disjoint run of 8-byte cells,
+   and one or two barrier-separated rounds of per-processor operation
+   lists.  The only mutation is a lock-guarded commutative add, so the
+   final value of every cell is schedule-independent: the per-cell sum
+   of all deltas targeting it.  A final data-less barrier plus a
+   read-mode sweep of every lock converges every processor's copy, and
+   the oracle then checks all copies cell by cell.
+
+   The [buggy] variant strips the acquire/release off one randomly
+   chosen add — a seeded race for the fuzzer to find: the unlocked
+   write never joins the protocol's consistent history (oracle
+   mismatch) and ECSan flags the unsynchronized access. *)
+
+module R = Midway.Runtime
+module Config = Midway.Config
+module Range = Midway.Range
+module Prng = Midway_util.Prng
+
+type op =
+  | Add of { group : int; cell : int; delta : int }
+  | Raw_add of { group : int; cell : int; delta : int }  (* buggy: no acquire *)
+  | Sweep of int  (* read-mode pull of one group *)
+  | Work of int  (* local computation, ns *)
+
+type program = {
+  seed : int;
+  nprocs : int;
+  ngroups : int;
+  cells_per_group : int;
+  nrounds : int;
+  ops : op list array array;  (* ops.(round).(proc) *)
+  buggy : bool;
+}
+
+let generate ?(buggy = false) ~seed ~nprocs () =
+  if nprocs <= 0 then invalid_arg "Ecgen.generate: nprocs must be positive";
+  let rng = Prng.create ~seed in
+  let ngroups = 1 + Prng.int rng 3 in
+  let cells_per_group = 1 + Prng.int rng 4 in
+  let nrounds = 1 + Prng.int rng 2 in
+  let gen_op () =
+    let roll = Prng.int rng 10 in
+    if roll < 7 then
+      Add
+        {
+          group = Prng.int rng ngroups;
+          cell = Prng.int rng cells_per_group;
+          delta = 1 + Prng.int rng 9;
+        }
+    else if roll < 9 then Sweep (Prng.int rng ngroups)
+    else Work ((1 + Prng.int rng 5) * 1_000)
+  in
+  let ops =
+    Array.init nrounds (fun _ ->
+        Array.init nprocs (fun _ -> List.init (1 + Prng.int rng 4) (fun _ -> gen_op ())))
+  in
+  let is_add = function Add _ -> true | _ -> false in
+  if not (Array.exists (fun procs -> Array.exists (List.exists is_add) procs) ops) then
+    ops.(0).(0) <- Add { group = 0; cell = 0; delta = 1 } :: ops.(0).(0);
+  if buggy then begin
+    (* count the adds, pick one, strip its lock *)
+    let total = ref 0 in
+    Array.iter
+      (Array.iter (List.iter (fun o -> if is_add o then incr total)))
+      ops;
+    let victim = Prng.int rng !total in
+    let idx = ref 0 in
+    let strip o =
+      match o with
+      | Add { group; cell; delta } ->
+          let i = !idx in
+          incr idx;
+          if i = victim then Raw_add { group; cell; delta } else o
+      | o -> o
+    in
+    Array.iteri
+      (fun r procs -> Array.iteri (fun p l -> ops.(r).(p) <- List.map strip l) procs)
+      ops
+  end;
+  { seed; nprocs; ngroups; cells_per_group; nrounds; ops; buggy }
+
+(* The sequential oracle: cells start at zero and adds commute. *)
+let expected program =
+  let ncells = program.ngroups * program.cells_per_group in
+  let exp = Array.make ncells 0 in
+  Array.iter
+    (Array.iter
+       (List.iter (function
+         | Add { group; cell; delta } | Raw_add { group; cell; delta } ->
+             let i = (group * program.cells_per_group) + cell in
+             exp.(i) <- exp.(i) + delta
+         | Sweep _ | Work _ -> ())))
+    program.ops;
+  exp
+
+let run program cfg =
+  if cfg.Config.nprocs <> program.nprocs then
+    invalid_arg "Ecgen.run: configuration and program disagree on nprocs";
+  Workload.run_guarded cfg (fun m ->
+      let cpg = program.cells_per_group in
+      let ncells = program.ngroups * cpg in
+      (* 8-byte lines: groups are guarded by distinct locks and must not
+         share an RT cache line (line-granular timestamps would
+         false-share across locks) *)
+      let base = R.alloc m ~line_size:8 (ncells * 8) in
+      let addr g i = base + (((g * cpg) + i) * 8) in
+      let locks =
+        Array.init program.ngroups (fun g ->
+            R.new_lock m ~owner:(g mod program.nprocs) [ Range.v (addr g 0) (cpg * 8) ])
+      in
+      let round_bar = R.new_barrier m [] in
+      let exec c = function
+        | Add { group; cell; delta } ->
+            R.acquire c locks.(group);
+            let a = addr group cell in
+            R.write_int c a (R.read_int c a + delta);
+            R.release c locks.(group)
+        | Raw_add { group; cell; delta } ->
+            let a = addr group cell in
+            R.write_int c a (R.read_int c a + delta)
+        | Sweep group ->
+            R.acquire_read c locks.(group);
+            for i = 0 to cpg - 1 do
+              ignore (R.read_int c (addr group i))
+            done;
+            R.release c locks.(group)
+        | Work ns -> R.work_ns c ns
+      in
+      let body c =
+        for r = 0 to program.nrounds - 1 do
+          List.iter (exec c) program.ops.(r).(R.id c);
+          R.barrier c round_bar
+        done;
+        Workload.converge c round_bar locks
+      in
+      let verify () =
+        Workload.check_cells m
+          (Array.init ncells (fun i -> addr (i / cpg) (i mod cpg)))
+          (expected program)
+      in
+      (body, verify))
+
+let workload ?(buggy = false) ~seed () =
+  {
+    Workload.name = Printf.sprintf "%s:%d" (if buggy then "ecgen-buggy" else "ecgen") seed;
+    buggy;
+    supports = Workload.lock_based;
+    run =
+      (fun cfg ->
+        run (generate ~buggy ~seed ~nprocs:cfg.Config.nprocs ()) cfg);
+  }

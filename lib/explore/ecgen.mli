@@ -1,0 +1,46 @@
+(** Random entry-consistency program generation.
+
+    Programs are generated deterministically from [(seed, nprocs)]: a
+    few lock groups over disjoint contiguous runs of 8-byte cells, and
+    barrier-separated rounds of per-processor operations whose only
+    mutation is a lock-guarded commutative add.  The final value of
+    every cell is therefore schedule-independent — the per-cell sum of
+    deltas — which makes these programs the qcheck property's subject:
+    any backend, any schedule seed, same converged memory. *)
+
+type op =
+  | Add of { group : int; cell : int; delta : int }
+      (** acquire group's lock exclusively, cell += delta, release *)
+  | Raw_add of { group : int; cell : int; delta : int }
+      (** the seeded bug: the same add without the acquire *)
+  | Sweep of int  (** read-mode pull of one group *)
+  | Work of int  (** local computation, ns *)
+
+type program = {
+  seed : int;
+  nprocs : int;
+  ngroups : int;
+  cells_per_group : int;
+  nrounds : int;
+  ops : op list array array;  (** [ops.(round).(proc)] *)
+  buggy : bool;
+}
+
+val generate : ?buggy:bool -> seed:int -> nprocs:int -> unit -> program
+(** Deterministic: equal [(buggy, seed, nprocs)] yield equal programs.
+    Always contains at least one [Add].  With [buggy] (default false)
+    one randomly chosen add loses its lock and becomes [Raw_add]. *)
+
+val expected : program -> int array
+(** The sequential oracle: per-cell sum of all deltas (cells start 0),
+    indexed [group * cells_per_group + cell]. *)
+
+val run : program -> Midway.Config.t -> Workload.outcome
+(** Execute on a machine built for [cfg] (whose [nprocs] must match the
+    program's) and verify every processor's converged copy against
+    {!expected}. *)
+
+val workload : ?buggy:bool -> seed:int -> unit -> Workload.t
+(** Package as a workload named ["ecgen:SEED"] (or ["ecgen-buggy:SEED"]):
+    the program is regenerated from [seed] and the configuration's
+    [nprocs] at each run. *)

@@ -1,0 +1,439 @@
+(* The schedule explorer: fuzz driver, counterexample shrinking and
+   record/replay.
+
+   One fuzzing run sweeps a grid of (workload x backend x schedule
+   seed), optionally composed with fault injection (fault schedules x
+   thread schedules).  Every run is judged by three independent checks:
+   the workload's own sequential oracle, Runtime.check_invariants, and
+   (when armed) the ECSan report.  A failing run's recorded tie-break
+   choices are shrunk — binary search for the smallest failing prefix,
+   then a pointwise zeroing pass — and the result is a counterexample
+   that replays from the configuration alone. *)
+
+module Config = Midway.Config
+module R = Midway.Runtime
+
+(* ------------------------------------------------------------------ *)
+(* Executing one run and judging it                                    *)
+
+type judged = {
+  j_failed : bool;
+  j_reason : string;  (* "" when the run is clean *)
+  j_digest : string;
+  j_choices : int list option;  (* None when the machine was lost *)
+  j_trace : string list;  (* tail of the protocol trace, oldest first *)
+}
+
+let trace_tail ?(n = 12) machine =
+  let events = Midway.Trace.events (R.trace machine) in
+  let len = List.length events in
+  let tail = if len > n then List.filteri (fun i _ -> i >= len - n) events else events in
+  List.map (fun e -> Format.asprintf "%a" Midway.Trace.pp_event e) tail
+
+(* Judge one execution: oracle, then structural invariants, then ECSan.
+   All three verdicts are collected so the report shows every angle of
+   a failure, not just the first. *)
+let execute (w : Workload.t) cfg =
+  let o = w.Workload.run cfg in
+  let reasons = ref [] in
+  let add r = reasons := r :: !reasons in
+  if not o.Workload.ok then
+    add
+      ("oracle: " ^ (if o.Workload.detail = "" then "verification failed" else o.Workload.detail));
+  let choices, trace =
+    match o.Workload.machine with
+    | None -> (None, [])
+    | Some m ->
+        (match R.check_invariants m with
+        | [] -> ()
+        | l when o.Workload.ok ->
+            (* invariant violations on an oracle-clean run are protocol
+               bugs in their own right *)
+            add ("invariants: " ^ String.concat "; " l)
+        | _ -> ()  (* a deadlocked/failed run legitimately leaves state held *));
+        if cfg.Config.ecsan then begin
+          let rep = R.check_report m in
+          if Midway_check.Report.has_violations rep then begin
+            let lines = String.split_on_char '\n' (Midway_check.Report.render rep) in
+            let head = List.filteri (fun i _ -> i < 3) lines in
+            add ("ecsan: " ^ String.concat " | " head)
+          end
+        end;
+        (Some (R.schedule_choices m), trace_tail m)
+  in
+  {
+    j_failed = !reasons <> [];
+    j_reason = String.concat "\n  " (List.rev !reasons);
+    j_digest = o.Workload.digest;
+    j_choices = choices;
+    j_trace = trace;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Specifications and configurations                                   *)
+
+type spec = {
+  workloads : Workload.t list;
+  backends : Config.backend list;
+  schedules : int;  (* schedule seeds per (workload, backend) *)
+  schedule_seed : int;  (* base seed; run i uses base + i *)
+  nprocs : int;
+  ecsan : bool;
+  fault_drop : float option;  (* compose fault schedules with thread schedules *)
+  fault_seed : int;
+  trace_capacity : int;
+  max_shrink_runs : int;  (* re-execution budget of one shrink *)
+}
+
+let default_spec =
+  {
+    workloads = [];
+    backends = [ Config.Rt; Config.Vm ];
+    schedules = 8;
+    schedule_seed = 1;
+    nprocs = 4;
+    ecsan = true;
+    fault_drop = None;
+    fault_seed = 0x0FA7;
+    trace_capacity = 64;
+    max_shrink_runs = 48;
+  }
+
+(* The run's fault seed is derived from both spec seed and schedule
+   seed, so the fault schedule varies together with the thread schedule
+   and the pair is reproducible from the counterexample alone. *)
+let effective_fault_seed spec sseed = spec.fault_seed lxor (sseed * 0x9E37)
+
+let base_config spec backend =
+  let cfg = Config.make backend ~nprocs:spec.nprocs in
+  { cfg with Config.ecsan = spec.ecsan; trace_capacity = spec.trace_capacity }
+
+let armed_config spec backend sseed policy =
+  let cfg = { (base_config spec backend) with Config.sched_policy = policy } in
+  match spec.fault_drop with
+  | None -> cfg
+  | Some drop -> Config.with_faults ~drop ~seed:(effective_fault_seed spec sseed) cfg
+
+(* ------------------------------------------------------------------ *)
+(* Counterexamples and shrinking                                       *)
+
+type counterexample = {
+  c_workload : string;
+  c_backend : Config.backend;
+  c_nprocs : int;
+  c_ecsan : bool;
+  c_fault_drop : float option;
+  c_fault_seed : int option;
+  c_schedule_seed : int;
+  c_reason : string;
+  c_choices : int list option;  (* as recorded by the failing run *)
+  c_shrunk : int list option;  (* minimal verified-failing replay list *)
+  c_shrink_runs : int;
+  c_trace : string list;
+}
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+(* Shrink a failing choice list under a replay oracle.  [fails] must
+   re-execute the run with the given replay list and report whether it
+   still fails.  Greedy prefix trim by binary search (replay lists are
+   tails-off-FIFO: an exhausted list falls back to choice 0), then a
+   pointwise zeroing pass.  Prefix failure need not be monotone, so the
+   search only guarantees a verified-failing local minimum — which is
+   what a counterexample needs. *)
+let shrink ~budget ~fails choices =
+  let runs = ref 0 in
+  let try_fails l =
+    if !runs >= budget then false
+    else begin
+      incr runs;
+      fails l
+    end
+  in
+  if not (try_fails choices) then (None, !runs)
+  else begin
+    let best = ref choices in
+    (* smallest failing prefix: lo passes, hi fails *)
+    if try_fails [] then best := []
+    else begin
+      let lo = ref 0 and hi = ref (List.length choices) in
+      while !hi - !lo > 1 && !runs < budget do
+        let mid = (!lo + !hi) / 2 in
+        if try_fails (take mid choices) then hi := mid else lo := mid
+      done;
+      best := take !hi choices
+    end;
+    (* pointwise zeroing: a 0 replays as FIFO at that tie *)
+    let arr = Array.of_list !best in
+    Array.iteri
+      (fun i c ->
+        if c <> 0 && !runs < budget then begin
+          let saved = arr.(i) in
+          arr.(i) <- 0;
+          if not (try_fails (Array.to_list arr)) then arr.(i) <- saved
+        end)
+      arr;
+    (* drop trailing zeros: replay exhaustion is FIFO anyway *)
+    let l = Array.to_list arr in
+    let rec strip = function 0 :: rest -> strip rest | l -> l in
+    (Some (List.rev (strip (List.rev l))), !runs)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The sweep                                                           *)
+
+type report = {
+  total_runs : int;
+  grid_points : int;  (* (workload, backend) combinations swept *)
+  failures : counterexample list;
+}
+
+let null_progress _ = ()
+
+let run_spec ?(progress = null_progress) spec =
+  let total = ref 0 in
+  let points = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun (w : Workload.t) ->
+      List.iter
+        (fun backend ->
+          if w.Workload.supports backend then begin
+            incr points;
+            let found = ref false in
+            let i = ref 0 in
+            while (not !found) && !i < spec.schedules do
+              let sseed = spec.schedule_seed + !i in
+              incr i;
+              let cfg = armed_config spec backend sseed (Midway_sched.Engine.Seeded sseed) in
+              incr total;
+              let j = execute w cfg in
+              if j.j_failed then begin
+                found := true;
+                progress
+                  (Printf.sprintf "FAIL %s/%s seed=%d: %s" w.Workload.name
+                     (Config.backend_name backend) sseed j.j_reason);
+                let shrunk, runs =
+                  match j.j_choices with
+                  | None | Some [] -> (j.j_choices, 0)
+                  | Some choices ->
+                      let fails l =
+                        let cfg =
+                          armed_config spec backend sseed (Midway_sched.Engine.Replay l)
+                        in
+                        (execute w cfg).j_failed
+                      in
+                      let s, r = shrink ~budget:spec.max_shrink_runs ~fails choices in
+                      (s, r)
+                in
+                total := !total + runs;
+                failures :=
+                  {
+                    c_workload = w.Workload.name;
+                    c_backend = backend;
+                    c_nprocs = spec.nprocs;
+                    c_ecsan = spec.ecsan;
+                    c_fault_drop = spec.fault_drop;
+                    c_fault_seed =
+                      Option.map (fun _ -> effective_fault_seed spec sseed) spec.fault_drop;
+                    c_schedule_seed = sseed;
+                    c_reason = j.j_reason;
+                    c_choices = j.j_choices;
+                    c_shrunk = shrunk;
+                    c_shrink_runs = runs;
+                    c_trace = j.j_trace;
+                  }
+                  :: !failures
+              end
+            done;
+            if not !found then
+              progress
+                (Printf.sprintf "ok   %s/%s (%d schedules)" w.Workload.name
+                   (Config.backend_name backend) spec.schedules)
+          end)
+        spec.backends)
+    spec.workloads;
+  { total_runs = !total; grid_points = !points; failures = List.rev !failures }
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample files: dump, parse, replay                           *)
+
+let render_choices l = String.concat "," (List.map string_of_int l)
+
+let render_counterexample c =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "# midway-fuzz counterexample";
+  line "workload=%s" c.c_workload;
+  line "backend=%s" (Config.backend_name c.c_backend);
+  line "nprocs=%d" c.c_nprocs;
+  line "ecsan=%b" c.c_ecsan;
+  (match (c.c_fault_drop, c.c_fault_seed) with
+  | Some drop, Some fseed ->
+      line "fault-drop=%g" drop;
+      line "fault-seed=%d" fseed
+  | _ -> ());
+  line "schedule-seed=%d" c.c_schedule_seed;
+  (match c.c_shrunk with
+  | Some l -> line "choices=%s" (render_choices l)
+  | None -> (
+      match c.c_choices with
+      | Some l -> line "choices=%s" (render_choices l)
+      | None -> line "# choices unavailable (machine lost); replay by schedule seed"));
+  List.iter (fun r -> line "# reason: %s" r) (String.split_on_char '\n' c.c_reason);
+  List.iter (fun t -> line "# trace: %s" t) c.c_trace;
+  Buffer.contents b
+
+type replay_spec = {
+  rp_workload : string;
+  rp_backend : Config.backend;
+  rp_nprocs : int;
+  rp_ecsan : bool;
+  rp_fault_drop : float option;
+  rp_fault_seed : int option;
+  rp_schedule_seed : int option;
+  rp_choices : int list option;
+}
+
+let parse_counterexample text =
+  let spec =
+    ref
+      {
+        rp_workload = "";
+        rp_backend = Config.Rt;
+        rp_nprocs = 4;
+        rp_ecsan = true;
+        rp_fault_drop = None;
+        rp_fault_seed = None;
+        rp_schedule_seed = None;
+        rp_choices = None;
+      }
+  in
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  (* a dump may concatenate several counterexamples; replay the first *)
+  let headers = ref 0 in
+  let stop = ref false in
+  String.split_on_char '\n' text
+  |> List.iter (fun raw ->
+         let line = String.trim raw in
+         if line = "# midway-fuzz counterexample" then begin
+           incr headers;
+           if !headers > 1 then stop := true
+         end;
+         if !stop || line = "" || line.[0] = '#' then ()
+         else
+           match String.index_opt line '=' with
+           | None -> fail "malformed line %S (expected key=value)" line
+           | Some i -> (
+               let key = String.sub line 0 i in
+               let v = String.sub line (i + 1) (String.length line - i - 1) in
+               match key with
+               | "workload" -> spec := { !spec with rp_workload = v }
+               | "backend" -> (
+                   match Config.backend_of_string v with
+                   | Ok b -> spec := { !spec with rp_backend = b }
+                   | Error e -> fail "%s" e)
+               | "nprocs" -> spec := { !spec with rp_nprocs = int_of_string v }
+               | "ecsan" -> spec := { !spec with rp_ecsan = bool_of_string v }
+               | "fault-drop" -> spec := { !spec with rp_fault_drop = Some (float_of_string v) }
+               | "fault-seed" -> spec := { !spec with rp_fault_seed = Some (int_of_string v) }
+               | "schedule-seed" ->
+                   spec := { !spec with rp_schedule_seed = Some (int_of_string v) }
+               | "choices" ->
+                   let l =
+                     if String.trim v = "" then []
+                     else String.split_on_char ',' v |> List.map (fun s -> int_of_string (String.trim s))
+                   in
+                   spec := { !spec with rp_choices = Some l }
+               | _ -> fail "unknown key %S" key))
+  |> ignore;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      if !spec.rp_workload = "" then Error "counterexample names no workload"
+      else if !spec.rp_schedule_seed = None && !spec.rp_choices = None then
+        Error "counterexample has neither schedule-seed nor choices"
+      else Ok !spec
+
+(* The workload registry: how a counterexample (or a --apps flag) names
+   its subject. *)
+let workload_of_name ?(scale = 0.05) name =
+  let prefixed prefix =
+    if String.length name > String.length prefix
+       && String.sub name 0 (String.length prefix) = prefix
+    then
+      int_of_string_opt
+        (String.sub name (String.length prefix) (String.length name - String.length prefix))
+    else None
+  in
+  match name with
+  | "counter" -> Ok (Workload.counter ~iters:6)
+  | "readers-writer" -> Ok (Workload.readers_writer ~iters:6)
+  | "mix" -> Ok (Workload.mix ~groups:3 ~iters:6)
+  | "order-sensitive" -> Ok Workload.order_sensitive
+  | "racy" -> Ok Workload.racy
+  | _ -> (
+      match prefixed "ecgen:" with
+      | Some seed -> Ok (Ecgen.workload ~seed ())
+      | None -> (
+          match prefixed "ecgen-buggy:" with
+          | Some seed -> Ok (Ecgen.workload ~buggy:true ~seed ())
+          | None -> (
+              match Midway_report.Suite.app_of_string name with
+              | Ok app -> Ok (Workload.app ~scale app)
+              | Error _ ->
+                  Error
+                    (Printf.sprintf
+                       "unknown workload %S (expected counter|readers-writer|mix|order-sensitive|racy|ecgen:SEED|ecgen-buggy:SEED|water|quicksort|matrix|sor|cholesky)"
+                       name))))
+
+let clean_workloads () =
+  [
+    Workload.counter ~iters:6;
+    Workload.readers_writer ~iters:6;
+    Workload.mix ~groups:3 ~iters:6;
+  ]
+
+let buggy_workloads () = [ Workload.order_sensitive; Workload.racy ]
+
+type replay_result = {
+  rr_failed : bool;
+  rr_reason : string;
+  rr_digest : string;
+  rr_choices : int list;  (* the replayed run's own recording *)
+}
+
+let replay ?scale rp =
+  match workload_of_name ?scale rp.rp_workload with
+  | Error e -> Error e
+  | Ok w ->
+      if not (w.Workload.supports rp.rp_backend) then
+        Error
+          (Printf.sprintf "workload %s does not support backend %s" rp.rp_workload
+             (Config.backend_name rp.rp_backend))
+      else begin
+        let policy =
+          match (rp.rp_choices, rp.rp_schedule_seed) with
+          | Some l, _ -> Midway_sched.Engine.Replay l
+          | None, Some s -> Midway_sched.Engine.Seeded s
+          | None, None -> Midway_sched.Engine.Fifo
+        in
+        let cfg = Config.make rp.rp_backend ~nprocs:rp.rp_nprocs in
+        let cfg = { cfg with Config.ecsan = rp.rp_ecsan; trace_capacity = 64 } in
+        let cfg = { cfg with Config.sched_policy = policy } in
+        let cfg =
+          match (rp.rp_fault_drop, rp.rp_fault_seed) with
+          | Some drop, Some seed -> Config.with_faults ~drop ~seed cfg
+          | Some drop, None -> Config.with_faults ~drop cfg
+          | None, _ -> cfg
+        in
+        let j = execute w cfg in
+        Ok
+          {
+            rr_failed = j.j_failed;
+            rr_reason = j.j_reason;
+            rr_digest = j.j_digest;
+            rr_choices = Option.value j.j_choices ~default:[];
+          }
+      end

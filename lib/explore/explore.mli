@@ -1,0 +1,127 @@
+(** The schedule explorer: fuzz driver, counterexample shrinking,
+    record/replay.
+
+    Sweeps a grid of (workload x backend x schedule seed) — optionally
+    composed with fault injection, so fault schedules and thread
+    schedules vary together — judging every run by the workload's
+    sequential oracle, {!Midway.Runtime.check_invariants} and the ECSan
+    report.  A failure's recorded tie-break choices are shrunk to a
+    minimal verified-failing replay list and rendered as a
+    counterexample file that reproduces the run from its text alone.
+    See doc/SIMULATION.md ("The determinism contract") and
+    [bin/midway_fuzz.ml]. *)
+
+(** {1 Judging one run} *)
+
+type judged = {
+  j_failed : bool;
+  j_reason : string;  (** "" when the run is clean; one line per check otherwise *)
+  j_digest : string;
+  j_choices : int list option;  (** [None] when the machine was lost *)
+  j_trace : string list;  (** tail of the protocol trace, oldest first *)
+}
+
+val execute : Workload.t -> Midway.Config.t -> judged
+(** Run once and apply all three checks (oracle, invariants, ECSan —
+    the latter only if the configuration arms it). *)
+
+(** {1 The sweep} *)
+
+type spec = {
+  workloads : Workload.t list;
+  backends : Midway.Config.backend list;
+  schedules : int;  (** schedule seeds per (workload, backend) pair *)
+  schedule_seed : int;  (** base seed; run [i] uses [base + i] *)
+  nprocs : int;
+  ecsan : bool;
+  fault_drop : float option;
+  fault_seed : int;
+  trace_capacity : int;
+  max_shrink_runs : int;  (** re-execution budget of one shrink *)
+}
+
+val default_spec : spec
+(** rt+vm backends, 8 schedules from seed 1, 4 processors, ECSan on,
+    no faults, trace capacity 64, shrink budget 48 runs.  [workloads]
+    is empty — fill it in. *)
+
+val clean_workloads : unit -> Workload.t list
+(** The synthetic always-should-pass workloads (counter,
+    readers-writer, mix). *)
+
+val buggy_workloads : unit -> Workload.t list
+(** The deliberately broken prey (order-sensitive, racy). *)
+
+val workload_of_name : ?scale:float -> string -> (Workload.t, string) result
+(** The registry: counter | readers-writer | mix | order-sensitive |
+    racy | ecgen:SEED | ecgen-buggy:SEED | one of the five application
+    names.  [scale] (default 0.05) applies to applications only. *)
+
+type counterexample = {
+  c_workload : string;
+  c_backend : Midway.Config.backend;
+  c_nprocs : int;
+  c_ecsan : bool;
+  c_fault_drop : float option;
+  c_fault_seed : int option;  (** the effective per-run fault seed *)
+  c_schedule_seed : int;
+  c_reason : string;
+  c_choices : int list option;  (** as recorded by the failing run *)
+  c_shrunk : int list option;  (** minimal verified-failing replay list *)
+  c_shrink_runs : int;
+  c_trace : string list;
+}
+
+type report = {
+  total_runs : int;
+  grid_points : int;  (** (workload, backend) combinations swept *)
+  failures : counterexample list;
+}
+
+val run_spec : ?progress:(string -> unit) -> spec -> report
+(** Sweep the grid.  Per (workload, backend) pair the seed loop stops
+    at the first failure, which is then shrunk; clean pairs run all
+    [schedules] seeds. *)
+
+(** {1 Shrinking} *)
+
+val shrink :
+  budget:int -> fails:(int list -> bool) -> int list -> int list option * int
+(** [shrink ~budget ~fails choices] minimizes a failing tie-break
+    choice list under the re-execution oracle [fails]: confirm, binary
+    search for the smallest failing prefix (an exhausted replay list
+    falls back to FIFO), pointwise-zero surviving entries, and strip
+    trailing zeros.  Returns the minimal verified-failing list (or
+    [None] if the failure did not reproduce) and the number of
+    re-executions spent.  At most [budget] re-executions. *)
+
+(** {1 Counterexample files} *)
+
+val render_counterexample : counterexample -> string
+(** A small key=value text (comments carry the reason and trace tail)
+    that {!parse_counterexample} reads back. *)
+
+type replay_spec = {
+  rp_workload : string;
+  rp_backend : Midway.Config.backend;
+  rp_nprocs : int;
+  rp_ecsan : bool;
+  rp_fault_drop : float option;
+  rp_fault_seed : int option;
+  rp_schedule_seed : int option;
+  rp_choices : int list option;
+}
+
+val parse_counterexample : string -> (replay_spec, string) result
+
+type replay_result = {
+  rr_failed : bool;
+  rr_reason : string;
+  rr_digest : string;
+  rr_choices : int list;  (** the replayed run's own recording *)
+}
+
+val replay : ?scale:float -> replay_spec -> (replay_result, string) result
+(** Re-execute a counterexample: replay the choice list if present,
+    else re-run the seeded schedule.  [Ok] with [rr_failed = true]
+    means the failure reproduced. *)

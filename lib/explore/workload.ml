@@ -1,0 +1,339 @@
+(* Workloads the schedule explorer drives.
+
+   A workload is a named, self-verifying program: [run] builds a machine
+   for the given configuration, executes it and checks the result
+   against a sequential oracle computed outside the simulated machine.
+   The outcome keeps the machine so the driver can interrogate
+   [Runtime.check_invariants], the ECSan report, the protocol trace and
+   — crucially — [Runtime.schedule_choices], the raw material of
+   record/replay and counterexample shrinking.
+
+   Two kinds of workloads ship buggy on purpose ([order_sensitive] and
+   [racy]); they exist so the fuzzer has known prey and so the
+   shrinking machinery can be exercised deterministically. *)
+
+module R = Midway.Runtime
+module Config = Midway.Config
+module Range = Midway.Range
+module Space = Midway_memory.Space
+
+type outcome = {
+  ok : bool;
+  detail : string;
+  digest : string;
+  machine : R.t option;
+}
+
+type t = {
+  name : string;
+  buggy : bool;
+  supports : Config.backend -> bool;
+  run : Config.t -> outcome;
+}
+
+(* Every synthetic workload synchronizes with locks and data-less
+   barriers only, so even Blast (lock-bound data only) can run it.
+   Standalone has no consistency protocol and a single processor —
+   nothing to explore. *)
+let lock_based = function Config.Standalone -> false | _ -> true
+
+(* Build the machine first, then let [prog] allocate and return the
+   per-processor body plus the oracle check.  The machine outlives a
+   deadlock or a crash, so the engine's recorded tie-break choices stay
+   readable for shrinking (see Runtime.schedule_choices). *)
+let run_guarded cfg prog =
+  let machine = R.create cfg in
+  let body, verify = prog machine in
+  match R.run machine body with
+  | () ->
+      let ok, detail, digest = verify () in
+      { ok; detail; digest; machine = Some machine }
+  | exception Midway_sched.Engine.Deadlock msg ->
+      { ok = false; detail = "deadlock: " ^ msg; digest = ""; machine = Some machine }
+  | exception e ->
+      {
+        ok = false;
+        detail = "exception: " ^ Printexc.to_string e;
+        digest = "";
+        machine = Some machine;
+      }
+
+(* Oracle helper: every processor's copy of every cell must equal the
+   expected value — the workloads end with a barrier and a read-mode
+   sweep of every lock precisely so that all copies have converged. *)
+let check_cells machine cells expected =
+  let space = R.space machine in
+  let nprocs = (R.config machine).Config.nprocs in
+  let bad = ref [] in
+  Array.iteri
+    (fun i a ->
+      for p = nprocs - 1 downto 0 do
+        let v = Space.get_int space ~proc:p a in
+        if v <> expected.(i) then
+          bad := Printf.sprintf "p%d cell %d: got %d, want %d" p i v expected.(i) :: !bad
+      done)
+    cells;
+  let digest =
+    String.concat ","
+      (Array.to_list (Array.map (fun a -> string_of_int (Space.get_int space ~proc:0 a)) cells))
+  in
+  match !bad with
+  | [] -> (true, "", digest)
+  | l -> (false, String.concat "; " l, digest)
+
+(* Converge: one data-less barrier, then pull every lock's data in read
+   mode so this processor's copy is up to date before the oracle looks. *)
+let converge c fin locks =
+  R.barrier c fin;
+  Array.iter
+    (fun lk ->
+      R.acquire_read c lk;
+      R.release c lk)
+    locks
+
+(* All processors add (id+1) to one lock-guarded cell, [iters] times.
+   Addition commutes, so the total is schedule-independent. *)
+let counter ~iters =
+  {
+    name = "counter";
+    buggy = false;
+    supports = lock_based;
+    run =
+      (fun cfg ->
+        run_guarded cfg (fun m ->
+            let n = cfg.Config.nprocs in
+            let cell = R.alloc m 8 in
+            let lock = R.new_lock m [ Range.v cell 8 ] in
+            let fin = R.new_barrier m [] in
+            let body c =
+              let me = R.id c in
+              for _ = 1 to iters do
+                R.acquire c lock;
+                R.write_int c cell (R.read_int c cell + me + 1);
+                R.release c lock;
+                R.work_ns c 500
+              done;
+              converge c fin [| lock |]
+            in
+            let verify () =
+              check_cells m [| cell |] [| iters * (n * (n + 1) / 2) |]
+            in
+            (body, verify)));
+  }
+
+(* Processor 0 counts a cell up under the exclusive lock; every other
+   processor repeatedly pulls it in read mode and checks that the values
+   it observes never decrease — the update protocol may skip states but
+   must not reorder them.  Monotonicity holds under every legal
+   schedule, so a violation is a protocol bug, not schedule noise. *)
+let readers_writer ~iters =
+  {
+    name = "readers-writer";
+    buggy = false;
+    supports = lock_based;
+    run =
+      (fun cfg ->
+        run_guarded cfg (fun m ->
+            let cell = R.alloc m 8 in
+            let lock = R.new_lock m [ Range.v cell 8 ] in
+            let fin = R.new_barrier m [] in
+            let regress = ref [] in
+            let body c =
+              let me = R.id c in
+              if me = 0 then
+                for k = 1 to iters do
+                  R.acquire c lock;
+                  R.write_int c cell k;
+                  R.release c lock;
+                  R.work_ns c 300
+                done
+              else begin
+                let last = ref 0 in
+                for _ = 1 to iters do
+                  R.acquire_read c lock;
+                  let v = R.read_int c cell in
+                  R.release c lock;
+                  if v < !last then
+                    regress := Printf.sprintf "p%d saw %d after %d" me v !last :: !regress;
+                  last := v;
+                  R.work_ns c 400
+                done
+              end;
+              converge c fin [| lock |]
+            in
+            let verify () =
+              let ok, detail, digest = check_cells m [| cell |] [| iters |] in
+              match !regress with
+              | [] -> (ok, detail, digest)
+              | l ->
+                  ( false,
+                    (if detail = "" then "" else detail ^ "; ")
+                    ^ "non-monotone reads: " ^ String.concat "; " l,
+                    digest )
+            in
+            (body, verify)));
+  }
+
+(* Several locks, each guarding its own cell; processor [p]'s k-th
+   operation targets group [(p + k) mod groups], so acquisition orders
+   differ across processors and contention shifts every iteration. *)
+let mix ~groups ~iters =
+  {
+    name = "mix";
+    buggy = false;
+    supports = lock_based;
+    run =
+      (fun cfg ->
+        run_guarded cfg (fun m ->
+            let n = cfg.Config.nprocs in
+            (* one 8-byte line per cell: distinct locks must not share a
+               cache line, or RT's line-granular timestamps false-share
+               across locks *)
+            let base = R.alloc m ~line_size:8 (groups * 8) in
+            let cell g = base + (g * 8) in
+            let locks =
+              Array.init groups (fun g ->
+                  R.new_lock m ~owner:(g mod n) [ Range.v (cell g) 8 ])
+            in
+            let fin = R.new_barrier m [] in
+            let body c =
+              let me = R.id c in
+              for k = 0 to iters - 1 do
+                let g = (me + k) mod groups in
+                R.acquire c locks.(g);
+                R.write_int c (cell g) (R.read_int c (cell g) + me + 1);
+                R.release c locks.(g);
+                R.work_ns c 200
+              done;
+              converge c fin locks
+            in
+            let verify () =
+              let expected = Array.make groups 0 in
+              for p = 0 to n - 1 do
+                for k = 0 to iters - 1 do
+                  let g = (p + k) mod groups in
+                  expected.(g) <- expected.(g) + p + 1
+                done
+              done;
+              check_cells m (Array.init groups cell) expected
+            in
+            (body, verify)));
+  }
+
+(* Deliberately buggy: both processors run a correct lock-guarded
+   transaction [x := 2x + (me+1)], but the oracle assumes processor 0's
+   transaction commits first (final value 4).  Under the default FIFO
+   schedule that assumption happens to hold; a seeded schedule that lets
+   processor 1 win the first ties commits in the other order (final
+   value 5).  This is the classic prey of a schedule fuzzer: code that
+   is correct under the schedule the author tested and wrong under a
+   legal reordering. *)
+let order_sensitive =
+  {
+    name = "order-sensitive";
+    buggy = true;
+    supports = lock_based;
+    run =
+      (fun cfg ->
+        if cfg.Config.nprocs < 2 then
+          invalid_arg "order-sensitive needs at least 2 processors";
+        run_guarded cfg (fun m ->
+            let cell = R.alloc m 8 in
+            let lock = R.new_lock m [ Range.v cell 8 ] in
+            let fin = R.new_barrier m [] in
+            let body c =
+              let me = R.id c in
+              if me < 2 then begin
+                R.acquire c lock;
+                R.write_int c cell ((2 * R.read_int c cell) + me + 1);
+                R.release c lock
+              end;
+              converge c fin [| lock |]
+            in
+            let verify () = check_cells m [| cell |] [| 4 |] in
+            (body, verify)));
+  }
+
+(* Deliberately buggy: processor 1 updates lock-bound data without
+   acquiring the lock.  Processor 0 initializes the cell under the lock
+   before a barrier, so the racy access always touches established data
+   — its unlocked read sees a stale copy (the update never reached a
+   processor that never synchronized) and its write never joins the
+   protocol's consistent history.  The oracle fails and ECSan flags the
+   unsynchronized access on every schedule, so the shrunk
+   counterexample is the empty choice list. *)
+let racy =
+  {
+    name = "racy";
+    buggy = true;
+    supports = lock_based;
+    run =
+      (fun cfg ->
+        if cfg.Config.nprocs < 2 then invalid_arg "racy needs at least 2 processors";
+        run_guarded cfg (fun m ->
+            let cell = R.alloc m 8 in
+            let lock = R.new_lock m [ Range.v cell 8 ] in
+            let fin = R.new_barrier m [] in
+            let body c =
+              let me = R.id c in
+              if me = 0 then begin
+                R.acquire c lock;
+                R.write_int c cell 10;
+                R.release c lock
+              end;
+              R.barrier c fin;
+              if me = 0 then begin
+                R.acquire c lock;
+                R.write_int c cell (R.read_int c cell + 2);
+                R.release c lock
+              end
+              else if me = 1 then
+                (* the bug: no acquire around an access to bound data *)
+                R.write_int c cell (R.read_int c cell + 1);
+              converge c fin [| lock |]
+            in
+            let verify () = check_cells m [| cell |] [| 13 |] in
+            (body, verify)));
+  }
+
+(* Wrap one of the five paper applications.  The application verifies
+   itself against its sequential oracle; the digest is left empty
+   because app memory layouts are backend-shaped (the explorer's
+   cross-backend digest comparison only applies to the synthetic
+   workloads). *)
+let app ~scale suite_app =
+  let name = Midway_report.Suite.app_name suite_app in
+  {
+    name;
+    buggy = false;
+    supports =
+      (fun b ->
+        match b with
+        | Config.Standalone -> false
+        (* Blast has no write detection: lock-bound data only, so only
+           the lock-based application runs under it (cf. bin/fingerprint). *)
+        | Config.Blast -> suite_app = Midway_report.Suite.Quicksort
+        | _ -> true);
+    run =
+      (fun cfg ->
+        match Midway_report.Suite.run_app suite_app cfg ~scale with
+        | o ->
+            {
+              ok = o.Midway_apps.Outcome.ok;
+              detail = String.concat "; " o.Midway_apps.Outcome.notes;
+              digest = "";
+              machine = Some o.Midway_apps.Outcome.machine;
+            }
+        | exception Midway_sched.Engine.Deadlock msg ->
+            (* Suite.run_app builds its machine internally, so a deadlock
+               loses the recorded choices; the schedule seed in [msg]
+               still reproduces the hang. *)
+            { ok = false; detail = "deadlock: " ^ msg; digest = ""; machine = None }
+        | exception e ->
+            {
+              ok = false;
+              detail = "exception: " ^ Printexc.to_string e;
+              digest = "";
+              machine = None;
+            });
+  }

@@ -1,0 +1,86 @@
+(** Workloads for the schedule explorer.
+
+    A workload is a named, self-verifying simulated program.  Running
+    one builds a machine for a given {!Midway.Config.t}, executes it and
+    checks the result against a sequential oracle computed outside the
+    machine.  All oracles are robust to legal schedule variation —
+    commutative updates, monotonicity invariants, convergence after a
+    final barrier-plus-read-sweep — so a reported failure is a real
+    ordering bug, never schedule noise. *)
+
+type outcome = {
+  ok : bool;  (** the oracle's verdict *)
+  detail : string;  (** human-readable mismatch / exception description *)
+  digest : string;
+      (** canonical rendering of the converged shared data (processor
+          0's copy), for cross-backend and replay identity checks;
+          [""] when the workload does not define one *)
+  machine : Midway.Runtime.t option;
+      (** the machine, for counters, invariants, the ECSan report, the
+          trace and {!Midway.Runtime.schedule_choices}; [None] only
+          when the machine was lost to an exception during
+          construction (application workloads) *)
+}
+
+type t = {
+  name : string;
+  buggy : bool;  (** deliberately wrong: fuzzer prey, excluded from clean sweeps *)
+  supports : Midway.Config.backend -> bool;
+  run : Midway.Config.t -> outcome;
+}
+
+val lock_based : Midway.Config.backend -> bool
+(** Supports-predicate of workloads that synchronize with locks and
+    data-less barriers only: every backend except [Standalone]. *)
+
+val run_guarded :
+  Midway.Config.t ->
+  (Midway.Runtime.t -> (Midway.Runtime.ctx -> unit) * (unit -> bool * string * string)) ->
+  outcome
+(** [run_guarded cfg prog] builds the machine, lets [prog] allocate and
+    return (body, verify), runs the body on every processor and applies
+    the verdict.  {!Midway_sched.Engine.Deadlock} and other exceptions
+    become failing outcomes that still carry the machine, so recorded
+    tie-break choices survive for shrinking. *)
+
+val check_cells :
+  Midway.Runtime.t -> int array -> int array -> bool * string * string
+(** [check_cells m addrs expected] checks every processor's copy of
+    every 8-byte cell against the oracle; returns (ok, detail, digest)
+    where the digest renders processor 0's copy. *)
+
+val converge : Midway.Runtime.ctx -> Midway.Sync.barrier -> Midway.Sync.lock array -> unit
+(** Cross the (data-less) barrier, then pull every lock once in read
+    mode so this processor's copies are current before the oracle
+    looks. *)
+
+(** {1 Clean synthetic workloads} *)
+
+val counter : iters:int -> t
+(** Every processor adds [id+1] to one lock-guarded cell [iters] times. *)
+
+val readers_writer : iters:int -> t
+(** Processor 0 counts up under the exclusive lock; the others pull in
+    read mode and check the observed values never decrease. *)
+
+val mix : groups:int -> iters:int -> t
+(** [groups] locks, shifting contention: processor [p]'s k-th operation
+    targets group [(p+k) mod groups]. *)
+
+(** {1 Deliberately buggy workloads (fuzzer prey)} *)
+
+val order_sensitive : t
+(** Correct locking, wrong oracle: assumes processor 0's transaction
+    commits before processor 1's.  Passes under FIFO, fails under seeds
+    that let processor 1 win the first ties. *)
+
+val racy : t
+(** Processor 1 writes lock-bound data without acquiring the lock.
+    Fails (oracle + ECSan) on every schedule; shrinks to the empty
+    choice list. *)
+
+(** {1 Applications} *)
+
+val app : scale:float -> Midway_report.Suite.app -> t
+(** One of the five paper applications at problem size [scale].
+    Self-verifying via its own sequential oracle; defines no digest. *)

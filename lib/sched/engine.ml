@@ -5,6 +5,21 @@ type proc = {
   mutable blocked_reason : string option;
 }
 
+(* Tie-break policy: which runnable fiber goes first when several are
+   ready at the same virtual time.  Fifo is the historical default and
+   takes the exact pre-policy code path (a bare Minheap.pop), so default
+   runs stay bit-identical.  The other policies drive the schedule
+   explorer: Seeded picks uniformly among tied fibers from a private
+   PRNG, Replay consumes a recorded choice list. *)
+type policy = Fifo | Seeded of int | Replay of int list
+
+type chooser = {
+  prng : Midway_util.Prng.t option;  (* Some for Seeded *)
+  mutable replaying : int list;  (* remaining choices to replay *)
+  mutable recorded_rev : int list;  (* every applied choice, newest first *)
+  mutable n_recorded : int;
+}
+
 type t = {
   n : int;
   procs : proc array;
@@ -12,6 +27,8 @@ type t = {
   bodies : (proc -> unit) option array;
   mutable live : int;
   mutable started : bool;
+  policy : policy;
+  chooser : chooser option;  (* None iff policy = Fifo *)
 }
 
 exception Deadlock of string
@@ -20,8 +37,25 @@ type _ Effect.t +=
   | Yield : proc -> unit Effect.t
   | Block : proc * (wake:(at:int -> unit) -> unit) -> unit Effect.t
 
-let create ~nprocs =
+let create ?(policy = Fifo) ~nprocs () =
   if nprocs <= 0 then invalid_arg "Engine.create: nprocs must be positive";
+  let chooser =
+    match policy with
+    | Fifo -> None
+    | Seeded seed ->
+        Some
+          {
+            prng = Some (Midway_util.Prng.create ~seed);
+            replaying = [];
+            recorded_rev = [];
+            n_recorded = 0;
+          }
+    | Replay choices ->
+        List.iter
+          (fun c -> if c < 0 then invalid_arg "Engine.create: negative replay choice")
+          choices;
+        Some { prng = None; replaying = choices; recorded_rev = []; n_recorded = 0 }
+  in
   {
     n = nprocs;
     procs = Array.init nprocs (fun id -> { id; clock = 0; finished = false; blocked_reason = None });
@@ -29,9 +63,16 @@ let create ~nprocs =
     bodies = Array.make nprocs None;
     live = 0;
     started = false;
+    policy;
+    chooser;
   }
 
 let nprocs t = t.n
+
+let policy t = t.policy
+
+let choices t =
+  match t.chooser with None -> [] | Some ch -> List.rev ch.recorded_rev
 
 let proc t i =
   if i < 0 || i >= t.n then invalid_arg "Engine.proc: index out of range";
@@ -91,6 +132,62 @@ let start_fiber t p body =
           | _ -> None);
     }
 
+(* Pop the next event to execute.  With a chooser armed, all events tied
+   at the minimum key are collected (in FIFO order, which Minheap
+   guarantees for equal keys), one is picked — by PRNG or by the replay
+   list — and the rest are reinserted in their original relative order.
+   A replayed choice is taken modulo the number of candidates so that a
+   shrunk or hand-edited choice list is always legal; once the list runs
+   dry the remaining ties fall back to FIFO (choice 0).  Every applied
+   choice is re-recorded so a replay's own schedule can be replayed or
+   shrunk further. *)
+let pop_next t =
+  match t.chooser with
+  | None -> Midway_util.Minheap.pop t.runq
+  | Some ch -> (
+      match Midway_util.Minheap.pop t.runq with
+      | None -> None
+      | Some (key, first) ->
+          let rec gather acc =
+            match Midway_util.Minheap.peek_key t.runq with
+            | Some k when k = key -> (
+                match Midway_util.Minheap.pop t.runq with
+                | Some (_, v) -> gather (v :: acc)
+                | None -> acc)
+            | _ -> acc
+          in
+          let tied = Array.of_list (List.rev (gather [ first ])) in
+          let n = Array.length tied in
+          if n = 1 then Some (key, first)
+          else begin
+            let c =
+              match ch.prng with
+              | Some prng -> Midway_util.Prng.int prng n
+              | None -> (
+                  match ch.replaying with
+                  | [] -> 0
+                  | c :: rest ->
+                      ch.replaying <- rest;
+                      c mod n)
+            in
+            ch.recorded_rev <- c :: ch.recorded_rev;
+            ch.n_recorded <- ch.n_recorded + 1;
+            Array.iteri (fun i v -> if i <> c then Midway_util.Minheap.push t.runq ~key v) tied;
+            Some (key, tied.(c))
+          end)
+
+(* Identify the schedule in a deadlock message so a hang found by the
+   explorer is reproducible from the message alone. *)
+let schedule_tag t =
+  match t.policy with
+  | Fifo -> ""
+  | Seeded seed ->
+      let n = match t.chooser with Some ch -> ch.n_recorded | None -> 0 in
+      Printf.sprintf " [schedule seed %d, %d tie-break choice(s) made]" seed n
+  | Replay _ ->
+      let n = match t.chooser with Some ch -> ch.n_recorded | None -> 0 in
+      Printf.sprintf " [replayed schedule, %d tie-break choice(s) applied]" n
+
 let run t =
   if t.started then invalid_arg "Engine.run: engine already ran";
   t.started <- true;
@@ -104,7 +201,7 @@ let run t =
           Midway_util.Minheap.push t.runq ~key:p.clock (fun () -> start_fiber t p body))
     t.bodies;
   let rec loop () =
-    match Midway_util.Minheap.pop t.runq with
+    match pop_next t with
     | Some (_, resume) ->
         resume ();
         loop ()
@@ -122,8 +219,8 @@ let run t =
           in
           raise
             (Deadlock
-               (Printf.sprintf "%d processor(s) blocked with no pending wake: %s" t.live
-                  stuck))
+               (Printf.sprintf "%d processor(s) blocked with no pending wake: %s%s" t.live
+                  stuck (schedule_tag t)))
         end
   in
   loop ()

@@ -27,11 +27,46 @@ type t
 type proc
 (** A simulated processor, valid within its engine's [run]. *)
 
+type policy =
+  | Fifo
+      (** Historical default: ties in virtual time resolve in insertion
+          (FIFO) order.  Takes the exact pre-policy scheduling code path,
+          so default runs are bit-identical to builds without the
+          explorer. *)
+  | Seeded of int
+      (** Pick uniformly among fibers tied at the minimum clock, driven
+          by a private {!Midway_util.Prng} stream.  Every choice made is
+          recorded (see {!choices}) so the run can be replayed exactly. *)
+  | Replay of int list
+      (** Re-apply a recorded choice list.  Each entry is an index into
+          the FIFO-ordered tied candidates, taken modulo the candidate
+          count (so shrunk or edited lists stay legal); when the list
+          runs dry, remaining ties fall back to FIFO.  Applied choices
+          are re-recorded, so a replay is itself replayable. *)
+(** Which runnable fiber goes first when several are ready at the same
+    virtual time.  All policies explore only *legal* schedules: the
+    engine still always resumes a fiber with the minimum clock, so
+    causal consistency (see doc/SIMULATION.md) is preserved — only the
+    order of causally concurrent events varies. *)
+
 exception Deadlock of string
 (** Raised by {!run} when unfinished fibers remain but nothing can wake
-    them — a synchronization bug in the simulated program. *)
+    them — a synchronization bug in the simulated program.  When a
+    non-FIFO policy is active the message carries the schedule seed (or
+    replay length), so a hang found by the schedule explorer is
+    reproducible from the message alone. *)
 
-val create : nprocs:int -> t
+val create : ?policy:policy -> nprocs:int -> unit -> t
+(** [policy] defaults to [Fifo]. *)
+
+val policy : t -> policy
+
+val choices : t -> int list
+(** The tie-break choices applied so far, oldest first — empty under
+    [Fifo].  Feeding this list to [Replay] reproduces the schedule
+    exactly.  Valid during and after [run] (including after a
+    {!Deadlock} escaped), which is what lets the schedule explorer
+    shrink a failing schedule. *)
 
 val nprocs : t -> int
 

@@ -643,11 +643,45 @@ let test_trace_ring () =
   Alcotest.(check (list int)) "oldest first, oldest dropped" [ 3; 4; 5 ]
     (List.map Midway.Trace.event_time (Midway.Trace.events tr))
 
+let test_trace_wraparound_boundaries () =
+  (* Walk the ring through several full revolutions, checking total vs
+     length and the oldest-first window at every step — off-by-ones at
+     the wrap point would show up as a shifted or reordered window. *)
+  let cap = 3 in
+  let tr = Midway.Trace.create ~capacity:cap in
+  for i = 0 to 9 do
+    Midway.Trace.record tr (Midway.Trace.Lock_local { t = i; lock = 0; proc = 0 });
+    let expect_len = min (i + 1) cap in
+    Alcotest.(check int) (Printf.sprintf "length after %d records" (i + 1)) expect_len
+      (Midway.Trace.length tr);
+    Alcotest.(check int) (Printf.sprintf "total after %d records" (i + 1)) (i + 1)
+      (Midway.Trace.total tr);
+    let expect_times = List.init expect_len (fun k -> i + 1 - expect_len + k) in
+    Alcotest.(check (list int)) (Printf.sprintf "window after %d records" (i + 1)) expect_times
+      (List.map Midway.Trace.event_time (Midway.Trace.events tr))
+  done;
+  Alcotest.(check (list int)) "three full revolutions end oldest-first" [ 7; 8; 9 ]
+    (List.map Midway.Trace.event_time (Midway.Trace.events tr))
+
+let test_trace_capacity_one () =
+  let tr = Midway.Trace.create ~capacity:1 in
+  for i = 1 to 4 do
+    Midway.Trace.record tr (Midway.Trace.Lock_local { t = i; lock = 0; proc = 0 })
+  done;
+  Alcotest.(check int) "length stays 1" 1 (Midway.Trace.length tr);
+  Alcotest.(check int) "total counts every record" 4 (Midway.Trace.total tr);
+  Alcotest.(check (list int)) "only the newest survives" [ 4 ]
+    (List.map Midway.Trace.event_time (Midway.Trace.events tr))
+
 let test_trace_disabled () =
   let tr = Midway.Trace.create ~capacity:0 in
-  Midway.Trace.record tr (Midway.Trace.Lock_local { t = 1; lock = 0; proc = 0 });
+  for i = 1 to 3 do
+    Midway.Trace.record tr (Midway.Trace.Lock_local { t = i; lock = 0; proc = 0 })
+  done;
   Alcotest.(check int) "nothing retained" 0 (Midway.Trace.length tr);
-  Alcotest.(check int) "nothing counted" 0 (Midway.Trace.total tr)
+  Alcotest.(check int) "nothing counted" 0 (Midway.Trace.total tr);
+  Alcotest.(check (list int)) "no events" []
+    (List.map Midway.Trace.event_time (Midway.Trace.events tr))
 
 let test_trace_render () =
   let tr = Midway.Trace.create ~capacity:8 in
@@ -742,6 +776,8 @@ let () =
       ( "trace",
         [
           Alcotest.test_case "ring semantics" `Quick test_trace_ring;
+          Alcotest.test_case "wraparound boundaries" `Quick test_trace_wraparound_boundaries;
+          Alcotest.test_case "capacity one" `Quick test_trace_capacity_one;
           Alcotest.test_case "disabled" `Quick test_trace_disabled;
           Alcotest.test_case "rendering" `Quick test_trace_render;
         ] );

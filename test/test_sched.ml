@@ -6,7 +6,7 @@ module Engine = Midway_sched.Engine
 let qtest = QCheck_alcotest.to_alcotest
 
 let test_charge_and_elapsed () =
-  let e = Engine.create ~nprocs:2 in
+  let e = Engine.create ~nprocs:2 () in
   Engine.spawn e 0 (fun p -> Engine.charge p 100);
   Engine.spawn e 1 (fun p -> Engine.charge p 250);
   Engine.run e;
@@ -15,7 +15,7 @@ let test_charge_and_elapsed () =
   Alcotest.(check int) "elapsed is the max" 250 (Engine.elapsed e)
 
 let test_negative_charge () =
-  let e = Engine.create ~nprocs:1 in
+  let e = Engine.create ~nprocs:1 () in
   Engine.spawn e 0 (fun p ->
       Alcotest.check_raises "negative" (Invalid_argument "Engine.charge: negative charge")
         (fun () -> Engine.charge p (-1)));
@@ -24,7 +24,7 @@ let test_negative_charge () =
 let test_min_clock_yield_order () =
   (* Three processors record the order their post-yield sections run;
      with distinct clocks the order must follow virtual time. *)
-  let e = Engine.create ~nprocs:3 in
+  let e = Engine.create ~nprocs:3 () in
   let order = ref [] in
   let body delay p =
     Engine.charge p delay;
@@ -38,7 +38,7 @@ let test_min_clock_yield_order () =
   Alcotest.(check (list int)) "virtual-time order" [ 1; 2; 0 ] (List.rev !order)
 
 let test_block_and_wake () =
-  let e = Engine.create ~nprocs:2 in
+  let e = Engine.create ~nprocs:2 () in
   let waker = ref None in
   let woke_at = ref 0 in
   Engine.spawn e 0 (fun p ->
@@ -53,7 +53,7 @@ let test_block_and_wake () =
   Alcotest.(check int) "clock advanced to wake time" 700 (Engine.clock_of e 0)
 
 let test_wake_does_not_rewind () =
-  let e = Engine.create ~nprocs:2 in
+  let e = Engine.create ~nprocs:2 () in
   let waker = ref None in
   Engine.spawn e 0 (fun p ->
       Engine.charge p 1_000;
@@ -66,7 +66,7 @@ let test_wake_does_not_rewind () =
   Alcotest.(check int) "clock not rewound" 1_000 (Engine.clock_of e 0)
 
 let test_double_wake_rejected () =
-  let e = Engine.create ~nprocs:2 in
+  let e = Engine.create ~nprocs:2 () in
   let waker = ref None in
   let failed = ref false in
   Engine.spawn e 0 (fun p -> Engine.block p ~setup:(fun ~wake -> waker := Some wake));
@@ -81,7 +81,7 @@ let test_double_wake_rejected () =
 (* A blocked fiber's reason string surfaces in the deadlock message, and
    is cleared once the fiber is woken. *)
 let test_deadlock_blocked_reason () =
-  let e = Engine.create ~nprocs:3 in
+  let e = Engine.create ~nprocs:3 () in
   let waker = ref None in
   Engine.spawn e 0 (fun p ->
       Engine.block p ~reason:"acquire of lock 7" ~setup:(fun ~wake:_ -> ()));
@@ -105,7 +105,7 @@ let test_deadlock_blocked_reason () =
     Alcotest.(check bool) "cleared on wake" true (not (has "first wait"))
 
 let test_deadlock_detection () =
-  let e = Engine.create ~nprocs:2 in
+  let e = Engine.create ~nprocs:2 () in
   Engine.spawn e 0 (fun p -> Engine.block p ~setup:(fun ~wake:_ -> ()));
   Engine.spawn e 1 (fun p -> Engine.charge p 42);
   try
@@ -123,7 +123,7 @@ let test_deadlock_detection () =
       has "p0")
 
 let test_spawn_validation () =
-  let e = Engine.create ~nprocs:1 in
+  let e = Engine.create ~nprocs:1 () in
   Engine.spawn e 0 (fun _ -> ());
   Alcotest.check_raises "double spawn"
     (Invalid_argument "Engine.spawn: processor already spawned") (fun () ->
@@ -132,14 +132,14 @@ let test_spawn_validation () =
     (fun () -> Engine.spawn e 1 (fun _ -> ()))
 
 let test_run_once () =
-  let e = Engine.create ~nprocs:1 in
+  let e = Engine.create ~nprocs:1 () in
   Engine.spawn e 0 (fun _ -> ());
   Engine.run e;
   Alcotest.check_raises "second run" (Invalid_argument "Engine.run: engine already ran")
     (fun () -> Engine.run e)
 
 let test_exception_propagates () =
-  let e = Engine.create ~nprocs:1 in
+  let e = Engine.create ~nprocs:1 () in
   Engine.spawn e 0 (fun _ -> failwith "app bug");
   Alcotest.check_raises "fiber exception escapes run" (Failure "app bug") (fun () ->
       Engine.run e)
@@ -147,7 +147,7 @@ let test_exception_propagates () =
 let test_ping_pong () =
   (* Two fibers hand a token back and forth with increasing wake times:
      exercises repeated block/wake cycles on the same fibers. *)
-  let e = Engine.create ~nprocs:2 in
+  let e = Engine.create ~nprocs:2 () in
   let wakers = [| None; None |] in
   let hops = ref 0 in
   let rec body p =
@@ -186,7 +186,7 @@ let engine_deterministic =
     (fun charges ->
       let run_once () =
         let n = List.length charges in
-        let e = Engine.create ~nprocs:n in
+        let e = Engine.create ~nprocs:n () in
         let trace = ref [] in
         List.iteri
           (fun i c ->
@@ -208,7 +208,7 @@ let random_wake_graph =
     QCheck.(list_of_size (Gen.int_range 1 7) (int_range 1 1_000))
     (fun charges ->
       let n = List.length charges + 1 in
-      let e = Engine.create ~nprocs:n in
+      let e = Engine.create ~nprocs:n () in
       let wakers = Array.make n None in
       let finish = Array.make n 0 in
       Engine.spawn e 0 (fun p ->
@@ -240,8 +240,95 @@ let random_wake_graph =
       in
       nondecreasing 0)
 
+(* --- Tie-break policies ------------------------------------------------------- *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* All fibers stay at clock 0, so every scheduling step is a tie among
+   every live fiber: the densest possible tie-break exposure. *)
+let tie_order ~policy ~nprocs ~rounds =
+  let e = Engine.create ~policy ~nprocs () in
+  let order = ref [] in
+  for id = 0 to nprocs - 1 do
+    Engine.spawn e id (fun p ->
+        for _ = 1 to rounds do
+          order := Engine.proc_id p :: !order;
+          Engine.yield p
+        done)
+  done;
+  Engine.run e;
+  (List.rev !order, Engine.choices e)
+
+let test_policy_fifo_records_nothing () =
+  let order, choices = tie_order ~policy:Engine.Fifo ~nprocs:3 ~rounds:3 in
+  Alcotest.(check (list int)) "FIFO ties are round-robin" [ 0; 1; 2; 0; 1; 2; 0; 1; 2 ] order;
+  Alcotest.(check (list int)) "FIFO records no choices" [] choices
+
+let test_policy_empty_replay_is_fifo () =
+  let fifo, _ = tie_order ~policy:Engine.Fifo ~nprocs:4 ~rounds:4 in
+  let replayed, _ = tie_order ~policy:(Engine.Replay []) ~nprocs:4 ~rounds:4 in
+  Alcotest.(check (list int)) "an exhausted replay list is FIFO" fifo replayed
+
+let test_policy_seeded_replays_identically () =
+  let seeded_order, choices = tie_order ~policy:(Engine.Seeded 42) ~nprocs:4 ~rounds:5 in
+  Alcotest.(check bool) "dense ties force recorded choices" true (choices <> []);
+  let replayed_order, rechoices = tie_order ~policy:(Engine.Replay choices) ~nprocs:4 ~rounds:5 in
+  Alcotest.(check (list int)) "replay reproduces the seeded order" seeded_order replayed_order;
+  Alcotest.(check (list int)) "the replay re-records its own choices" choices rechoices
+
+let test_policy_seeds_explore () =
+  (* At least one of a handful of seeds must deviate from FIFO — the
+     whole point of the dimension.  (Each step has 4 tied fibers; the
+     odds of 5 seeds all reproducing FIFO are astronomically small, and
+     the PRNG is deterministic, so this cannot flake.) *)
+  let fifo, _ = tie_order ~policy:Engine.Fifo ~nprocs:4 ~rounds:4 in
+  let deviates =
+    List.exists
+      (fun seed -> fst (tie_order ~policy:(Engine.Seeded seed) ~nprocs:4 ~rounds:4) <> fifo)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check bool) "some seed deviates from FIFO" true deviates
+
+let test_policy_replay_modulo () =
+  (* Choices are taken modulo the number of tied candidates, so a
+     hand-edited or cross-seed list is always legal. *)
+  let order, _ = tie_order ~policy:(Engine.Replay [ 7; 100 ]) ~nprocs:3 ~rounds:1 in
+  (* first tie: candidates [p0;p1;p2], 7 mod 3 = 1 -> p1 records and
+     yields (its continuation rejoins the tie);
+     second tie: [p0;p2;p1'], 100 mod 3 = 1 -> p2;
+     list exhausted -> FIFO -> p0. *)
+  Alcotest.(check (list int)) "modulo application" [ 1; 2; 0 ] order
+
+let test_policy_negative_replay_rejected () =
+  Alcotest.check_raises "negative choice"
+    (Invalid_argument "Engine.create: negative replay choice") (fun () ->
+      ignore (Engine.create ~policy:(Engine.Replay [ 0; -1 ]) ~nprocs:2 ()))
+
+let test_policy_deadlock_reports_seed () =
+  let e = Engine.create ~policy:(Engine.Seeded 7) ~nprocs:2 () in
+  Engine.spawn e 0 (fun p -> Engine.block ~reason:"never woken" p ~setup:(fun ~wake:_ -> ()));
+  Engine.spawn e 1 (fun p -> Engine.yield p);
+  match Engine.run e with
+  | () -> Alcotest.fail "expected a deadlock"
+  | exception Engine.Deadlock msg ->
+      Alcotest.(check bool) "message names the schedule seed" true
+        (contains ~sub:"schedule seed 7" msg);
+      Alcotest.(check bool) "message keeps the blocked reason" true
+        (contains ~sub:"never woken" msg)
+
+let test_policy_fifo_deadlock_message_unchanged () =
+  let e = Engine.create ~nprocs:1 () in
+  Engine.spawn e 0 (fun p -> Engine.block p ~setup:(fun ~wake:_ -> ()));
+  match Engine.run e with
+  | () -> Alcotest.fail "expected a deadlock"
+  | exception Engine.Deadlock msg ->
+      Alcotest.(check bool) "no schedule tag under FIFO" false (contains ~sub:"schedule" msg)
+
 let test_proc_accessor_bounds () =
-  let e = Engine.create ~nprocs:2 in
+  let e = Engine.create ~nprocs:2 () in
   ignore (Engine.proc e 0);
   ignore (Engine.proc e 1);
   Alcotest.check_raises "out of range" (Invalid_argument "Engine.proc: index out of range")
@@ -267,5 +354,19 @@ let () =
           qtest engine_deterministic;
           qtest random_wake_graph;
           Alcotest.test_case "proc accessor bounds" `Quick test_proc_accessor_bounds;
+        ] );
+      ( "tie-break policy",
+        [
+          Alcotest.test_case "fifo records nothing" `Quick test_policy_fifo_records_nothing;
+          Alcotest.test_case "empty replay is fifo" `Quick test_policy_empty_replay_is_fifo;
+          Alcotest.test_case "seeded replays identically" `Quick
+            test_policy_seeded_replays_identically;
+          Alcotest.test_case "seeds explore" `Quick test_policy_seeds_explore;
+          Alcotest.test_case "replay modulo" `Quick test_policy_replay_modulo;
+          Alcotest.test_case "negative replay rejected" `Quick
+            test_policy_negative_replay_rejected;
+          Alcotest.test_case "deadlock reports seed" `Quick test_policy_deadlock_reports_seed;
+          Alcotest.test_case "fifo deadlock message unchanged" `Quick
+            test_policy_fifo_deadlock_message_unchanged;
         ] );
     ]

@@ -242,6 +242,117 @@ let test_reliable_exhausts () =
   | _ -> Alcotest.fail "a 100% loss rate must exhaust the retry budget");
   Alcotest.(check int) "gave up cleanly: nothing left in flight" 0 (Reliable.unacked ch)
 
+let test_reliable_ack_lost_on_final_attempt () =
+  (* The nastiest give-up: every data copy arrives but every ack dies,
+     so the sender burns its whole budget for a transfer that in fact
+     succeeded.  The channel must still raise Exhausted and clean up. *)
+  let net = Net.create ~nprocs:2 () in
+  Net.set_fault_policy net
+    {
+      Net.link = Net.fault_free_link;
+      overrides = [];
+      windows =
+        [
+          {
+            Net.w_from_ns = 0;
+            w_until_ns = max_int;
+            w_kind = Some Net.Ack;  (* only acknowledgements die *)
+            w_src = None;
+            w_dst = None;
+          };
+        ];
+      fault_seed = 3;
+    };
+  let ch =
+    Reliable.create
+      ~config:{ Reliable.timeout_ns = 1_000; backoff_cap_ns = 4_000; max_attempts = 2 }
+      net
+  in
+  (match Reliable.send ch ~kind:Net.Lock_request ~src:0 ~dst:1 ~payload_bytes:16 ~at:0 with
+  | exception Reliable.Exhausted _ -> ()
+  | _ -> Alcotest.fail "losing every ack must exhaust the retry budget");
+  Alcotest.(check int) "both data copies were put on the wire" 2
+    (Net.messages_of_kind net Net.Lock_request);
+  Alcotest.(check int) "an ack answered each data copy" 2 (Net.messages_of_kind net Net.Ack);
+  Alcotest.(check int) "both acks were destroyed by the window" 2 (Net.drops_injected net);
+  Alcotest.(check int) "nothing left in flight after giving up" 0 (Reliable.unacked ch)
+
+let test_reliable_dup_suppression_across_retransmit () =
+  (* An ack lost in a bounded window: the payload arrives on the first
+     try, the retransmitted copy is suppressed by sequence number, and
+     the second ack completes the exchange.  With latency 100 ns and no
+     byte costs every timestamp is exact. *)
+  let net = Net.create ~latency_ns:100 ~ns_per_byte:0 ~header_bytes:0 ~nprocs:2 () in
+  Net.set_fault_policy net
+    {
+      Net.link = Net.fault_free_link;
+      overrides = [];
+      windows =
+        [
+          {
+            Net.w_from_ns = 0;
+            w_until_ns = 200;  (* kills the first ack (sent at 100), not the second *)
+            w_kind = Some Net.Ack;
+            w_src = None;
+            w_dst = None;
+          };
+        ];
+      fault_seed = 3;
+    };
+  let ch =
+    Reliable.create
+      ~config:{ Reliable.timeout_ns = 1_000; backoff_cap_ns = 16_000; max_attempts = 5 }
+      net
+  in
+  let d = Reliable.send ch ~kind:Net.Lock_reply ~src:0 ~dst:1 ~payload_bytes:8 ~at:0 in
+  Alcotest.(check int) "payload arrived on the first copy" 100 d.Reliable.delivered_at;
+  Alcotest.(check int) "two data copies on the wire" 2 d.Reliable.transmissions;
+  Alcotest.(check int) "one retransmission" 1 d.Reliable.retransmits;
+  Alcotest.(check int) "the redundant copy was suppressed by seqno" 1 d.Reliable.dups_suppressed;
+  Alcotest.(check int) "one copy (the first ack) was destroyed" 1 d.Reliable.drops_seen;
+  Alcotest.(check int) "one full timeout of backoff" 1_000 d.Reliable.backoff_ns;
+  (* retransmit leaves at 1000, arrives 1100, re-ack arrives 1200 *)
+  Alcotest.(check int) "acked by the retransmitted copy's ack" 1_200 d.Reliable.acked_at;
+  (* the fabric counts both data copies (each was a real wire transfer);
+     suppression by sequence number happens above the fabric *)
+  Alcotest.(check int) "both copies hit the receiver's wire accounting" 16
+    (Net.bytes_received net ~proc:1);
+  Alcotest.(check int) "all acked" 0 (Reliable.unacked ch)
+
+let test_reliable_backoff_cap_clamps () =
+  (* Timeouts double 1000 -> 2000 and would reach 4000, but the cap
+     clamps them at 2000: copies go out at 0, 1000, 3000, 5000 (all
+     inside the drop window) and 7000 (delivered). *)
+  let net = Net.create ~nprocs:2 () in
+  Net.set_fault_policy net
+    {
+      Net.link = Net.fault_free_link;
+      overrides = [];
+      windows =
+        [
+          {
+            Net.w_from_ns = 0;
+            w_until_ns = 6_000;
+            w_kind = Some Net.Lock_request;
+            w_src = None;
+            w_dst = None;
+          };
+        ];
+      fault_seed = 3;
+    };
+  let ch =
+    Reliable.create
+      ~config:{ Reliable.timeout_ns = 1_000; backoff_cap_ns = 2_000; max_attempts = 10 }
+      net
+  in
+  let d = Reliable.send ch ~kind:Net.Lock_request ~src:0 ~dst:1 ~payload_bytes:0 ~at:0 in
+  Alcotest.(check int) "four retransmissions" 4 d.Reliable.retransmits;
+  Alcotest.(check int) "four copies destroyed" 4 d.Reliable.drops_seen;
+  Alcotest.(check int) "backoff clamped at the cap: 1+2+2+2 ms" 7_000 d.Reliable.backoff_ns;
+  Alcotest.(check int) "channel total agrees" 7_000 (Reliable.total_backoff_ns ch);
+  Alcotest.(check int) "channel retransmit total agrees" 4 (Reliable.total_retransmits ch);
+  Alcotest.(check int) "all acked in the end" 0 (Reliable.unacked ch)
+
 let delivery_monotone =
   QCheck.Test.make ~name:"delivery time grows with payload" ~count:200
     QCheck.(pair (int_bound 100_000) (int_bound 100_000))
@@ -319,6 +430,11 @@ let () =
           Alcotest.test_case "suppresses duplicates" `Quick test_reliable_suppresses_duplicates;
           Alcotest.test_case "exponential backoff" `Quick test_reliable_backoff_doubles;
           Alcotest.test_case "retry budget exhaustion" `Quick test_reliable_exhausts;
+          Alcotest.test_case "ack lost on final attempt" `Quick
+            test_reliable_ack_lost_on_final_attempt;
+          Alcotest.test_case "dup suppression across retransmit" `Quick
+            test_reliable_dup_suppression_across_retransmit;
+          Alcotest.test_case "backoff cap clamps" `Quick test_reliable_backoff_cap_clamps;
           qtest reliable_always_delivers;
         ] );
     ]
