@@ -54,7 +54,48 @@ let run_fault_sweep spec scale nprocs apps =
         msg;
       exit 1
 
-let run only scale nprocs apps csv_file md_file faults ecsan =
+(* One Chrome-trace "process" and one metrics entry per (application,
+   system) run of the suite, so a whole sweep lands in one Perfetto
+   window / one JSON file. *)
+let export_obs suite trace_out metrics_out =
+  let runs =
+    List.concat_map
+      (fun (e : Midway_report.Suite.entry) ->
+        let name = Midway_report.Suite.app_name e.Midway_report.Suite.app in
+        List.filter_map
+          (fun (system, (o : Midway_apps.Outcome.t)) ->
+            match Midway.Runtime.obs o.Midway_apps.Outcome.machine with
+            (* standalone runs do no DSM work and record nothing — skip them *)
+            | Some obs when Midway_obs.Obs.span_count obs > 0 ->
+                Some (Printf.sprintf "%s/%s" name system, obs)
+            | _ -> None)
+          [
+            ("rt", e.Midway_report.Suite.rt);
+            ("vm", e.Midway_report.Suite.vm);
+            ("standalone", e.Midway_report.Suite.standalone);
+          ])
+      suite.Midway_report.Suite.entries
+  in
+  (match trace_out with
+  | Some file ->
+      Midway_obs.Trace_export.write file
+        (Midway_obs.Trace_export.multi_to_json
+           (List.map (fun (name, o) -> (name, Midway_obs.Obs.spans o)) runs));
+      Printf.printf "wrote %d run trace(s) to %s (open in Perfetto / chrome://tracing)\n" (List.length runs) file
+  | None -> ());
+  match metrics_out with
+  | Some file ->
+      Midway_obs.Trace_export.write file
+        (Midway_util.Json.Obj
+           (List.map
+              (fun (name, o) ->
+                (name, Midway_obs.Metrics.to_json (Midway_obs.Metrics.snapshot (Midway_obs.Obs.metrics o))))
+              runs));
+      Printf.printf "wrote metrics for %d run(s) to %s\n" (List.length runs) file
+  | None -> ()
+
+let run only scale nprocs apps csv_file md_file faults ecsan obs trace_out metrics_out =
+  let obs = obs || trace_out <> None || metrics_out <> None in
   (* the scaling sweep is opt-in: it reruns each application eight times *)
   let default = List.filter (fun e -> e <> "speedup") experiments in
   let only = match only with [] -> default | l -> l in
@@ -95,11 +136,12 @@ let run only scale nprocs apps csv_file md_file faults ecsan =
     Printf.printf "Running the application suite (RT, VM and standalone per application)...\n%!";
     let t0 = Unix.gettimeofday () in
     let suite =
-      try Midway_report.Suite.run ~apps ~ecsan ~nprocs ~scale ()
+      try Midway_report.Suite.run ~apps ~ecsan ~obs ~nprocs ~scale ()
       with Failure msg ->
         Printf.eprintf "%s\n" msg;
         exit 1
     in
+    export_obs suite trace_out metrics_out;
     Printf.printf "...suite complete in %.1f s of host time.\n\n%!" (Unix.gettimeofday () -. t0);
     let emit name render = if List.mem name only then print_endline (render suite) in
     emit "fig2" Midway_report.Fig2.render;
@@ -197,10 +239,36 @@ let ecsan =
           "Run every suite application under the entry-consistency sanitizer; any \
            violation aborts the experiment with a nonzero exit.")
 
+let obs =
+  Arg.(
+    value & flag
+    & info [ "obs" ]
+        ~doc:
+          "Run the suite with the observability layer armed (protocol spans + metrics).  \
+           Implied by $(b,--trace-out) / $(b,--metrics-out).")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write every suite run's protocol spans as one Chrome trace-event JSON (one \
+           Perfetto process per run, one track per processor) to $(docv).")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write every suite run's metrics registry as JSON (keyed by run) to $(docv).")
+
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "midway-experiments" ~doc)
-    Term.(const run $ only $ scale $ nprocs $ apps $ csv_file $ md_file $ faults $ ecsan)
+    Term.(
+      const run $ only $ scale $ nprocs $ apps $ csv_file $ md_file $ faults $ ecsan $ obs
+      $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval cmd)

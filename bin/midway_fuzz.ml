@@ -62,15 +62,24 @@ let dump_failures path failures =
   close_out oc;
   Printf.printf "counterexample(s) written to %s\n" path
 
-let run_replay scale path =
+let run_replay scale trace_out metrics_out path =
   let ic = open_in_bin path in
   let text = really_input_string ic (in_channel_length ic) in
   close_in ic;
-  match Result.bind (Explore.parse_counterexample text) (Explore.replay ~scale) with
+  match
+    Result.bind (Explore.parse_counterexample text)
+      (Explore.replay ~scale ?trace_out ?metrics_out)
+  with
   | Error msg ->
       Printf.eprintf "replay failed: %s\n" msg;
       2
   | Ok r ->
+      (match trace_out with
+      | Some f -> Printf.printf "replay trace written to %s (open in Perfetto)\n" f
+      | None -> ());
+      (match metrics_out with
+      | Some f -> Printf.printf "replay metrics written to %s\n" f
+      | None -> ());
       if r.Explore.rr_failed then begin
         Printf.printf "failure reproduced:\n  %s\n" r.Explore.rr_reason;
         0
@@ -81,10 +90,14 @@ let run_replay scale path =
       end
 
 let run apps_csv backends_csv schedules schedule_seed nprocs scale faults fault_seed trace
-    no_ecsan demo_bug shrink_budget dump replay_file =
+    no_ecsan demo_bug shrink_budget dump replay_file trace_out metrics_out =
   match replay_file with
-  | Some path -> run_replay scale path
+  | Some path -> run_replay scale trace_out metrics_out path
   | None ->
+      if trace_out <> None || metrics_out <> None then begin
+        Printf.eprintf "--trace-out/--metrics-out apply to --replay runs only\n";
+        exit 2
+      end;
       let workloads =
         match (apps_csv, demo_bug) with
         | Some csv, _ -> parse_names (Explore.workload_of_name ~scale) csv
@@ -220,12 +233,30 @@ let replay_file =
     & info [ "replay" ] ~docv:"FILE"
         ~doc:"Re-execute a dumped counterexample; exit 0 iff the failure reproduces.")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "With $(b,--replay): write the replayed (shrunk) schedule's protocol spans as \
+           Chrome trace-event JSON to $(docv) — the span timeline is usually the fastest \
+           way to see the ordering that breaks.")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"With $(b,--replay): write the replayed run's metrics registry as JSON to $(docv).")
+
 let cmd =
   let doc = "seeded schedule fuzzer with record/replay and counterexample shrinking" in
   Cmd.v
     (Cmd.info "midway-fuzz" ~doc)
     Term.(
       const run $ apps $ backends $ schedules $ schedule_seed $ nprocs $ scale $ faults
-      $ fault_seed $ trace $ no_ecsan $ demo_bug $ shrink_budget $ dump $ replay_file)
+      $ fault_seed $ trace $ no_ecsan $ demo_bug $ shrink_budget $ dump $ replay_file
+      $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval' cmd)

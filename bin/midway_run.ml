@@ -39,7 +39,8 @@ let print_stats outcome =
   Printf.printf "  collection time        : %s\n"
     (Midway_util.Units.pp_time avg.Counters.collect_time_ns)
 
-let run app_name backend_name nprocs scale rt_mode_name untargetted trace_n ecsan =
+let run app_name backend_name nprocs scale rt_mode_name untargetted trace_n ecsan obs
+    trace_out metrics_out =
   let app =
     match Midway_report.Suite.app_of_string app_name with
     | Ok a -> a
@@ -68,6 +69,8 @@ let run app_name backend_name nprocs scale rt_mode_name untargetted trace_n ecsa
     exit 2
   end;
   let nprocs = if backend = Midway.Config.Standalone then 1 else nprocs in
+  (* An export destination implies the observability layer. *)
+  let obs = obs || trace_out <> None || metrics_out <> None in
   let cfg =
     {
       (Midway.Config.make backend ~nprocs) with
@@ -75,6 +78,7 @@ let run app_name backend_name nprocs scale rt_mode_name untargetted trace_n ecsa
       untargetted;
       trace_capacity = trace_n;
       ecsan;
+      obs;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -88,6 +92,29 @@ let run app_name backend_name nprocs scale rt_mode_name untargetted trace_n ecsa
     Printf.printf "\nlast %d of %d protocol events:\n%s" (Midway.Trace.length tr)
       (Midway.Trace.total tr) (Midway.Trace.dump tr)
   end;
+  (match Midway.Runtime.obs outcome.Midway_apps.Outcome.machine with
+  | None -> ()
+  | Some o ->
+      let run_name = Printf.sprintf "%s/%s n=%d" app_name backend_name nprocs in
+      (match trace_out with
+      | Some file ->
+          Midway_obs.Trace_export.write file
+            (Midway_obs.Trace_export.to_json ~name:run_name (Midway_obs.Obs.spans o));
+          Printf.printf "\nwrote %d span(s)%s to %s (open in Perfetto / chrome://tracing)\n"
+            (Midway_obs.Obs.span_count o)
+            (match Midway_obs.Obs.dropped o with
+            | 0 -> ""
+            | d -> Printf.sprintf " (+%d dropped past --obs cap)" d)
+            file
+      | None -> ());
+      let snap = Midway_obs.Metrics.snapshot (Midway_obs.Obs.metrics o) in
+      (match metrics_out with
+      | Some file ->
+          Midway_obs.Trace_export.write file (Midway_obs.Metrics.to_json snap);
+          Printf.printf "wrote metrics to %s\n" file
+      | None -> ());
+      if trace_out = None && metrics_out = None then
+        Printf.printf "\n%s" (Midway_obs.Metrics.render_markdown snap));
   if ecsan then begin
     let rep = Midway.Runtime.check_report outcome.Midway_apps.Outcome.machine in
     Printf.printf "\n%s" (Midway_check.Report.render rep);
@@ -137,8 +164,30 @@ let ecsan =
            writes under shared holds, unbound shared data, misclassified private stores, \
            stale-binding accesses and binding-table lint, and exit nonzero on any violation.")
 
+let obs =
+  Arg.(
+    value & flag
+    & info [ "obs" ]
+        ~doc:
+          "Arm the observability layer (protocol spans + metrics registry) and print the \
+           metrics summary after the run.  Implied by $(b,--trace-out) / $(b,--metrics-out).")
+
+let trace_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's protocol spans as Chrome trace-event JSON (one Perfetto track per \
+           processor, simulated timeline) to $(docv).")
+
+let metrics_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the run's metrics registry (counters + histograms) as JSON to $(docv).")
+
 let cmd =
   let doc = "run one DSM benchmark application" in
-  Cmd.v (Cmd.info "midway-run" ~doc) Term.(const run $ app_arg $ backend $ nprocs $ scale $ rt_mode $ untargetted $ trace_n $ ecsan)
+  Cmd.v (Cmd.info "midway-run" ~doc) Term.(const run $ app_arg $ backend $ nprocs $ scale $ rt_mode $ untargetted $ trace_n $ ecsan $ obs $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,119 @@
+(* Structural validator for the observability exports, run by @obssmoke:
+
+     obs_check TRACE.json METRICS.json NPROCS [REQUIRED_CATS_CSV]
+
+   Parses both files back through Midway_util.Json (the same parser the
+   exporters' consumers would hand-roll against) and checks:
+     - the trace has >= 1 "X" span on every track 0..NPROCS-1 of every
+       Perfetto process in the file;
+     - every category named in REQUIRED_CATS_CSV appears somewhere;
+     - span start timestamps are monotone (non-decreasing) per track,
+       the ordering the exporter promises;
+     - the metrics file carries non-empty "counters" and "histograms".
+   Exits 0 if all hold, 1 with a diagnosis otherwise. *)
+
+module Json = Midway_util.Json
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("obs_check: " ^ msg); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse path =
+  match Json.of_string (read_file path) with
+  | v -> v
+  | exception Json.Parse_error msg -> die "%s: %s" path msg
+  | exception Sys_error msg -> die "%s" msg
+
+let get what path = function Some v -> v | None -> die "%s: missing %s" path what
+
+(* one "X" span: (pid, tid, cat, ts) *)
+let spans_of_trace path json =
+  let events =
+    get "traceEvents list" path (Option.bind (Json.member "traceEvents" json) Json.to_list)
+  in
+  List.filter_map
+    (fun ev ->
+      match Option.bind (Json.member "ph" ev) Json.to_str with
+      | Some "X" ->
+          let field k conv = get (Printf.sprintf "%S in an X event" k) path
+              (Option.bind (Json.member k ev) conv) in
+          Some
+            ( field "pid" Json.to_int,
+              field "tid" Json.to_int,
+              field "cat" Json.to_str,
+              field "ts" Json.to_float )
+      | _ -> None)
+    events
+
+let check_trace path ~nprocs ~required_cats json =
+  let spans = spans_of_trace path json in
+  if spans = [] then die "%s: no spans at all" path;
+  let pids = List.sort_uniq compare (List.map (fun (p, _, _, _) -> p) spans) in
+  (* every processor of every run must have recorded at least one span *)
+  List.iter
+    (fun pid ->
+      for tid = 0 to nprocs - 1 do
+        if not (List.exists (fun (p, t, _, _) -> p = pid && t = tid) spans) then
+          die "%s: pid %d has no span on track %d (expected %d tracks)" path pid tid nprocs
+      done)
+    pids;
+  List.iter
+    (fun cat ->
+      if not (List.exists (fun (_, _, c, _) -> c = cat) spans) then
+        die "%s: required span category %S never appears" path cat)
+    required_cats;
+  (* the exporter sorts each track by start time: ts must be monotone *)
+  let last : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (pid, tid, cat, ts) ->
+      (match Hashtbl.find_opt last (pid, tid) with
+      | Some prev when ts < prev ->
+          die "%s: non-monotone ts on pid %d tid %d (%f after %f, cat %s)" path pid tid ts prev cat
+      | _ -> ());
+      Hashtbl.replace last (pid, tid) ts)
+    spans;
+  (List.length spans, List.length pids)
+
+(* the metrics file is either one registry or an object of them (the
+   multi-run form experiments.exe writes); accept both *)
+let check_metrics path json =
+  let check_registry name reg =
+    let section k =
+      match Json.member k reg with
+      | Some (Json.List entries) -> entries
+      | _ -> die "%s: %s: missing %S list" path name k
+    in
+    let counters = section "counters" and hists = section "histograms" in
+    if counters = [] && hists = [] then die "%s: %s: empty registry" path name;
+    List.iter
+      (fun entry ->
+        if Option.bind (Json.member "name" entry) Json.to_str = None then
+          die "%s: %s: metric entry without a name" path name)
+      (counters @ hists);
+    List.length counters + List.length hists
+  in
+  match json with
+  | Json.Obj _ when Json.member "histograms" json <> None -> check_registry "registry" json
+  | Json.Obj [] -> die "%s: empty object" path
+  | Json.Obj fields ->
+      List.fold_left (fun acc (name, reg) -> acc + check_registry name reg) 0 fields
+  | _ -> die "%s: expected a JSON object" path
+
+let () =
+  let trace_path, metrics_path, nprocs, cats =
+    match Array.to_list Sys.argv with
+    | [ _; t; m; n ] -> (t, m, int_of_string n, [])
+    | [ _; t; m; n; cats ] ->
+        (t, m, int_of_string n, String.split_on_char ',' cats |> List.filter (( <> ) ""))
+    | _ ->
+        prerr_endline "usage: obs_check TRACE.json METRICS.json NPROCS [REQUIRED_CATS_CSV]";
+        exit 2
+  in
+  let nspans, nruns = check_trace trace_path ~nprocs ~required_cats:cats (parse trace_path) in
+  let nmetrics = check_metrics metrics_path (parse metrics_path) in
+  Printf.printf "obs_check: ok (%d span(s) across %d run(s), %d metric series)\n" nspans nruns
+    nmetrics

@@ -49,6 +49,8 @@ type t = {
   retrans_timeout_ns : int;
   retrans_backoff_cap_ns : int;
   retrans_max_attempts : int;
+  obs : bool;
+  obs_span_cap : int;
 }
 
 let make ?(cost = Midway_stats.Cost_model.default) backend ~nprocs =
@@ -80,6 +82,8 @@ let make ?(cost = Midway_stats.Cost_model.default) backend ~nprocs =
       Midway_simnet.Reliable.default_config.Midway_simnet.Reliable.backoff_cap_ns;
     retrans_max_attempts =
       Midway_simnet.Reliable.default_config.Midway_simnet.Reliable.max_attempts;
+    obs = false;
+    obs_span_cap = 0;
   }
 
 let with_schedule_seed seed cfg = { cfg with sched_policy = Midway_sched.Engine.Seeded seed }

@@ -84,6 +84,19 @@ type t = {
   retrans_timeout_ns : int;  (** initial ack timeout of the reliable channel *)
   retrans_backoff_cap_ns : int;  (** exponential backoff cap *)
   retrans_max_attempts : int;  (** transmissions of one message before giving up *)
+  (* observability *)
+  obs : bool;
+      (** arm the structured observability layer ({!Midway_obs.Obs}):
+          protocol spans on the simulated clock plus a metrics registry,
+          readable through {!Runtime.obs} and exportable as a Chrome
+          trace ({!Midway_obs.Trace_export}).  [false] (the default)
+          records nothing, and recording never charges simulated time,
+          so results are bit-identical either way — the same contract as
+          [ecsan]. *)
+  obs_span_cap : int;
+      (** maximum spans retained when [obs] is armed; [0] = unbounded.
+          Past the cap spans are counted as dropped, not recorded;
+          metrics are unaffected. *)
 }
 
 val make : ?cost:Midway_stats.Cost_model.t -> backend -> nprocs:int -> t

@@ -5,6 +5,8 @@ module Net = Midway_simnet.Net
 module Reliable = Midway_simnet.Reliable
 module Counters = Midway_stats.Counters
 module Cost_model = Midway_stats.Cost_model
+module Obs = Midway_obs.Obs
+module Metrics = Midway_obs.Metrics
 
 type backend_state =
   | B_rt of Dirtybits.t
@@ -44,6 +46,11 @@ and t = {
   mutable next_sync_id : int;
   mutable ran : bool;
   checker : Midway_check.Check.t option;
+  obsv : Obs.t option;
+      (* Some iff cfg.obs: the structured span log and metrics registry.
+         Every hook below is a single match on this field, and recording
+         never charges virtual time, so the default run takes the exact
+         pre-obs code path. *)
 }
 
 let create (cfg : Config.t) =
@@ -82,6 +89,38 @@ let create (cfg : Config.t) =
       in
       Some (Midway_check.Check.create ~context ~nprocs:cfg.nprocs ())
   in
+  let obsv = if cfg.obs then Some (Obs.create ~cap:cfg.obs_span_cap ()) else None in
+  (match obsv with
+  | None -> ()
+  | Some o ->
+      (* Generic scheduler-block spans (reason = what the fiber waited
+         on) and, with faults armed, reliable-channel episodes.  Both
+         hooks read values the simulator computed anyway. *)
+      Engine.set_block_observer engine
+        (Some
+           (fun ~proc ~reason ~blocked_at ~woke_at ->
+             Obs.span o Obs.Sched_block ~proc
+               ~note:(Option.value reason ~default:"")
+               ~t0:blocked_at ~t1:woke_at ()));
+      (match reliable with
+      | None -> ()
+      | Some ch ->
+          Reliable.set_observer ch
+            (Some
+               (fun (e : Reliable.episode) ->
+                 let m = Obs.metrics o in
+                 let chan = Printf.sprintf "p%d->p%d" e.Reliable.e_src e.Reliable.e_dst in
+                 Metrics.observe m ~name:"retransmits_per_send" ~label:chan
+                   ~buckets:Metrics.count_buckets e.Reliable.e_retransmits;
+                 Metrics.incr m ~name:"reliable_sends" ~label:chan 1;
+                 if e.Reliable.e_retransmits > 0 then
+                   Obs.span o Obs.Retransmit ~proc:e.Reliable.e_src
+                     ~bytes:e.Reliable.e_payload_bytes
+                     ~note:
+                       (Printf.sprintf "%s seq %d to p%d (%d retransmit(s))"
+                          (Net.kind_name e.Reliable.e_kind) e.Reliable.e_seq
+                          e.Reliable.e_dst e.Reliable.e_retransmits)
+                     ~t0:e.Reliable.e_sent_at ~t1:e.Reliable.e_acked_at ()))));
   let machine =
     {
       cfg;
@@ -97,6 +136,7 @@ let create (cfg : Config.t) =
       next_sync_id = 0;
       ran = false;
       checker = check;
+      obsv;
     }
   in
   machine.ctxs <-
@@ -133,7 +173,23 @@ let counters t i = t.ctxs.(i).counters
 
 let trace t = t.trace
 
+let obs t = t.obsv
+
 let all_counters t = Array.map (fun c -> c.counters) t.ctxs
+
+(* Observability label conventions: "p3/lock2", "p0/barrier1". *)
+let lock_label p lid = Printf.sprintf "p%d/lock%d" p lid
+
+let barrier_label p bid = Printf.sprintf "p%d/barrier%d" p bid
+
+(* The RT "diff" is the dirtybit scan; VM and twin diff against pages or
+   twins.  The note distinguishes them in an exported trace. *)
+let diff_note = function
+  | B_rt _ -> "dirtybit scan"
+  | B_vm _ -> "page diff"
+  | B_twin _ -> "twin compare"
+  | B_vmfine _ -> "page diff + dirtybit scan"
+  | B_none -> "no detection"
 
 let alloc t ?line_size ?(private_ = false) bytes =
   let line_size = Option.value line_size ~default:t.cfg.default_line_size in
@@ -798,6 +854,10 @@ let serve t (l : Sync.lock) ~requester:q ~arrival ~mode ~waker =
   let releaser = l.Sync.owner in
   let rc = t.ctxs.(releaser) and qc = t.ctxs.(q) in
   let service_time = max arrival l.Sync.free_at in
+  (* Side-effect-free counter reads, taken only to attribute this
+     collection's page-diff output to the obs registry. *)
+  let pages0 = if t.obsv = None then 0 else rc.counters.pages_diffed in
+  let dirty0 = if t.obsv = None then 0 else rc.counters.dirty_bytes_found in
   let payload, collect_ns, stamp_info =
     match rc.backend with
     | B_rt db ->
@@ -820,6 +880,24 @@ let serve t (l : Sync.lock) ~requester:q ~arrival ~mode ~waker =
   let app = Payload.app_bytes payload in
   rc.counters.data_sent_bytes <- rc.counters.data_sent_bytes + app;
   rc.counters.messages <- rc.counters.messages + 1;
+  (match t.obsv with
+  | None -> ()
+  | Some o ->
+      let lid = l.Sync.lid in
+      let lbl = lock_label releaser lid in
+      let m = Obs.metrics o in
+      Obs.span o Obs.Collect ~proc:releaser ~sync:lid ~bytes:app ~t0:service_time
+        ~t1:(service_time + collect_ns) ();
+      Obs.span o Obs.Diff ~proc:releaser ~sync:lid ~note:(diff_note rc.backend)
+        ~t0:service_time ~t1:(service_time + collect_ns) ();
+      Metrics.observe m ~name:"collect_ns" ~label:lbl collect_ns;
+      Metrics.observe m ~name:"transfer_bytes" ~label:lbl ~buckets:Metrics.bytes_buckets app;
+      let pages = rc.counters.pages_diffed - pages0 in
+      if pages > 0 then
+        Metrics.observe m ~name:"diff_bytes_per_page"
+          ~label:(Printf.sprintf "p%d" releaser)
+          ~buckets:Metrics.bytes_buckets
+          ((rc.counters.dirty_bytes_found - dirty0) / pages));
   let deliver =
     send_msg ~overhead_bytes:(wire_overhead t.cfg payload) t ~kind:Net.Lock_reply
       ~src:releaser ~dst:q ~payload_bytes:app ~at:(service_time + collect_ns)
@@ -839,6 +917,13 @@ let serve t (l : Sync.lock) ~requester:q ~arrival ~mode ~waker =
   in
   qc.counters.collect_time_ns <- qc.counters.collect_time_ns + apply_ns;
   qc.counters.data_received_bytes <- qc.counters.data_received_bytes + app;
+  (match t.obsv with
+  | None -> ()
+  | Some o ->
+      Obs.span o Obs.Apply ~proc:q ~sync:l.Sync.lid ~bytes:app ~t0:deliver
+        ~t1:(deliver + apply_ns) ();
+      Metrics.observe (Obs.metrics o) ~name:"apply_ns" ~label:(lock_label q l.Sync.lid)
+        apply_ns);
   (* Advance cursors. *)
   (match rc.backend with
   | B_rt _ | B_vmfine _ ->
@@ -916,12 +1001,13 @@ let acquire_mode c l mode =
   else begin
     c.counters.lock_acquires_remote <- c.counters.lock_acquires_remote + 1;
     c.counters.messages <- c.counters.messages + 1;
+    let req_at = now_ns c in
     Trace.record t.trace
       (Trace.Lock_requested
-         { t = now_ns c; lock = l.Sync.lid; proc = c.cid; shared = (mode = Sync.Shared) });
+         { t = req_at; lock = l.Sync.lid; proc = c.cid; shared = (mode = Sync.Shared) });
     let arrival =
       send_msg t ~kind:Net.Lock_request ~src:c.cid ~dst:l.Sync.owner ~payload_bytes:0
-        ~at:(now_ns c)
+        ~at:req_at
     in
     Engine.block c.proc
       ~reason:
@@ -929,7 +1015,17 @@ let acquire_mode c l mode =
            (match mode with Sync.Exclusive -> "exclusive" | Sync.Shared -> "shared"))
       ~setup:(fun ~wake ->
         Sync.enqueue_request l ~proc:c.cid ~arrival ~mode ~waker:wake;
-        service_queue t l)
+        service_queue t l);
+    match t.obsv with
+    | None -> ()
+    | Some o ->
+        (* The wait spans from the request leaving this processor to the
+           grant (update applied) waking it. *)
+        let t1 = now_ns c in
+        Obs.span o Obs.Acquire_wait ~proc:c.cid ~sync:l.Sync.lid ~t0:req_at ~t1 ();
+        Metrics.observe (Obs.metrics o) ~name:"acquire_latency_ns"
+          ~label:(lock_label c.cid l.Sync.lid)
+          (t1 - req_at)
   end;
   (* Either path: the lock is held by this processor once we get here. *)
   match c.check with
@@ -1084,6 +1180,13 @@ let barrier_release t (b : Sync.barrier) =
       in
       pc.counters.collect_time_ns <- pc.counters.collect_time_ns + apply_ns;
       pc.counters.data_received_bytes <- pc.counters.data_received_bytes + app;
+      (match t.obsv with
+      | None -> ()
+      | Some o ->
+          Obs.span o Obs.Apply ~proc:p ~sync:b.Sync.bid ~bytes:app ~t0:deliver
+            ~t1:(deliver + apply_ns) ();
+          Metrics.observe (Obs.metrics o) ~name:"apply_ns"
+            ~label:(barrier_label p b.Sync.bid) apply_ns);
       if max_time > 0 then pc.lamport <- max pc.lamport max_time;
       a.Sync.a_waker ~at:(deliver + apply_ns))
     arrivals;
@@ -1111,11 +1214,32 @@ let barrier c b =
     | None -> ()
   end
   else begin
+    let pages0 = if t.obsv = None then 0 else c.counters.pages_diffed in
+    let dirty0 = if t.obsv = None then 0 else c.counters.dirty_bytes_found in
+    let collect_t0 = now_ns c in
     let payload, collect_ns, stamp = barrier_collect c b in
     c.counters.collect_time_ns <- c.counters.collect_time_ns + collect_ns;
     Engine.charge c.proc collect_ns;
     let app = Payload.app_bytes payload in
     c.counters.data_sent_bytes <- c.counters.data_sent_bytes + app;
+    (match t.obsv with
+    | None -> ()
+    | Some o ->
+        let bid = b.Sync.bid in
+        let lbl = barrier_label c.cid bid in
+        let m = Obs.metrics o in
+        Obs.span o Obs.Collect ~proc:c.cid ~sync:bid ~bytes:app ~t0:collect_t0
+          ~t1:(now_ns c) ();
+        Obs.span o Obs.Diff ~proc:c.cid ~sync:bid ~note:(diff_note c.backend) ~t0:collect_t0
+          ~t1:(now_ns c) ();
+        Metrics.observe m ~name:"collect_ns" ~label:lbl collect_ns;
+        Metrics.observe m ~name:"transfer_bytes" ~label:lbl ~buckets:Metrics.bytes_buckets app;
+        let pages = c.counters.pages_diffed - pages0 in
+        if pages > 0 then
+          Metrics.observe m ~name:"diff_bytes_per_page"
+            ~label:(Printf.sprintf "p%d" c.cid)
+            ~buckets:Metrics.bytes_buckets
+            ((c.counters.dirty_bytes_found - dirty0) / pages));
     if c.cid <> b.Sync.manager then c.counters.messages <- c.counters.messages + 1;
     let deliver =
       send_msg ~overhead_bytes:(wire_overhead t.cfg payload) t ~kind:Net.Barrier_arrive
@@ -1124,6 +1248,7 @@ let barrier c b =
     Trace.record t.trace
       (Trace.Barrier_arrived
          { t = now_ns c; barrier = b.Sync.bid; proc = c.cid; payload_bytes = app });
+    let wait0 = now_ns c in
     Engine.block c.proc
       ~reason:(Printf.sprintf "barrier %d (episode %d)" b.Sync.bid b.Sync.episode)
       ~setup:(fun ~wake ->
@@ -1138,7 +1263,15 @@ let barrier c b =
                 a_stamp = stamp;
               };
             ];
-        if List.length b.Sync.arrived = b.Sync.participants then barrier_release t b)
+        if List.length b.Sync.arrived = b.Sync.participants then barrier_release t b);
+    match t.obsv with
+    | None -> ()
+    | Some o ->
+        let t1 = now_ns c in
+        Obs.span o Obs.Barrier_wait ~proc:c.cid ~sync:b.Sync.bid ~t0:wait0 ~t1 ();
+        Metrics.observe (Obs.metrics o) ~name:"barrier_wait_ns"
+          ~label:(barrier_label c.cid b.Sync.bid)
+          (t1 - wait0)
   end;
   (* Either path: this processor completed a crossing. *)
   match c.check with

@@ -44,6 +44,17 @@ val trace : t -> Trace.t
 
 val all_counters : t -> Midway_stats.Counters.t array
 
+val obs : t -> Midway_obs.Obs.t option
+(** The structured observability layer — [Some] iff {!Config.t.obs}.
+    Holds the protocol span log (lock-acquire waits, collections,
+    diffs, applies, barrier waits, retransmit episodes, generic
+    scheduler blocks) on the simulated clock and the metrics registry
+    ([acquire_latency_ns], [collect_ns], [apply_ns], [transfer_bytes],
+    [diff_bytes_per_page], [barrier_wait_ns], [retransmits_per_send]),
+    labelled ["p3/lock2"] / ["p0/barrier1"] / ["p0->p2"].  Export with
+    {!Midway_obs.Trace_export} / {!Midway_obs.Metrics.to_json}; see
+    doc/OBSERVABILITY.md. *)
+
 val alloc : t -> ?line_size:int -> ?private_:bool -> int -> int
 (** Allocate shared (default) or private memory; returns the base
     address.  [line_size] sets the software cache-line size of the

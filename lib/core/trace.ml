@@ -29,8 +29,10 @@ let create ~capacity =
   { capacity; ring = Array.make (max capacity 1) dummy; start = 0; size = 0; recorded = 0 }
 
 let record t e =
+  (* [recorded] counts every event offered, including those a
+     zero-capacity (disabled) ring drops without storing. *)
+  t.recorded <- t.recorded + 1;
   if t.capacity > 0 then begin
-    t.recorded <- t.recorded + 1;
     if t.size < t.capacity then begin
       t.ring.((t.start + t.size) mod t.capacity) <- e;
       t.size <- t.size + 1

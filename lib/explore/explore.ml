@@ -32,8 +32,9 @@ let trace_tail ?(n = 12) machine =
 
 (* Judge one execution: oracle, then structural invariants, then ECSan.
    All three verdicts are collected so the report shows every angle of
-   a failure, not just the first. *)
-let execute (w : Workload.t) cfg =
+   a failure, not just the first.  The machine (when the workload kept
+   one) rides along so [replay] can export its observability data. *)
+let execute_machine (w : Workload.t) cfg =
   let o = w.Workload.run cfg in
   let reasons = ref [] in
   let add r = reasons := r :: !reasons in
@@ -61,13 +62,16 @@ let execute (w : Workload.t) cfg =
         end;
         (Some (R.schedule_choices m), trace_tail m)
   in
-  {
-    j_failed = !reasons <> [];
-    j_reason = String.concat "\n  " (List.rev !reasons);
-    j_digest = o.Workload.digest;
-    j_choices = choices;
-    j_trace = trace;
-  }
+  ( {
+      j_failed = !reasons <> [];
+      j_reason = String.concat "\n  " (List.rev !reasons);
+      j_digest = o.Workload.digest;
+      j_choices = choices;
+      j_trace = trace;
+    },
+    o.Workload.machine )
+
+let execute w cfg = fst (execute_machine w cfg)
 
 (* ------------------------------------------------------------------ *)
 (* Specifications and configurations                                   *)
@@ -404,7 +408,7 @@ type replay_result = {
   rr_choices : int list;  (* the replayed run's own recording *)
 }
 
-let replay ?scale rp =
+let replay ?scale ?trace_out ?metrics_out rp =
   match workload_of_name ?scale rp.rp_workload with
   | Error e -> Error e
   | Ok w ->
@@ -422,13 +426,37 @@ let replay ?scale rp =
         let cfg = Config.make rp.rp_backend ~nprocs:rp.rp_nprocs in
         let cfg = { cfg with Config.ecsan = rp.rp_ecsan; trace_capacity = 64 } in
         let cfg = { cfg with Config.sched_policy = policy } in
+        (* Dumping a trace of the replayed (typically shrunk) schedule
+           arms the observability layer; obs never perturbs the run, so
+           the counterexample still reproduces. *)
+        let cfg =
+          if trace_out <> None || metrics_out <> None then { cfg with Config.obs = true }
+          else cfg
+        in
         let cfg =
           match (rp.rp_fault_drop, rp.rp_fault_seed) with
           | Some drop, Some seed -> Config.with_faults ~drop ~seed cfg
           | Some drop, None -> Config.with_faults ~drop cfg
           | None, _ -> cfg
         in
-        let j = execute w cfg in
+        let j, machine = execute_machine w cfg in
+        (match Option.bind machine R.obs with
+        | Some o ->
+            let name =
+              Printf.sprintf "%s/%s replay" rp.rp_workload (Config.backend_name rp.rp_backend)
+            in
+            (match trace_out with
+            | Some file ->
+                Midway_obs.Trace_export.write file
+                  (Midway_obs.Trace_export.to_json ~name (Midway_obs.Obs.spans o))
+            | None -> ());
+            (match metrics_out with
+            | Some file ->
+                Midway_obs.Trace_export.write file
+                  (Midway_obs.Metrics.to_json
+                     (Midway_obs.Metrics.snapshot (Midway_obs.Obs.metrics o)))
+            | None -> ())
+        | None -> ());
         Ok
           {
             rr_failed = j.j_failed;

@@ -121,7 +121,13 @@ type replay_result = {
   rr_choices : int list;  (** the replayed run's own recording *)
 }
 
-val replay : ?scale:float -> replay_spec -> (replay_result, string) result
+val replay :
+  ?scale:float -> ?trace_out:string -> ?metrics_out:string -> replay_spec ->
+  (replay_result, string) result
 (** Re-execute a counterexample: replay the choice list if present,
     else re-run the seeded schedule.  [Ok] with [rr_failed = true]
-    means the failure reproduced. *)
+    means the failure reproduced.  [trace_out] / [metrics_out] arm the
+    observability layer (which never perturbs the run) and write the
+    replayed schedule's Chrome trace / metrics JSON — the span timeline
+    of a shrunk counterexample is usually the fastest way to see the
+    ordering that breaks. *)

@@ -1,0 +1,80 @@
+(** The metrics registry: named counters and fixed-bucket histograms.
+
+    Each series is keyed by (metric name, label); labels are free-form
+    strings, by convention ["p3/lock2"] for (processor, sync object)
+    attribution and ["p0->p2"] for a network channel.  All values are
+    integers (nanoseconds, bytes, counts).  A metric name's bucket
+    layout is fixed by its first {!observe}, so every label of one
+    metric shares comparable buckets.
+
+    Reading the registry goes through immutable {!snapshot}s, which sort
+    their series for deterministic output; {!delta} subtracts two
+    snapshots to isolate a phase of a run. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> name:string -> ?label:string -> int -> unit
+(** Add to a counter (created at zero on first use).  [label] defaults
+    to [""]. *)
+
+val observe : t -> name:string -> ?label:string -> ?buckets:int array -> int -> unit
+(** Record one histogram observation.  [buckets] (strictly increasing
+    upper bounds; a value [v] lands in the first bucket with
+    [v <= bound], else the implicit overflow bucket) applies only to the
+    first observation of [name] and defaults to {!ns_buckets}. *)
+
+(** {1 Stock bucket layouts} *)
+
+val ns_buckets : int array
+(** Latencies: 1 us .. 1 s in coarse decades. *)
+
+val bytes_buckets : int array
+(** Payload sizes: 0 .. 1 MiB. *)
+
+val count_buckets : int array
+(** Small counts (retransmits per send and the like): 0 .. 64. *)
+
+(** {1 Snapshots} *)
+
+type hist_view = {
+  h_buckets : int array;
+  h_counts : int array;  (** length [buckets + 1]; last is the overflow bucket *)
+  h_sum : int;
+  h_count : int;
+  h_min : int;  (** meaningless when [h_count = 0] *)
+  h_max : int;
+}
+
+type snapshot = {
+  s_counters : ((string * string) * int) list;  (** sorted by (name, label) *)
+  s_hists : ((string * string) * hist_view) list;
+}
+
+val snapshot : t -> snapshot
+
+val delta : before:snapshot -> after:snapshot -> snapshot
+(** Per-series [after - before]; series missing from [before] count from
+    zero.  [h_min]/[h_max] are carried from [after] (extrema cannot be
+    reconstructed from endpoint snapshots).  Raises [Invalid_argument]
+    if a shared series changed bucket layout between the snapshots. *)
+
+val counter_value : snapshot -> name:string -> label:string -> int
+(** 0 when absent. *)
+
+val find_hist : snapshot -> name:string -> label:string -> hist_view option
+
+val hist_totals : snapshot -> name:string -> int * int
+(** [(sum, count)] of one metric aggregated across all labels. *)
+
+val labels_of : snapshot -> name:string -> string list
+(** The labels under which histogram [name] was observed, sorted. *)
+
+(** {1 Rendering} *)
+
+val to_json : snapshot -> Midway_util.Json.t
+(** [{"counters": [...], "histograms": [...]}] — what
+    [midway-run --metrics-out] writes. *)
+
+val render_markdown : snapshot -> string

@@ -1,0 +1,90 @@
+(* The span log: structured begin/end events on the *simulated* clock.
+
+   This is deliberately distinct from the Trace ring in lib/core: the
+   ring holds pretty-printed protocol lines with a fixed capacity and is
+   meant for eyeballing a tail; spans are typed intervals meant for
+   machine consumption (Perfetto export, metrics reconciliation).
+
+   Recording never touches the simulated clock — observers read
+   timestamps the runtime already computed, so an armed observability
+   layer cannot perturb the run it measures. *)
+
+type kind =
+  | Acquire_wait  (* lock requested until ownership granted *)
+  | Barrier_wait  (* barrier arrival until release *)
+  | Collect  (* write collection on the releaser *)
+  | Diff  (* the detection-scan / page-diff sub-phase of a collection *)
+  | Apply  (* installing received updates on the requester *)
+  | Retransmit  (* a reliable-channel episode that needed retransmissions *)
+  | Sched_block  (* generic scheduler block, tagged with the reason *)
+
+let kind_name = function
+  | Acquire_wait -> "lock_wait"
+  | Barrier_wait -> "barrier_wait"
+  | Collect -> "collect"
+  | Diff -> "diff"
+  | Apply -> "apply"
+  | Retransmit -> "retransmit"
+  | Sched_block -> "sched_block"
+
+type span = {
+  kind : kind;
+  proc : int;
+  sync : int;  (* sync-object id; -1 = none *)
+  bytes : int;  (* payload bytes attributed to the span; 0 = none *)
+  t0 : int;  (* simulated ns *)
+  t1 : int;
+  note : string;
+}
+
+type t = {
+  cap : int;  (* 0 = unbounded; otherwise keep the first [cap] spans *)
+  mutable log : span list;  (* newest first *)
+  mutable count : int;  (* spans kept *)
+  mutable dropped : int;  (* spans discarded past the cap *)
+  metrics : Metrics.t;
+  mutable open_spans : (int * kind * int * int) list;  (* handle, kind, proc, t0 *)
+  mutable next_handle : int;
+}
+
+let create ?(cap = 0) () =
+  {
+    cap;
+    log = [];
+    count = 0;
+    dropped = 0;
+    metrics = Metrics.create ();
+    open_spans = [];
+    next_handle = 0;
+  }
+
+let metrics t = t.metrics
+
+let span t kind ~proc ?(sync = -1) ?(bytes = 0) ?(note = "") ~t0 ~t1 () =
+  if t1 < t0 then invalid_arg "Obs.span: t1 < t0";
+  if t.cap > 0 && t.count >= t.cap then t.dropped <- t.dropped + 1
+  else begin
+    t.log <- { kind; proc; sync; bytes; t0; t1; note } :: t.log;
+    t.count <- t.count + 1
+  end
+
+(* Handle-based variant for call sites that bracket a computation rather
+   than knowing both endpoints up front. *)
+type handle = int
+
+let begin_span t kind ~proc ~t0 =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  t.open_spans <- (h, kind, proc, t0) :: t.open_spans;
+  h
+
+let end_span t h ?(sync = -1) ?(bytes = 0) ?(note = "") ~t1 () =
+  match List.partition (fun (h', _, _, _) -> h' = h) t.open_spans with
+  | [ (_, kind, proc, t0) ], rest ->
+      t.open_spans <- rest;
+      span t kind ~proc ~sync ~bytes ~note ~t0 ~t1 ()
+  | _ -> invalid_arg "Obs.end_span: unknown or already-closed handle"
+
+let spans t = List.rev t.log
+let span_count t = t.count
+let dropped t = t.dropped

@@ -1,0 +1,65 @@
+(** The span log: typed begin/end events on the simulated clock.
+
+    Distinct from the pretty-print {!Midway.Trace} ring: spans are
+    machine-consumable intervals (for Perfetto export and metric
+    reconciliation) in an unbounded-or-capped log.  Recording never
+    advances simulated time — observers only read timestamps the
+    runtime already computed. *)
+
+type kind =
+  | Acquire_wait  (** lock requested until ownership granted *)
+  | Barrier_wait  (** barrier arrival until release *)
+  | Collect  (** write collection on the releaser *)
+  | Diff  (** detection-scan / page-diff sub-phase of a collection *)
+  | Apply  (** installing received updates on the requester *)
+  | Retransmit  (** a reliable-channel episode needing retransmissions *)
+  | Sched_block  (** generic scheduler block, tagged with the reason *)
+
+val kind_name : kind -> string
+(** Stable wire name: ["lock_wait"], ["barrier_wait"], ["collect"],
+    ["diff"], ["apply"], ["retransmit"], ["sched_block"]. *)
+
+type span = {
+  kind : kind;
+  proc : int;
+  sync : int;  (** sync-object id; [-1] = none *)
+  bytes : int;  (** payload bytes attributed to the span; [0] = none *)
+  t0 : int;  (** simulated ns *)
+  t1 : int;
+  note : string;
+}
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** [cap = 0] (default) keeps every span; [cap > 0] keeps the first
+    [cap] and counts the rest as {!dropped}. *)
+
+val metrics : t -> Metrics.t
+(** The metrics registry riding along with the span log. *)
+
+val span :
+  t ->
+  kind ->
+  proc:int ->
+  ?sync:int ->
+  ?bytes:int ->
+  ?note:string ->
+  t0:int ->
+  t1:int ->
+  unit ->
+  unit
+(** Record a closed span.  Raises [Invalid_argument] if [t1 < t0]. *)
+
+type handle
+
+val begin_span : t -> kind -> proc:int -> t0:int -> handle
+val end_span : t -> handle -> ?sync:int -> ?bytes:int -> ?note:string -> t1:int -> unit -> unit
+(** Close an open handle (raises [Invalid_argument] on an unknown or
+    already-closed one). *)
+
+val spans : t -> span list
+(** In recording order. *)
+
+val span_count : t -> int
+val dropped : t -> int

@@ -1,0 +1,77 @@
+(* Chrome trace-event ("Perfetto") export.
+
+   One process per run, one track (tid) per simulated processor, spans
+   as "X" complete events on the simulated timeline.  Chrome's ts/dur
+   unit is microseconds; the simulator deals in integer nanoseconds, so
+   we emit Float microseconds (exact for sub-millisecond precision at
+   any plausible run length).  Events are sorted by (track, t0,
+   longer-duration-first) so viewers nest enclosing spans correctly and
+   ts is monotone within each track. *)
+
+module Json = Midway_util.Json
+
+let us ns = float_of_int ns /. 1000.
+
+let meta_event ~pid ~tid ~name ~value =
+  let args = [ ("name", Json.Str value) ] in
+  Json.Obj
+    ([ ("name", Json.Str name); ("ph", Json.Str "M"); ("pid", Json.Int pid) ]
+    @ (match tid with None -> [] | Some t -> [ ("tid", Json.Int t) ])
+    @ [ ("args", Json.Obj args) ])
+
+let span_event ~pid (s : Obs.span) =
+  let args =
+    [ ("sync", Json.Int s.sync); ("bytes", Json.Int s.bytes) ]
+    @ if s.note = "" then [] else [ ("note", Json.Str s.note) ]
+  in
+  Json.Obj
+    [
+      ("name", Json.Str (Obs.kind_name s.kind));
+      ("cat", Json.Str (Obs.kind_name s.kind));
+      ("ph", Json.Str "X");
+      ("ts", Json.Float (us s.t0));
+      ("dur", Json.Float (us (s.t1 - s.t0)));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int s.proc);
+      ("args", Json.Obj args);
+    ]
+
+let sort_spans spans =
+  List.stable_sort
+    (fun (a : Obs.span) (b : Obs.span) ->
+      let c = compare a.proc b.proc in
+      if c <> 0 then c
+      else
+        let c = compare a.t0 b.t0 in
+        if c <> 0 then c else compare (b.t1 - b.t0) (a.t1 - a.t0))
+    spans
+
+let procs_of spans =
+  List.sort_uniq compare (List.map (fun (s : Obs.span) -> s.proc) spans)
+
+let events_for ~pid ~name spans =
+  let metas =
+    meta_event ~pid ~tid:None ~name:"process_name" ~value:name
+    :: List.map
+         (fun p ->
+           meta_event ~pid ~tid:(Some p) ~name:"thread_name"
+             ~value:(Printf.sprintf "proc %d" p))
+         (procs_of spans)
+  in
+  metas @ List.map (span_event ~pid) (sort_spans spans)
+
+let multi_to_json named =
+  let events =
+    List.concat (List.mapi (fun pid (name, spans) -> events_for ~pid ~name spans) named)
+  in
+  Json.Obj [ ("traceEvents", Json.List events); ("displayTimeUnit", Json.Str "ns") ]
+
+let to_json ?(name = "midway") spans = multi_to_json [ (name, spans) ]
+
+let write path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n')

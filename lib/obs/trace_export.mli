@@ -1,0 +1,19 @@
+(** Chrome trace-event JSON export (loadable in Perfetto / chrome://tracing).
+
+    One process per run, one track per simulated processor, spans as
+    ["X"] complete events with [ts]/[dur] in microseconds on the
+    simulated timeline.  Within each track events are sorted by start
+    time, longer spans first at ties, so [ts] is monotone per track and
+    enclosing spans nest correctly. *)
+
+val to_json : ?name:string -> Obs.span list -> Midway_util.Json.t
+(** A single-process trace; [name] (default ["midway"]) becomes the
+    Perfetto process name. *)
+
+val multi_to_json : (string * Obs.span list) list -> Midway_util.Json.t
+(** Several runs in one trace, one Chrome "process" (pid = list index)
+    per [(name, spans)] entry — how [experiments --trace-out] packs a
+    whole sweep into one file. *)
+
+val write : string -> Midway_util.Json.t -> unit
+(** Write JSON to a file with a trailing newline. *)

@@ -1,7 +1,19 @@
 module Counters = Midway_stats.Counters
 
+(* RFC 4180 quoting: a field containing a comma, quote or line break is
+   wrapped in double quotes with embedded quotes doubled.  Applied to
+   every field, so an app or system name can never corrupt the table. *)
+let field s =
+  let needs_quoting =
+    String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+  in
+  if not needs_quoting then s
+  else "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+
+let join fields = String.concat "," (List.map field fields)
+
 let header =
-  String.concat ","
+  join
     [
       "app";
       "system";
@@ -35,7 +47,7 @@ let header =
 let row (suite : Suite.t) app system (o : Midway_apps.Outcome.t) =
   let c = Midway_apps.Outcome.avg_counters o in
   let machine = o.Midway_apps.Outcome.machine in
-  String.concat ","
+  join
     [
       Suite.app_name app;
       system;

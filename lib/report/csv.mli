@@ -6,5 +6,9 @@
 
 val header : string
 
+val field : string -> string
+(** RFC-4180 quoting of one field: wrapped in double quotes (embedded
+    quotes doubled) iff it contains a comma, quote or line break. *)
+
 val of_suite : Suite.t -> string
 (** Full CSV document (header + rows), deterministic column order. *)

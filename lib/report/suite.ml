@@ -69,12 +69,12 @@ let check outcome =
   outcome
 
 let run ?apps:(selection = apps) ?(cost = Midway_stats.Cost_model.default) ?(ecsan = false)
-    ~nprocs ~scale () =
+    ?(obs = false) ~nprocs ~scale () =
   let entries =
     List.map
       (fun app ->
         let cfg backend n =
-          { (Midway.Config.make backend ~nprocs:n) with cost; Midway.Config.ecsan }
+          { (Midway.Config.make backend ~nprocs:n) with cost; Midway.Config.ecsan; obs }
         in
         {
           app;

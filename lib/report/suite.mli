@@ -36,6 +36,7 @@ val run :
   ?apps:app list ->
   ?cost:Midway_stats.Cost_model.t ->
   ?ecsan:bool ->
+  ?obs:bool ->
   nprocs:int ->
   scale:float ->
   unit ->
@@ -44,6 +45,8 @@ val run :
     oracle verification — a benchmark number from an incoherent run would
     be meaningless.  With [ecsan] (default false) every run also executes
     under the entry-consistency sanitizer and any violation is likewise a
-    [Failure]. *)
+    [Failure].  With [obs] (default false) every run carries the
+    observability layer, readable afterwards through
+    {!Midway.Runtime.obs} on each entry's machine. *)
 
 val entry : t -> app -> entry

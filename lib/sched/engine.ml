@@ -29,6 +29,11 @@ type t = {
   mutable started : bool;
   policy : policy;
   chooser : chooser option;  (* None iff policy = Fifo *)
+  (* Observability hook: called after a blocked fiber's clock is
+     advanced to its wake time, before it resumes.  Reads state the
+     scheduler computed anyway, so arming it cannot change a run. *)
+  mutable block_observer :
+    (proc:int -> reason:string option -> blocked_at:int -> woke_at:int -> unit) option;
 }
 
 exception Deadlock of string
@@ -65,11 +70,14 @@ let create ?(policy = Fifo) ~nprocs () =
     started = false;
     policy;
     chooser;
+    block_observer = None;
   }
 
 let nprocs t = t.n
 
 let policy t = t.policy
+
+let set_block_observer t f = t.block_observer <- f
 
 let choices t =
   match t.chooser with None -> [] | Some ch -> List.rev ch.recorded_rev
@@ -120,6 +128,8 @@ let start_fiber t p body =
               Some
                 (fun (k : (a, _) continuation) ->
                   let fired = ref false in
+                  let blocked_at = q.clock in
+                  let reason = q.blocked_reason in
                   setup ~wake:(fun ~at ->
                       if !fired then
                         invalid_arg
@@ -128,6 +138,9 @@ let start_fiber t p body =
                       q.blocked_reason <- None;
                       Midway_util.Minheap.push t.runq ~key:at (fun () ->
                           if at > q.clock then q.clock <- at;
+                          (match t.block_observer with
+                          | Some f -> f ~proc:q.id ~reason ~blocked_at ~woke_at:q.clock
+                          | None -> ());
                           continue k ())))
           | _ -> None);
     }

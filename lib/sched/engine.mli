@@ -61,6 +61,17 @@ val create : ?policy:policy -> nprocs:int -> unit -> t
 
 val policy : t -> policy
 
+val set_block_observer :
+  t -> (proc:int -> reason:string option -> blocked_at:int -> woke_at:int -> unit) option -> unit
+(** Install (or clear) a hook called whenever a blocked fiber is about
+    to resume: [proc] is the processor id, [reason] the {!block} reason
+    at suspension time, [blocked_at] its clock when it suspended and
+    [woke_at] its (already advanced) clock as it resumes, so
+    [woke_at - blocked_at] is the virtual time spent blocked.  The hook
+    only reads state the scheduler computed anyway — installing one
+    cannot alter the simulation.  Used by the observability layer to
+    record scheduler-block spans. *)
+
 val choices : t -> int list
 (** The tie-break choices applied so far, oldest first — empty under
     [Fifo].  Feeding this list to [Replay] reproduces the schedule

@@ -28,7 +28,11 @@ let bounds t =
   (x0, x1, y0, y1)
 
 let render t =
-  if t.series = [] then t.title ^ "\n(no data)\n"
+  (* All-empty point lists would fold bounds to (infinity, neg_infinity)
+     and put NaNs in every coordinate; render them as no data, like the
+     no-series case. *)
+  if t.series = [] || List.for_all (fun s -> s.points = []) t.series then
+    t.title ^ "\n(no data)\n"
   else begin
     let x0, x1, y0, y1 = bounds t in
     let grid = Array.make_matrix t.height t.width ' ' in

@@ -138,6 +138,17 @@ let test_csv () =
   | [] -> Alcotest.fail "empty csv");
   Alcotest.(check bool) "header first" true (contains (List.hd lines) "app,system")
 
+let test_csv_quoting () =
+  (* RFC 4180: fields carrying the delimiter, quotes or line breaks must
+     be quoted, with embedded quotes doubled; plain fields stay bare *)
+  Alcotest.(check string) "plain passes through" "water" (Midway_report.Csv.field "water");
+  Alcotest.(check string) "empty passes through" "" (Midway_report.Csv.field "");
+  Alcotest.(check string) "comma quoted" "\"a,b\"" (Midway_report.Csv.field "a,b");
+  Alcotest.(check string) "quote doubled" "\"say \"\"hi\"\"\"" (Midway_report.Csv.field "say \"hi\"");
+  Alcotest.(check string) "newline quoted" "\"two\nlines\"" (Midway_report.Csv.field "two\nlines");
+  Alcotest.(check string) "carriage return quoted" "\"a\rb\"" (Midway_report.Csv.field "a\rb");
+  Alcotest.(check string) "all at once" "\"x,\"\"y\"\"\n\"" (Midway_report.Csv.field "x,\"y\"\n")
+
 let test_paper_data_consistency () =
   (* guards against transcription typos: the published component rows
      must sum to the published totals (Table 4), and Table 5 totals are
@@ -236,6 +247,7 @@ let () =
           Alcotest.test_case "sweep render" `Quick test_sweep_render;
           Alcotest.test_case "speedup render" `Quick test_speedup_render;
           Alcotest.test_case "csv export" `Quick test_csv;
+          Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
           Alcotest.test_case "markdown export" `Quick test_markdown;
           Alcotest.test_case "paper data self-consistency" `Quick
             test_paper_data_consistency;

@@ -199,6 +199,16 @@ let test_plot_empty () =
   Alcotest.(check bool) "notes absence of data" true
     (contains (Midway_util.Asciiplot.render p) "no data")
 
+let test_plot_all_series_empty () =
+  (* series attached but every one pointless: used to compute min/max over
+     zero points and render a NaN-scaled grid; must degrade to "(no data)" *)
+  let p = Midway_util.Asciiplot.create ~title:"hollow" ~x_label:"x" ~y_label:"y" () in
+  Midway_util.Asciiplot.series p ~name:"a" ~marker:'*' [];
+  Midway_util.Asciiplot.series p ~name:"b" ~marker:'+' [];
+  let s = Midway_util.Asciiplot.render p in
+  Alcotest.(check bool) "notes absence of data" true (contains s "no data");
+  Alcotest.(check bool) "no NaN in output" false (contains s "nan")
+
 let test_bars_smoke () =
   let s =
     Midway_util.Asciiplot.bars ~title:"times" ~unit_label:"s"
@@ -241,6 +251,7 @@ let () =
         [
           Alcotest.test_case "plot" `Quick test_plot_smoke;
           Alcotest.test_case "empty plot" `Quick test_plot_empty;
+          Alcotest.test_case "all series empty" `Quick test_plot_all_series_empty;
           Alcotest.test_case "bars" `Quick test_bars_smoke;
         ] );
     ]
