@@ -35,13 +35,26 @@ let parse_fault_spec spec =
     (String.split_on_char ',' spec |> List.filter (fun s -> s <> ""));
   (!drop, !dup, !jitter, !seed)
 
-let run_fault_sweep spec scale nprocs apps =
+let run_fault_sweep spec crash scale nprocs apps =
   let drop, duplicate, jitter_ns, seed = parse_fault_spec spec in
-  let drops = match drop with None -> Midway_report.Faultsweep.default_drops | Some d -> [ 0.0; d ] in
-  Printf.printf "Fault-injection sweep (drop rates: %s)...\n%!"
-    (String.concat ", " (List.map (fun d -> Printf.sprintf "%.1f%%" (d *. 100.)) drops));
+  let drops =
+    match (drop, crash) with
+    | Some d, _ -> [ 0.0; d ]
+    (* a crash-only sweep measures the recovery protocol, not the
+       retransmission grid: one fault-free point per application *)
+    | None, Some _ when spec = "" -> [ 0.0 ]
+    | None, _ -> Midway_report.Faultsweep.default_drops
+  in
+  Printf.printf "Fault-injection sweep (drop rates: %s%s)...\n%!"
+    (String.concat ", " (List.map (fun d -> Printf.sprintf "%.1f%%" (d *. 100.)) drops))
+    (match crash with
+    | None -> ""
+    | Some plan -> Printf.sprintf "; crash plan %s" (Midway_simnet.Crash.render plan));
   let t0 = Unix.gettimeofday () in
-  match Midway_report.Faultsweep.run ~apps ~drops ?duplicate ?jitter_ns ?seed ~nprocs ~scale () with
+  match
+    Midway_report.Faultsweep.run ~apps ~drops ?duplicate ?jitter_ns ?seed ?crash ~nprocs
+      ~scale ()
+  with
   | sweep ->
       Printf.printf "...sweep complete in %.1f s of host time.\n\n%!"
         (Unix.gettimeofday () -. t0);
@@ -94,8 +107,19 @@ let export_obs suite trace_out metrics_out =
       Printf.printf "wrote metrics for %d run(s) to %s\n" (List.length runs) file
   | None -> ()
 
-let run only scale nprocs apps csv_file md_file faults ecsan obs trace_out metrics_out =
+let run only scale nprocs apps csv_file md_file faults crash_spec ecsan obs trace_out
+    metrics_out =
   let obs = obs || trace_out <> None || metrics_out <> None in
+  let crash =
+    match crash_spec with
+    | None -> None
+    | Some s -> (
+        match Midway_simnet.Crash.parse_spec ~nprocs s with
+        | Ok plan -> Some plan
+        | Error msg ->
+            Printf.eprintf "--crash: %s\n" msg;
+            exit 2)
+  in
   (* the scaling sweep is opt-in: it reruns each application eight times *)
   let default = List.filter (fun e -> e <> "speedup") experiments in
   let only = match only with [] -> default | l -> l in
@@ -123,12 +147,17 @@ let run only scale nprocs apps csv_file md_file faults ecsan obs trace_out metri
     "Midway write-detection experiments (scale %.2f, %d processors)\n\
      Reproduction of: Software Write Detection for a Distributed Shared Memory (OSDI '94)\n\n"
     scale nprocs;
-  match faults with
-  | Some spec ->
+  match (faults, crash) with
+  | Some spec, _ ->
       if ecsan then
         Printf.eprintf "note: --ecsan does not apply to the fault sweep; ignoring it\n%!";
-      run_fault_sweep spec scale nprocs apps
-  | None ->
+      run_fault_sweep spec crash scale nprocs apps
+  | None, Some _ ->
+      (* --crash alone routes to the sweep too: the paper tables assume
+         a full-membership run, so node faults only make sense against
+         the sweep's per-run verification and availability reporting *)
+      run_fault_sweep "" crash scale nprocs apps
+  | None, None ->
   let needs_suite = List.exists (fun e -> e <> "table1") only in
   if List.mem "table1" only then
     print_endline (Midway_report.Table1.render Midway_stats.Cost_model.default);
@@ -231,6 +260,18 @@ let faults =
            0%..5% grid runs), $(b,dup), $(b,jitter) (ns) and $(b,seed).  Example: \
            $(b,--faults drop=0.02,seed=42).")
 
+let crash_spec =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "crash" ] ~docv:"SPEC"
+        ~doc:
+          "Arm node-level faults on the fault sweep: scripted \
+           ($(i,stop\\@2ms:p1,recover\\@8ms:p1)) or seeded ($(i,n=2,seed=7)).  Adds quorum \
+           failover and availability columns; runs whose crashed processors' work is \
+           missing are marked degraded instead of aborting the sweep.  Without \
+           $(b,--faults), sweeps the drop = 0 point only.")
+
 let ecsan =
   Arg.(
     value & flag
@@ -268,7 +309,7 @@ let cmd =
   Cmd.v
     (Cmd.info "midway-experiments" ~doc)
     Term.(
-      const run $ only $ scale $ nprocs $ apps $ csv_file $ md_file $ faults $ ecsan $ obs
-      $ trace_out $ metrics_out)
+      const run $ only $ scale $ nprocs $ apps $ csv_file $ md_file $ faults $ crash_spec
+      $ ecsan $ obs $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval cmd)

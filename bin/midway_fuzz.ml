@@ -7,6 +7,7 @@
      midway-fuzz --schedules 16 --schedule-seed 1
      midway-fuzz --apps counter,ecgen:7 --backends rt,vm,twin
      midway-fuzz --faults 0.02 --fault-seed 42    # fault x thread schedules
+     midway-fuzz --crash-events 2                 # crash x thread schedules
 
    Demo: hunt the deliberately buggy workloads (order-sensitive, racy)
    and exit 0 only if every one is caught and shrunk within the grid —
@@ -89,8 +90,9 @@ let run_replay scale trace_out metrics_out path =
         1
       end
 
-let run apps_csv backends_csv schedules schedule_seed nprocs scale faults fault_seed trace
-    no_ecsan demo_bug shrink_budget dump replay_file trace_out metrics_out =
+let run apps_csv backends_csv schedules schedule_seed nprocs scale faults fault_seed crash
+    crash_events crash_seed crash_horizon trace no_ecsan demo_bug shrink_budget dump
+    replay_file trace_out metrics_out =
   match replay_file with
   | Some path -> run_replay scale trace_out metrics_out path
   | None ->
@@ -98,10 +100,25 @@ let run apps_csv backends_csv schedules schedule_seed nprocs scale faults fault_
         Printf.eprintf "--trace-out/--metrics-out apply to --replay runs only\n";
         exit 2
       end;
+      let crash_plan =
+        match crash with
+        | None -> None
+        | Some s -> (
+            match Midway_simnet.Crash.parse_spec ~nprocs s with
+            | Ok plan -> Some plan
+            | Error msg ->
+                Printf.eprintf "--crash: %s\n" msg;
+                exit 2)
+      in
+      let crash_armed = crash_plan <> None || crash_events > 0 in
       let workloads =
         match (apps_csv, demo_bug) with
         | Some csv, _ -> parse_names (Explore.workload_of_name ~scale) csv
-        | None, true -> Explore.buggy_workloads ()
+        | None, true ->
+            (* with the crash dimension armed, the broken-failover prey
+               joins the hunt — it only manifests under node crashes *)
+            Explore.buggy_workloads ()
+            @ (if crash_armed then [ Workload.crashy_broken ~iters:6 ] else [])
         | None, false ->
             Explore.clean_workloads () @ [ Midway_explore.Ecgen.workload ~seed:1 () ]
       in
@@ -116,6 +133,10 @@ let run apps_csv backends_csv schedules schedule_seed nprocs scale faults fault_
           ecsan = not no_ecsan;
           fault_drop = faults;
           fault_seed;
+          crash_events;
+          crash_seed;
+          crash_horizon_ns = crash_horizon;
+          crash_plan;
           trace_capacity = trace;
           max_shrink_runs = shrink_budget;
         }
@@ -159,8 +180,9 @@ let apps =
     & info [ "apps"; "a" ] ~docv:"NAMES"
         ~doc:
           "Comma-separated workloads: counter, readers-writer, mix, order-sensitive, racy, \
-           ecgen:SEED, ecgen-buggy:SEED, or an application name (water, quicksort, matrix, \
-           sor, cholesky).  Default: the clean synthetic workloads plus ecgen:1.")
+           crashy, crashy-broken, ecgen:SEED, ecgen-buggy:SEED, or an application name \
+           (water, quicksort, matrix, sor, cholesky).  Default: the clean synthetic \
+           workloads plus ecgen:1.")
 
 let backends =
   Arg.(
@@ -198,6 +220,35 @@ let fault_seed =
   Arg.(
     value & opt int 0x0FA7
     & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Base seed of the fault-schedule derivation.")
+
+let crash =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "crash" ] ~docv:"SPEC"
+        ~doc:
+          "Apply one node-crash plan to every run: scripted \
+           ($(i,stop\\@2ms:p1,recover\\@8ms:p1)) or seeded ($(i,n=2,seed=7)).  Overrides the \
+           per-run seeded dimension of $(b,--crash-events).")
+
+let crash_events =
+  Arg.(
+    value & opt int 0
+    & info [ "crash-events" ] ~docv:"N"
+        ~doc:
+          "Compose node-crash schedules with thread schedules: up to N seeded crash episodes \
+           per run, derived from the schedule seed.  0 (default) = no crash dimension.")
+
+let crash_seed =
+  Arg.(
+    value & opt int 0xC0DE
+    & info [ "crash-seed" ] ~docv:"SEED" ~doc:"Base seed of the crash-schedule derivation.")
+
+let crash_horizon =
+  Arg.(
+    value & opt int 2_000_000
+    & info [ "crash-horizon" ] ~docv:"NS"
+        ~doc:"Window (virtual ns) the seeded crash episodes land in.")
 
 let trace =
   Arg.(
@@ -256,7 +307,7 @@ let cmd =
     (Cmd.info "midway-fuzz" ~doc)
     Term.(
       const run $ apps $ backends $ schedules $ schedule_seed $ nprocs $ scale $ faults
-      $ fault_seed $ trace $ no_ecsan $ demo_bug $ shrink_budget $ dump $ replay_file
-      $ trace_out $ metrics_out)
+      $ fault_seed $ crash $ crash_events $ crash_seed $ crash_horizon $ trace $ no_ecsan
+      $ demo_bug $ shrink_budget $ dump $ replay_file $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval' cmd)

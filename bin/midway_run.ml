@@ -39,8 +39,8 @@ let print_stats outcome =
   Printf.printf "  collection time        : %s\n"
     (Midway_util.Units.pp_time avg.Counters.collect_time_ns)
 
-let run app_name backend_name nprocs scale rt_mode_name untargetted trace_n ecsan obs
-    trace_out metrics_out =
+let run app_name backend_name nprocs scale rt_mode_name untargetted crash_spec trace_n ecsan
+    obs trace_out metrics_out =
   let app =
     match Midway_report.Suite.app_of_string app_name with
     | Ok a -> a
@@ -69,6 +69,19 @@ let run app_name backend_name nprocs scale rt_mode_name untargetted trace_n ecsa
     exit 2
   end;
   let nprocs = if backend = Midway.Config.Standalone then 1 else nprocs in
+  let crash_plan =
+    match crash_spec with
+    | None -> None
+    | Some _ when backend = Midway.Config.Standalone ->
+        Printf.eprintf "--crash needs a distributed backend (standalone has no peers to fail over to)\n";
+        exit 2
+    | Some s -> (
+        match Midway_simnet.Crash.parse_spec ~nprocs s with
+        | Ok plan -> Some plan
+        | Error msg ->
+            Printf.eprintf "--crash: %s\n" msg;
+            exit 2)
+  in
   (* An export destination implies the observability layer. *)
   let obs = obs || trace_out <> None || metrics_out <> None in
   let cfg =
@@ -81,11 +94,25 @@ let run app_name backend_name nprocs scale rt_mode_name untargetted trace_n ecsa
       obs;
     }
   in
+  let cfg =
+    match crash_plan with None -> cfg | Some plan -> Midway.Config.with_crash plan cfg
+  in
   let t0 = Unix.gettimeofday () in
   let outcome = Midway_report.Suite.run_app app cfg ~scale in
   let host = Unix.gettimeofday () -. t0 in
   Format.printf "%a@.@." Midway_apps.Outcome.pp outcome;
   print_stats outcome;
+  (match crash_plan with
+  | None -> ()
+  | Some plan ->
+      let machine = outcome.Midway_apps.Outcome.machine in
+      let killed = Midway.Runtime.killed_procs machine in
+      Printf.printf "crash plan          : %s\n" (Midway_simnet.Crash.render plan);
+      Printf.printf "  crashed processors     : %s\n"
+        (if killed = [] then "none"
+         else String.concat "," (List.map (Printf.sprintf "p%d") killed));
+      Printf.printf "  quorum failovers       : %d\n" (Midway.Runtime.failover_count machine);
+      Printf.printf "  availability           : %.2f\n" (Midway.Runtime.availability machine));
   Printf.printf "host time           : %.2f s\n" host;
   if trace_n > 0 then begin
     let tr = Midway.Runtime.trace outcome.Midway_apps.Outcome.machine in
@@ -150,6 +177,16 @@ let untargetted =
     & info [ "untargetted" ]
         ~doc:"Use the untargetted consistency model (RT backend, lock-based programs only).")
 
+let crash_spec =
+  Arg.(
+    value & opt (some string) None
+    & info [ "crash" ] ~docv:"SPEC"
+        ~doc:
+          "Arm node-level faults: scripted ($(i,stop\\@2ms:p1,recover\\@8ms:p1)) or seeded \
+           ($(i,n=2,seed=7)).  Crashed processors' locks fail over to live peers by majority \
+           quorum; the run completes with the survivors and reports failovers and \
+           availability.")
+
 let trace_n =
   Arg.(
     value & opt int 0
@@ -188,6 +225,9 @@ let metrics_out =
 
 let cmd =
   let doc = "run one DSM benchmark application" in
-  Cmd.v (Cmd.info "midway-run" ~doc) Term.(const run $ app_arg $ backend $ nprocs $ scale $ rt_mode $ untargetted $ trace_n $ ecsan $ obs $ trace_out $ metrics_out)
+  Cmd.v (Cmd.info "midway-run" ~doc)
+    Term.(
+      const run $ app_arg $ backend $ nprocs $ scale $ rt_mode $ untargetted $ crash_spec
+      $ trace_n $ ecsan $ obs $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval cmd)

@@ -24,6 +24,14 @@ let rt_mode_name = function
   | Two_level -> "two-level"
   | Update_queue -> "update-queue"
 
+type crash = {
+  plan : Midway_simnet.Crash.plan;
+  replicas : int;
+  suspect_attempts : int;
+  broken_failover : bool;
+  watchdog_ns : int;
+}
+
 type t = {
   backend : backend;
   nprocs : int;
@@ -46,6 +54,7 @@ type t = {
   sched_policy : Midway_sched.Engine.policy;
   ecsan : bool;
   faults : Midway_simnet.Net.fault_policy option;
+  crash : crash option;
   retrans_timeout_ns : int;
   retrans_backoff_cap_ns : int;
   retrans_max_attempts : int;
@@ -77,6 +86,7 @@ let make ?(cost = Midway_stats.Cost_model.default) backend ~nprocs =
     sched_policy = Midway_sched.Engine.Fifo;
     ecsan = false;
     faults = None;
+    crash = None;
     retrans_timeout_ns = Midway_simnet.Reliable.default_config.Midway_simnet.Reliable.timeout_ns;
     retrans_backoff_cap_ns =
       Midway_simnet.Reliable.default_config.Midway_simnet.Reliable.backoff_cap_ns;
@@ -93,6 +103,16 @@ let with_replay choices cfg = { cfg with sched_policy = Midway_sched.Engine.Repl
 let with_faults ?duplicate ?jitter_ns ?seed ~drop cfg =
   let seed = Option.value seed ~default:cfg.seed in
   { cfg with faults = Some (Midway_simnet.Net.uniform_faults ?duplicate ?jitter_ns ~seed ~drop ()) }
+
+let with_crash ?(replicas = 2) ?(suspect_attempts = 5) ?(broken = false)
+    ?(watchdog_ns = 300_000_000_000) plan cfg =
+  if replicas < 1 then invalid_arg "Config.with_crash: need at least one replica";
+  if suspect_attempts < 1 then invalid_arg "Config.with_crash: need at least one attempt";
+  if watchdog_ns <= 0 then invalid_arg "Config.with_crash: watchdog must be positive";
+  {
+    cfg with
+    crash = Some { plan; replicas; suspect_attempts; broken_failover = broken; watchdog_ns };
+  }
 
 let reliable_config (cfg : t) =
   {

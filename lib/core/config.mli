@@ -23,6 +23,33 @@ type rt_mode =
 
 val rt_mode_name : rt_mode -> string
 
+type crash = {
+  plan : Midway_simnet.Crash.plan;  (** the crash-stop / crash-recovery schedule *)
+  replicas : int;
+      (** k: backup processors each lock's bound data is replicated to
+          at release, so a crash mid-critical-section reverts the lock's
+          bindings to the last released state *)
+  suspect_attempts : int;
+      (** reliable-channel transmissions against a silent peer before
+          the failure detector raises suspicion and failover starts —
+          deliberately below [retrans_max_attempts] so a dead node is
+          diagnosed faster than a lossy wire *)
+  broken_failover : bool;
+      (** deliberately skip replication and the epoch bump — the
+          seeded-bug demo the fuzzer must catch; never set it for real
+          runs *)
+  watchdog_ns : int;
+      (** virtual-time bound on a crash-armed run: survivors still
+          executing past it are crash-stopped too ([Engine.Killed] with
+          a watchdog diagnosis).  Guards against application-level
+          livelock — a program that polls shared state only a crashed
+          processor could have advanced (e.g. a task queue whose worker
+          died mid-task) would otherwise spin in virtual time forever.
+          The DSM protocol itself never needs this: crashed owners fail
+          over by quorum. *)
+}
+(** Node-level fault configuration (see doc/FAULTS.md). *)
+
 type t = {
   backend : backend;
   nprocs : int;
@@ -81,6 +108,14 @@ type t = {
           policy] arms {!Midway_simnet.Net} fault injection and routes
           every protocol message through the
           {!Midway_simnet.Reliable} ack/retransmission channel. *)
+  crash : crash option;
+      (** [None] (the default) models perfectly reliable processors —
+          no crash branch executes, so runs are bit-identical to a
+          build without the crash layer, the same contract as [faults]
+          / [ecsan] / [obs].  [Some c] arms the {!Midway_simnet.Crash}
+          schedule, routes every message through the reliable channel
+          (even with [faults = None]), and enables the quorum failover
+          / replication recovery protocol in {!Runtime}. *)
   retrans_timeout_ns : int;  (** initial ack timeout of the reliable channel *)
   retrans_backoff_cap_ns : int;  (** exponential backoff cap *)
   retrans_max_attempts : int;  (** transmissions of one message before giving up *)
@@ -123,6 +158,20 @@ val with_faults : ?duplicate:float -> ?jitter_ns:int -> ?seed:int -> drop:float 
     jitters arrival by up to [jitter_ns] (default 0).  The injection
     seed defaults to the run seed, so a configuration is reproducible
     end to end. *)
+
+val with_crash :
+  ?replicas:int ->
+  ?suspect_attempts:int ->
+  ?broken:bool ->
+  ?watchdog_ns:int ->
+  Midway_simnet.Crash.plan ->
+  t ->
+  t
+(** Arm node-level faults with the given crash plan.  Defaults:
+    [replicas = 2], [suspect_attempts = 5], [broken = false],
+    [watchdog_ns = 300 s] of virtual time (far beyond any legitimate
+    run, close enough that a livelocked poll loop is cut off in
+    milliseconds of host time). *)
 
 val reliable_config : t -> Midway_simnet.Reliable.config
 (** The retransmission parameters as the reliable channel wants them. *)

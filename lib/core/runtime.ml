@@ -3,6 +3,7 @@ module Space = Midway_memory.Space
 module Region = Midway_memory.Region
 module Net = Midway_simnet.Net
 module Reliable = Midway_simnet.Reliable
+module Crash = Midway_simnet.Crash
 module Counters = Midway_stats.Counters
 module Cost_model = Midway_stats.Cost_model
 module Obs = Midway_obs.Obs
@@ -29,14 +30,23 @@ type ctx = {
   check : Midway_check.Check.t option;  (* ECSan, when cfg.ecsan *)
 }
 
+and crash_state = {
+  cr_plan : Crash.plan;
+  cr_replicas : int;
+  cr_broken : bool;  (* demo bug: skip replication and the epoch rules *)
+  cr_watchdog_ns : int;  (* virtual-time bound: survivors past it die too *)
+  cr_killed : bool array;  (* fibers actually crash-stopped so far *)
+}
+
 and t = {
   cfg : Config.t;
   engine : Engine.t;
   space : Space.t;
   net : Net.t;
   reliable : Reliable.t option;
-      (* Some iff cfg.faults is armed: every protocol message then goes
-         through the ack/retransmission channel *)
+      (* Some iff cfg.faults or cfg.crash is armed: every protocol message
+         then goes through the ack/retransmission channel *)
+  crash : crash_state option;
   mutable ctxs : ctx array;  (* filled right after construction *)
   rt_untargetted_history : (int, Timestamp.t) Hashtbl.t;
       (* untargetted update-queue mode: global line -> stamp history *)
@@ -64,12 +74,29 @@ let create (cfg : Config.t) =
     Net.create ~latency_ns:cfg.net_latency_ns ~ns_per_byte:cfg.net_ns_per_byte
       ~header_bytes:cfg.net_header_bytes ~nprocs:cfg.nprocs ()
   in
+  (* The reliable channel is armed by message faults *or* by node-level
+     crash faults: suspicion detection rides on ack-timeout exhaustion, so
+     a crashed fabric needs the channel even on an otherwise-clean net. *)
   let reliable =
-    match cfg.faults with
-    | None -> None
-    | Some policy ->
-        Net.set_fault_policy net policy;
-        Some (Reliable.create ~config:(Config.reliable_config cfg) net)
+    match (cfg.faults, cfg.crash) with
+    | None, None -> None
+    | faults, crash ->
+        (match faults with Some policy -> Net.set_fault_policy net policy | None -> ());
+        let rc = Config.reliable_config cfg in
+        let rc =
+          match crash with
+          | Some cr ->
+              { rc with Reliable.max_attempts = min rc.Reliable.max_attempts cr.Config.suspect_attempts }
+          | None -> rc
+        in
+        let ch = Reliable.create ~config:rc net in
+        (match crash with
+        | Some cr ->
+            let down ~proc ~at = Crash.is_down cr.Config.plan ~proc ~at in
+            Net.set_crash_predicate net (Some (fun ~proc ~at -> down ~proc ~at));
+            Reliable.set_suspector ch (Some (fun ~peer ~at -> down ~proc:peer ~at))
+        | None -> ());
+        Some ch
   in
   let trace = Trace.create ~capacity:cfg.trace_capacity in
   let check =
@@ -128,6 +155,17 @@ let create (cfg : Config.t) =
       space;
       net;
       reliable;
+      crash =
+        Option.map
+          (fun (cc : Config.crash) ->
+            {
+              cr_plan = cc.Config.plan;
+              cr_replicas = cc.Config.replicas;
+              cr_broken = cc.Config.broken_failover;
+              cr_watchdog_ns = cc.Config.watchdog_ns;
+              cr_killed = Array.make cfg.nprocs false;
+            })
+          cfg.crash;
       ctxs = [||];
       rt_untargetted_history = Hashtbl.create 64;
       trace;
@@ -240,6 +278,71 @@ let work_ns c ns = Engine.charge c.proc ns
 let work_cycles c cycles = Engine.charge c.proc (cycles * c.machine.cfg.cost.cycle_ns)
 
 let region_of c addr = Space.region_of_addr c.machine.space addr
+
+(* ------------------------------------------------------------------ *)
+(* Crash faults (armed by [Config.crash]; every helper below is inert   *)
+(* when the field is unset, so default runs take the pre-crash path)    *)
+(* ------------------------------------------------------------------ *)
+
+exception Crash_unavailable of string
+(* A live requester could not assemble a majority quorum for a lock
+   failover: the run cannot make progress without risking a split brain. *)
+
+(* A fiber's death is permanent from its first scheduled Stop event:
+   recovery (crash-recovery faults) revives only the *protocol node* —
+   network reachability, quorum voting, replica hosting — with amnesia.
+   [Crash.is_down] (which honours Recover events) therefore governs the
+   fabric and the vote count, while [fiber_dead_at] governs execution. *)
+let fiber_dead_at (t : t) p ~at =
+  match t.crash with
+  | None -> false
+  | Some cr -> (
+      match Crash.first_stop cr.cr_plan ~proc:p with Some ts -> ts <= at | None -> false)
+
+let proto_down (t : t) p ~at =
+  match t.crash with
+  | None -> false
+  | Some cr -> Crash.is_down cr.cr_plan ~proc:p ~at
+
+(* Crashes take effect at synchronization points: every protocol
+   operation calls this right after its scheduling yield, and again when
+   a blocked fiber resumes (a grant can reach a processor that died while
+   parked).  The typed [Engine.Killed] unwinds the fiber; the engine's
+   kill observer (wired in [run_each]) then runs the protocol fallout. *)
+let crash_check c =
+  match c.machine.crash with
+  | None -> ()
+  | Some cr -> (
+      match Crash.first_stop cr.cr_plan ~proc:c.cid with
+      | Some ts when ts <= now_ns c ->
+          raise
+            (Engine.Killed (Printf.sprintf "crash-stop of p%d (scheduled at %d ns)" c.cid ts))
+      | _ ->
+          (* Application-level livelock guard: the recovery protocol
+             keeps the DSM itself making progress, but a program can
+             poll shared state only a crashed processor would have
+             advanced (a task queue whose worker died mid-task never
+             drains).  Such survivors burn virtual time forever; past
+             the watchdog they are declared lost and crash-stopped so
+             the run terminates and reports honestly. *)
+          if now_ns c > cr.cr_watchdog_ns then
+            raise
+              (Engine.Killed
+                 (Printf.sprintf
+                    "crash watchdog: p%d still running at %d ns — survivors likely \
+                     spinning on state a crashed processor can no longer advance"
+                    c.cid (now_ns c))))
+
+(* Lowest processor whose fiber is still scheduled to be alive at [at]:
+   the deterministic choice for a replacement barrier manager or lock
+   owner when no waiter is in line. *)
+let lowest_live_fiber (t : t) ~at =
+  let rec go p =
+    if p >= t.cfg.nprocs then None
+    else if fiber_dead_at t p ~at then go (p + 1)
+    else Some p
+  in
+  go 0
 
 (* ------------------------------------------------------------------ *)
 (* Write trapping                                                      *)
@@ -845,12 +948,184 @@ let send_msg ?(overhead_bytes = 0) (t : t) ~kind ~src ~dst ~payload_bytes ~at =
       dc.duplicates_suppressed <- dc.duplicates_suppressed + d.Reliable.dups_suppressed;
       d.Reliable.delivered_at
 
+(* ------------------------------------------------------------------ *)
+(* Crash recovery: replication at release, quorum failover              *)
+(* ------------------------------------------------------------------ *)
+
+(* Install a replica snapshot of [l]'s bound data at [nc], making it look
+   like a freshly received full transfer.  For the timestamp backends the
+   covered lines are stamped newer than anything any processor has seen:
+   a replica is authoritative regardless of local stamps (it bypasses
+   [rt_apply]'s staleness guard on purpose), and the fresh stamp makes
+   the new owner's subsequent collections ship the recovered data to
+   every requester whose cursor was reset by the epoch bump. *)
+let install_replica (nc : ctx) (l : Sync.lock) (pieces : Payload.vm_piece list) =
+  let t = nc.machine in
+  let cost = t.cfg.cost in
+  let bytes = Payload.pieces_bytes pieces in
+  match nc.backend with
+  | B_rt db | B_vmfine (_, db) ->
+      let time = 1 + Array.fold_left (fun acc (c : ctx) -> max acc c.lamport) 0 t.ctxs in
+      nc.lamport <- time;
+      let stamp = Timestamp.make ~time ~proc:nc.cid ~nprocs:t.cfg.nprocs in
+      Payload.write_pieces t.space ~proc:nc.cid pieces;
+      let lines = ref 0 in
+      List.iter
+        (fun (range : Range.t) ->
+          if not (Range.is_empty range) then
+            let region = region_of nc range.Range.addr in
+            Range.iter_lines range ~line_size:region.Region.line_size ~f:(fun ~addr ~len:_ ->
+                incr lines;
+                Dirtybits.set_ts db ~region ~addr ~ts:stamp))
+        l.Sync.ranges;
+      nc.counters.dirtybits_updated <- nc.counters.dirtybits_updated + !lines;
+      l.Sync.rt_stamp <- stamp;
+      l.Sync.rt_last_seen.(nc.cid) <- stamp;
+      (!lines * (cost.dirtybit_update_ns + t.cfg.apply_line_ns))
+      + Cost_model.copy_cost_ns cost ~bytes ~warm:false
+  | B_vm vm -> vm_apply nc vm (Payload.Vm_full pieces)
+  | B_twin tw -> twin_apply nc tw ~id:l.Sync.lid ~ranges:l.Sync.ranges (Payload.Vm_full pieces)
+  | B_none -> blast_apply nc pieces
+
+(* Ship a snapshot of the lock's bound data to [cr_replicas] backups when
+   an exclusive holder releases.  The snapshot itself lives with the lock
+   record (the simulator's stand-in for the backups' replica stores); the
+   Replicate messages account for the wire traffic.  Replication is
+   fire-and-forget — the releaser's clock does not wait for the acks. *)
+let replicate_at_release (c : ctx) (l : Sync.lock) =
+  let t = c.machine in
+  match t.crash with
+  | None -> ()
+  | Some cr when cr.cr_broken -> ()  (* demo bug: no replicas, stale failover *)
+  | Some cr ->
+      let at = now_ns c in
+      let snapshot = Payload.read_pieces t.space ~proc:c.cid l.Sync.ranges in
+      let bytes = Payload.pieces_bytes snapshot in
+      let backups = ref [] in
+      let n = t.cfg.nprocs in
+      let candidate = ref ((c.cid + 1) mod n) in
+      while List.length !backups < cr.cr_replicas && !candidate <> c.cid do
+        if not (proto_down t !candidate ~at) then backups := !candidate :: !backups;
+        candidate := (!candidate + 1) mod n
+      done;
+      let backups = List.rev !backups in
+      List.iter
+        (fun b ->
+          c.counters.messages <- c.counters.messages + 1;
+          match send_msg t ~kind:Net.Replicate ~src:c.cid ~dst:b ~payload_bytes:bytes ~at with
+          | (_ : int) -> ()
+          | exception (Reliable.Suspected _ | Reliable.Exhausted _) -> ())
+        backups;
+      l.Sync.backups <- backups;
+      l.Sync.replica <- Some (l.Sync.incarnation, snapshot);
+      c.counters.replications <- c.counters.replications + List.length backups;
+      match t.obsv with
+      | None -> ()
+      | Some o -> Metrics.incr (Obs.metrics o) ~name:"replications" ~label:(Printf.sprintf "p%d" c.cid) 1
+
+(* Quorum ownership transfer away from a suspected-dead owner.  The
+   initiator polls every reachable processor (Vote / Vote_reply round
+   trips); with a majority of the full membership — counting itself — it
+   installs the replicated bound data, applies the epoch rules (cursor
+   reset plus incarnation bump, so every stale grant and binding is
+   discarded and refetched), and takes ownership.  Returns the virtual
+   time the transfer completed, or [None] when no quorum was reachable. *)
+let crash_failover (t : t) (l : Sync.lock) ~new_owner ~suspect ~at =
+  let cr = match t.crash with Some cr -> cr | None -> invalid_arg "crash_failover: crash off" in
+  let n = t.cfg.nprocs in
+  let nc = t.ctxs.(new_owner) in
+  let votes = ref 1 (* the initiator's own ballot *) and t_votes = ref at in
+  for v = 0 to n - 1 do
+    if v <> new_owner && v <> suspect && not (proto_down t v ~at) then begin
+      nc.counters.messages <- nc.counters.messages + 1;
+      match
+        let a = send_msg t ~kind:Net.Vote ~src:new_owner ~dst:v ~payload_bytes:8 ~at in
+        send_msg t ~kind:Net.Vote_reply ~src:v ~dst:new_owner ~payload_bytes:8 ~at:a
+      with
+      | reply -> incr votes; t_votes := max !t_votes reply
+      | exception (Reliable.Suspected _ | Reliable.Exhausted _) -> ()
+    end
+  done;
+  let quorum = (n / 2) + 1 in
+  if !votes < quorum then begin
+    (match t.obsv with
+    | None -> ()
+    | Some o ->
+        Metrics.incr (Obs.metrics o) ~name:"failover_no_quorum"
+          ~label:(Printf.sprintf "lock%d" l.Sync.lid) 1);
+    None
+  end
+  else begin
+    let t_done = ref !t_votes in
+    if not cr.cr_broken then begin
+      (* Epoch rules first: every processor's cursor resets, so the next
+         transfer from the new owner ships current bindings in full. *)
+      Array.fill l.Sync.rt_last_seen 0 n Timestamp.never_seen;
+      Hashtbl.reset l.Sync.rt_history;
+      l.Sync.incarnation <- l.Sync.incarnation + 1;
+      l.Sync.vm_log <- [ (l.Sync.incarnation - 1, Sync.Full_marker) ];
+      match l.Sync.replica with
+      | Some (_epoch, snapshot) ->
+          (* Fetch from a live backup (free when the new owner is one). *)
+          let host =
+            if List.mem new_owner l.Sync.backups then None
+            else List.find_opt (fun b -> not (proto_down t b ~at:!t_votes)) l.Sync.backups
+          in
+          let bytes = Payload.pieces_bytes snapshot in
+          (match host with
+          | Some h -> (
+              t.ctxs.(h).counters.messages <- t.ctxs.(h).counters.messages + 1;
+              t.ctxs.(h).counters.data_sent_bytes <- t.ctxs.(h).counters.data_sent_bytes + bytes;
+              match
+                send_msg t ~kind:Net.Replicate ~src:h ~dst:new_owner ~payload_bytes:bytes
+                  ~at:!t_votes
+              with
+              | deliver -> t_done := deliver
+              | exception (Reliable.Suspected _ | Reliable.Exhausted _) -> ())
+          | None -> ());
+          nc.counters.data_received_bytes <- nc.counters.data_received_bytes + bytes;
+          t_done := !t_done + install_replica nc l snapshot;
+          (match nc.backend with
+          | B_vm _ | B_twin _ -> l.Sync.vm_inc_seen.(new_owner) <- l.Sync.incarnation
+          | _ -> ())
+      | None ->
+          (* The owner died without ever releasing: nothing was committed,
+             so the new owner's own copy — untouched since the bind — is
+             the correct state to serve from. *)
+          ()
+    end;
+    l.Sync.owner <- new_owner;
+    l.Sync.held_by <- None;
+    l.Sync.readers <- List.filter (fun r -> not (fiber_dead_at t r ~at:!t_done)) l.Sync.readers;
+    l.Sync.free_at <- max l.Sync.free_at !t_done;
+    l.Sync.failovers <- l.Sync.failovers + 1;
+    nc.counters.failovers <- nc.counters.failovers + 1;
+    Trace.record t.trace
+      (Trace.Lock_failover
+         {
+           t = !t_done;
+           lock = l.Sync.lid;
+           from_ = suspect;
+           to_ = new_owner;
+           epoch = l.Sync.incarnation;
+           votes = !votes;
+         });
+    (match t.obsv with
+    | None -> ()
+    | Some o ->
+        Obs.span o Obs.Failover ~proc:new_owner ~sync:l.Sync.lid
+          ~note:(Printf.sprintf "p%d suspected, %d vote(s)" suspect !votes)
+          ~t0:at ~t1:(max at !t_done) ();
+        Metrics.incr (Obs.metrics o) ~name:"failovers" ~label:(lock_label new_owner l.Sync.lid) 1);
+    Some !t_done
+  end
+
 (* Serve one pending request: runs at the releaser side (conceptually on
    its runtime thread), computes the update payload, applies it at the
    requester and schedules the requester's resumption.  A shared-mode
    grant leaves ownership with the last writer and just registers the
    reader. *)
-let serve t (l : Sync.lock) ~requester:q ~arrival ~mode ~waker =
+let rec serve t (l : Sync.lock) ~requester:q ~arrival ~mode ~waker =
   let releaser = l.Sync.owner in
   let rc = t.ctxs.(releaser) and qc = t.ctxs.(q) in
   let service_time = max arrival l.Sync.free_at in
@@ -898,10 +1173,7 @@ let serve t (l : Sync.lock) ~requester:q ~arrival ~mode ~waker =
           ~label:(Printf.sprintf "p%d" releaser)
           ~buckets:Metrics.bytes_buckets
           ((rc.counters.dirty_bytes_found - dirty0) / pages));
-  let deliver =
-    send_msg ~overhead_bytes:(wire_overhead t.cfg payload) t ~kind:Net.Lock_reply
-      ~src:releaser ~dst:q ~payload_bytes:app ~at:(service_time + collect_ns)
-  in
+  let finish deliver =
   (* Apply at the requester (it is blocked; its memory is quiescent). *)
   let apply_ns =
     match (qc.backend, payload) with
@@ -956,14 +1228,48 @@ let serve t (l : Sync.lock) ~requester:q ~arrival ~mode ~waker =
          payload_bytes = app;
        });
   waker ~at:(deliver + apply_ns)
+  in
+  match
+    send_msg ~overhead_bytes:(wire_overhead t.cfg payload) t ~kind:Net.Lock_reply
+      ~src:releaser ~dst:q ~payload_bytes:app ~at:(service_time + collect_ns)
+  with
+  | deliver -> finish deliver
+  | exception Reliable.Suspected s ->
+      (* The grant raced a crash at one end of the link. *)
+      let give_up = service_time + collect_ns + s.Reliable.s_elapsed_ns in
+      if fiber_dead_at t q ~at:give_up then
+        (* Dead requester: wake it grant-less so it terminates through
+           its post-block crash check. *)
+        waker ~at:give_up
+      else begin
+        (* The releaser crashed mid-grant: the requester takes over by
+           quorum, re-queues at the front and is served from its own
+           (replica-installed) copy — a local self-send.  With no quorum
+           reachable the request is parked un-granted; the run then
+           surfaces as a deadlock whose diagnostics name the crashed
+           processor (only a scripted majority-down plan can get here). *)
+        match crash_failover t l ~new_owner:q ~suspect:releaser ~at:give_up with
+        | Some _ ->
+            l.Sync.pending <- (q, arrival, mode, waker) :: l.Sync.pending;
+            service_queue t l
+        | None -> ()
+      end
 
 (* Drain the request queue as far as the lock state allows: shared grants
    stack up; an exclusive grant needs the lock free of holders *and*
-   readers, and stops the drain. *)
-let rec service_queue t (l : Sync.lock) =
+   readers, and stops the drain.  With crash faults armed, a requester
+   whose fiber is scheduled to be dead by service time is not granted —
+   it is woken empty-handed and terminates through its post-block crash
+   check instead of deadlocking the queue behind it. *)
+and service_queue t (l : Sync.lock) =
   if l.Sync.held_by = None then begin
     match l.Sync.pending with
     | [] -> ()
+    | (q, arrival, _mode, waker) :: rest
+      when fiber_dead_at t q ~at:(max arrival l.Sync.free_at) ->
+        l.Sync.pending <- rest;
+        waker ~at:(max arrival l.Sync.free_at);
+        service_queue t l
     | (q, arrival, Sync.Shared, waker) :: rest ->
         l.Sync.pending <- rest;
         serve t l ~requester:q ~arrival ~mode:Sync.Shared ~waker;
@@ -978,6 +1284,7 @@ let rec service_queue t (l : Sync.lock) =
 let acquire_mode c l mode =
   let t = c.machine in
   Engine.yield c.proc;
+  crash_check c;
   (match l.Sync.held_by with
   | Some holder when holder = c.cid ->
       failwith (Printf.sprintf "Runtime.acquire: lock %d is not reentrant" l.Sync.lid)
@@ -1005,10 +1312,35 @@ let acquire_mode c l mode =
     Trace.record t.trace
       (Trace.Lock_requested
          { t = req_at; lock = l.Sync.lid; proc = c.cid; shared = (mode = Sync.Shared) });
-    let arrival =
-      send_msg t ~kind:Net.Lock_request ~src:c.cid ~dst:l.Sync.owner ~payload_bytes:0
-        ~at:req_at
+    (* With crash faults armed the request can exhaust its retries
+       against a dead owner: the suspicion surfaces as
+       [Reliable.Suspected], this requester initiates a quorum failover
+       (becoming the new owner), and the request is re-issued — now a
+       self-send that lands in the queue it will itself serve. *)
+    let rec request_owner () =
+      let at = now_ns c in
+      let dst = l.Sync.owner in
+      match send_msg t ~kind:Net.Lock_request ~src:c.cid ~dst ~payload_bytes:0 ~at with
+      | arrival -> arrival
+      | exception Reliable.Suspected s ->
+          Engine.charge c.proc s.Reliable.s_elapsed_ns;
+          (* The suspicion may be about *this* processor: it crashed
+             mid-episode and the retransmissions stopped.  Charging the
+             episode advanced the clock past the stop time, so the
+             check kills the fiber here instead of failing over. *)
+          crash_check c;
+          (match crash_failover t l ~new_owner:c.cid ~suspect:dst ~at:(now_ns c) with
+          | Some t_done ->
+              if t_done > now_ns c then Engine.charge c.proc (t_done - now_ns c)
+          | None ->
+              raise
+                (Crash_unavailable
+                   (Printf.sprintf
+                      "lock %d: p%d suspects owner p%d but no majority quorum is reachable"
+                      l.Sync.lid c.cid dst)));
+          request_owner ()
     in
+    let arrival = request_owner () in
     Engine.block c.proc
       ~reason:
         (Printf.sprintf "acquire of lock %d (%s mode)" l.Sync.lid
@@ -1016,7 +1348,7 @@ let acquire_mode c l mode =
       ~setup:(fun ~wake ->
         Sync.enqueue_request l ~proc:c.cid ~arrival ~mode ~waker:wake;
         service_queue t l);
-    match t.obsv with
+    (match t.obsv with
     | None -> ()
     | Some o ->
         (* The wait spans from the request leaving this processor to the
@@ -1025,7 +1357,10 @@ let acquire_mode c l mode =
         Obs.span o Obs.Acquire_wait ~proc:c.cid ~sync:l.Sync.lid ~t0:req_at ~t1 ();
         Metrics.observe (Obs.metrics o) ~name:"acquire_latency_ns"
           ~label:(lock_label c.cid l.Sync.lid)
-          (t1 - req_at)
+          (t1 - req_at));
+    (* The processor may have crash-stopped while parked: the wake (a
+       grant, or the queue skipping a dead requester) is where it dies. *)
+    crash_check c
   end;
   (* Either path: the lock is held by this processor once we get here. *)
   match c.check with
@@ -1041,6 +1376,7 @@ let acquire_read c l = acquire_mode c l Sync.Shared
 let release c l =
   let t = c.machine in
   Engine.yield c.proc;
+  crash_check c;
   Engine.charge c.proc t.cfg.release_ns;
   Trace.record t.trace (Trace.Lock_released { t = now_ns c; lock = l.Sync.lid; proc = c.cid });
   let ecsan_release () =
@@ -1051,6 +1387,11 @@ let release c l =
   match l.Sync.held_by with
   | Some holder when holder = c.cid ->
       ecsan_release ();
+      (* The release commits this critical section: with crash faults
+         armed, snapshot the bound data to the backup processors before
+         anyone else can acquire.  A holder that crashes mid-section thus
+         reverts to exactly this committed state at failover. *)
+      replicate_at_release c l;
       l.Sync.held_by <- None;
       l.Sync.free_at <- now_ns c;
       service_queue t l
@@ -1068,6 +1409,7 @@ let release c l =
 
 let rebind c l ranges =
   Engine.yield c.proc;
+  crash_check c;
   (match l.Sync.held_by with
   | Some holder when holder = c.cid -> ()
   | _ -> failwith (Printf.sprintf "Runtime.rebind: lock %d not held by p%d" l.Sync.lid c.cid));
@@ -1121,6 +1463,27 @@ let barrier_collect (c : ctx) (b : Sync.barrier) =
         failwith "Runtime.barrier: the blast backend does not support barrier-bound data";
       (Payload.Empty, 0, 0)
 
+(* With crash faults armed a barrier completes once every participant
+   whose fiber can still arrive has arrived: crash-stopped processors
+   that never reached the barrier are not waited for (their fibers are
+   gone), while a crashed processor that *did* arrive keeps its
+   contribution.  Without crash faults this is the exact all-arrived
+   condition. *)
+let barrier_ready (t : t) (b : Sync.barrier) =
+  let n = List.length b.Sync.arrived in
+  match t.crash with
+  | None -> n = b.Sync.participants
+  | Some cr ->
+      let dead_missing = ref 0 in
+      Array.iteri
+        (fun p killed ->
+          if
+            killed
+            && not (List.exists (fun a -> a.Sync.a_proc = p) b.Sync.arrived)
+          then incr dead_missing)
+        cr.cr_killed;
+      n > 0 && n >= b.Sync.participants - !dead_missing
+
 (* All participants have arrived: merge their modifications and send each
    processor what the others produced. *)
 let barrier_release t (b : Sync.barrier) =
@@ -1158,6 +1521,12 @@ let barrier_release t (b : Sync.barrier) =
   List.iter
     (fun a ->
       let p = a.Sync.a_proc in
+      if fiber_dead_at t p ~at:t_release then
+        (* The arrival's contribution was already merged, but the fiber
+           is gone: wake it without a release grant so it terminates
+           through its post-block crash check. *)
+        a.Sync.a_waker ~at:t_release
+      else begin
       let pc = t.ctxs.(p) in
       let payload = payload_for p in
       let app = Payload.app_bytes payload in
@@ -1165,8 +1534,17 @@ let barrier_release t (b : Sync.barrier) =
         t.ctxs.(b.Sync.manager).counters.messages <-
           t.ctxs.(b.Sync.manager).counters.messages + 1;
       let deliver =
-        send_msg ~overhead_bytes:(wire_overhead t.cfg payload) t ~kind:Net.Barrier_release
-          ~src:b.Sync.manager ~dst:p ~payload_bytes:app ~at:t_release
+        match
+          send_msg ~overhead_bytes:(wire_overhead t.cfg payload) t ~kind:Net.Barrier_release
+            ~src:b.Sync.manager ~dst:p ~payload_bytes:app ~at:t_release
+        with
+        | d -> d
+        | exception Reliable.Suspected s ->
+            (* The broadcast raced a crash at one end of the link.  The
+               merged modifications already sit in the arrival mailboxes,
+               so a live participant proceeds after the detection delay;
+               a dead one dies at its post-block crash check either way. *)
+            t_release + s.Reliable.s_elapsed_ns
       in
       let apply_ns =
         match (pc.backend, payload) with
@@ -1188,7 +1566,8 @@ let barrier_release t (b : Sync.barrier) =
           Metrics.observe (Obs.metrics o) ~name:"apply_ns"
             ~label:(barrier_label p b.Sync.bid) apply_ns);
       if max_time > 0 then pc.lamport <- max pc.lamport max_time;
-      a.Sync.a_waker ~at:(deliver + apply_ns))
+      a.Sync.a_waker ~at:(deliver + apply_ns)
+      end)
     arrivals;
   Trace.record t.trace
     (Trace.Barrier_completed { t = t_release; barrier = b.Sync.bid; episode = b.Sync.episode });
@@ -1202,6 +1581,7 @@ let barrier_release t (b : Sync.barrier) =
 let barrier c b =
   let t = c.machine in
   Engine.yield c.proc;
+  crash_check c;
   c.counters.barrier_crossings <- c.counters.barrier_crossings + 1;
   if b.Sync.participants = 1 then begin
     (* Degenerate (uniprocessor) barrier: no consumers, so no collection
@@ -1241,10 +1621,27 @@ let barrier c b =
             ~buckets:Metrics.bytes_buckets
             ((c.counters.dirty_bytes_found - dirty0) / pages));
     if c.cid <> b.Sync.manager then c.counters.messages <- c.counters.messages + 1;
-    let deliver =
-      send_msg ~overhead_bytes:(wire_overhead t.cfg payload) t ~kind:Net.Barrier_arrive
-        ~src:c.cid ~dst:b.Sync.manager ~payload_bytes:app ~at:(now_ns c)
+    (* With crash faults armed the arrival can exhaust its retries
+       against a dead manager; the lowest live processor takes over the
+       manager role (a pure mailbox — no barrier data lives there) and
+       the arrival is re-sent. *)
+    let rec send_arrival () =
+      let dst = b.Sync.manager in
+      match
+        send_msg ~overhead_bytes:(wire_overhead t.cfg payload) t ~kind:Net.Barrier_arrive
+          ~src:c.cid ~dst ~payload_bytes:app ~at:(now_ns c)
+      with
+      | deliver -> deliver
+      | exception Reliable.Suspected s ->
+          Engine.charge c.proc s.Reliable.s_elapsed_ns;
+          (* A dead *sender* dies here rather than retrying forever. *)
+          crash_check c;
+          (match lowest_live_fiber t ~at:(now_ns c) with
+          | Some m -> b.Sync.manager <- m
+          | None -> ());
+          send_arrival ()
     in
+    let deliver = send_arrival () in
     Trace.record t.trace
       (Trace.Barrier_arrived
          { t = now_ns c; barrier = b.Sync.bid; proc = c.cid; payload_bytes = app });
@@ -1263,20 +1660,73 @@ let barrier c b =
                 a_stamp = stamp;
               };
             ];
-        if List.length b.Sync.arrived = b.Sync.participants then barrier_release t b);
-    match t.obsv with
+        if barrier_ready t b then barrier_release t b);
+    (match t.obsv with
     | None -> ()
     | Some o ->
         let t1 = now_ns c in
         Obs.span o Obs.Barrier_wait ~proc:c.cid ~sync:b.Sync.bid ~t0:wait0 ~t1 ();
         Metrics.observe (Obs.metrics o) ~name:"barrier_wait_ns"
           ~label:(barrier_label c.cid b.Sync.bid)
-          (t1 - wait0)
+          (t1 - wait0));
+    crash_check c
   end;
   (* Either path: this processor completed a crossing. *)
   match c.check with
   | Some ch -> Midway_check.Check.on_barrier_cross ch ~id:b.Sync.bid ~proc:c.cid
   | None -> ()
+
+(* Protocol fallout of a fiber crash-stopping, run from the engine's kill
+   observer (scheduler context: no engine effects, but wakes are fine).
+   Held and managed state moves to live processors so waiters unblock
+   with a grant instead of deadlocking: held locks fail over by quorum,
+   barrier managership is reassigned, and barriers whose only missing
+   participants are dead complete. *)
+let crash_fallout t ~proc:p ~reason:_ ~at =
+  match t.crash with
+  | None -> ()
+  | Some cr ->
+      cr.cr_killed.(p) <- true;
+      Trace.record t.trace (Trace.Proc_crashed { t = at; proc = p });
+      (match t.obsv with
+      | None -> ()
+      | Some o ->
+          Metrics.incr (Obs.metrics o) ~name:"crash_stops" ~label:(Printf.sprintf "p%d" p) 1);
+      List.iter
+        (fun (l : Sync.lock) ->
+          if List.mem p l.Sync.readers then begin
+            l.Sync.readers <- List.filter (fun r -> r <> p) l.Sync.readers;
+            if l.Sync.readers = [] then l.Sync.free_at <- max l.Sync.free_at at
+          end;
+          let needs_failover =
+            match l.Sync.held_by with
+            | Some h -> h = p
+            | None -> l.Sync.owner = p && l.Sync.pending <> []
+          in
+          (if needs_failover then
+             (* Prefer the head live waiter (it becomes the owner the
+                queue is then served from); otherwise the lowest live
+                processor inherits the protocol state. *)
+             let new_owner =
+               match
+                 List.find_opt (fun (q, _, _, _) -> not (fiber_dead_at t q ~at)) l.Sync.pending
+               with
+               | Some (q, _, _, _) -> Some q
+               | None -> lowest_live_fiber t ~at
+             in
+             match new_owner with
+             | Some q when q <> p -> ignore (crash_failover t l ~new_owner:q ~suspect:p ~at)
+             | Some _ | None -> ());
+          service_queue t l)
+        t.locks;
+      List.iter
+        (fun (b : Sync.barrier) ->
+          if b.Sync.manager = p then
+            (match lowest_live_fiber t ~at with
+            | Some m -> b.Sync.manager <- m
+            | None -> ());
+          if b.Sync.arrived <> [] && barrier_ready t b then barrier_release t b)
+        t.barriers
 
 (* ------------------------------------------------------------------ *)
 (* Running                                                             *)
@@ -1321,7 +1771,21 @@ let deadlock_diagnostics t =
                     (List.map (fun a -> "p" ^ string_of_int a.Sync.a_proc) arrived))))
       t.barriers
   in
-  String.concat "\n" (lock_lines @ barrier_lines)
+  let crash_lines =
+    match t.crash with
+    | None -> []
+    | Some cr ->
+        let dead = ref [] in
+        Array.iteri (fun p k -> if k then dead := p :: !dead) cr.cr_killed;
+        if !dead = [] then []
+        else
+          [
+            Printf.sprintf "  crash-stopped: %s"
+              (String.concat ","
+                 (List.rev_map (fun p -> "p" ^ string_of_int p) !dead));
+          ]
+  in
+  String.concat "\n" (lock_lines @ barrier_lines @ crash_lines)
 
 let run_each t bodies =
   if t.ran then invalid_arg "Runtime.run: machine already ran";
@@ -1339,12 +1803,35 @@ let run_each t bodies =
           | Some r -> if r.Region.kind = Region.Shared then `Shared else `Private
           | None -> `Unmapped)
   | None -> ());
+  (match t.crash with
+  | Some _ ->
+      Engine.set_kill_observer t.engine
+        (Some (fun ~proc ~reason ~at -> crash_fallout t ~proc ~reason ~at))
+  | None -> ());
   Array.iteri (fun i body -> Engine.spawn t.engine i (fun _proc -> body t.ctxs.(i))) bodies;
-  try Engine.run t.engine
-  with Engine.Deadlock msg ->
-    let detail = deadlock_diagnostics t in
-    raise
-      (Engine.Deadlock (if detail = "" then msg else Printf.sprintf "%s\n%s" msg detail))
+  (try Engine.run t.engine
+   with Engine.Deadlock msg ->
+     let detail = deadlock_diagnostics t in
+     raise
+       (Engine.Deadlock (if detail = "" then msg else Printf.sprintf "%s\n%s" msg detail)));
+  (* Epilogue: crash-recovery events that fell inside the run rejoined
+     the protocol silently (liveness is a pure function of the plan);
+     surface them in the trace and metrics for observability. *)
+  match t.crash with
+  | None -> ()
+  | Some cr ->
+      let horizon = Engine.elapsed t.engine in
+      List.iter
+        (fun (e : Crash.event) ->
+          if e.Crash.action = Crash.Recover && e.Crash.at_ns <= horizon then begin
+            Trace.record t.trace (Trace.Proc_recovered { t = e.Crash.at_ns; proc = e.Crash.proc });
+            match t.obsv with
+            | None -> ()
+            | Some o ->
+                Metrics.incr (Obs.metrics o) ~name:"crash_recoveries"
+                  ~label:(Printf.sprintf "p%d" e.Crash.proc) 1
+          end)
+        (Crash.events cr.cr_plan)
 
 let run t body = run_each t (Array.make t.cfg.nprocs body)
 
@@ -1368,9 +1855,15 @@ let check_invariants t =
          the lock's bound ranges — a sentinel elsewhere means a processor
          wrote the data without holding the lock. *)
       if t.cfg.backend = Config.Rt && not t.cfg.untargetted then
+        let killed p =
+          match t.crash with Some cr -> cr.cr_killed.(p) | None -> false
+        in
         Array.iteri
           (fun p (ctx : ctx) ->
-            if p <> l.Sync.owner then
+            (* A crash-stopped processor legitimately leaves its lost
+               in-section writes locally dirty: they were never collected
+               and the failover reverted everyone else to the replica. *)
+            if p <> l.Sync.owner && not (killed p) then
               match ctx.backend with
               | B_rt db ->
                   List.iter
@@ -1456,3 +1949,20 @@ let elapsed_ns t = Engine.elapsed t.engine
 let proc_clock_ns t i = Engine.clock_of t.engine i
 
 let schedule_choices t = Engine.choices t.engine
+
+(* --- crash-fault introspection (empty / full / zero when crash off) --- *)
+
+let killed_procs t =
+  match t.crash with
+  | None -> []
+  | Some cr ->
+      let out = ref [] in
+      Array.iteri (fun p k -> if k then out := p :: !out) cr.cr_killed;
+      List.rev !out
+
+let failover_count t =
+  List.fold_left (fun acc (l : Sync.lock) -> acc + l.Sync.failovers) 0 t.locks
+
+let availability t =
+  let n = t.cfg.nprocs in
+  float_of_int (n - List.length (killed_procs t)) /. float_of_int n

@@ -71,10 +71,23 @@ val new_barrier : t -> ?participants:int -> ?manager:int -> Range.t list -> Sync
     arrivals — for a neighbour-pair barrier pick one of the members so
     traffic does not detour through processor 0. *)
 
+exception Crash_unavailable of string
+(** With crash faults armed: a live requester suspected a dead lock
+    owner but could not assemble a majority quorum for the failover, so
+    the run cannot make progress without risking a split brain.  Only
+    raised when the crash plan downs at least half the membership. *)
+
 val run : t -> (ctx -> unit) -> unit
 (** Run the same program on every processor, to completion.  May be
     called once.  Raises {!Midway_sched.Engine.Deadlock} on a
-    synchronization bug. *)
+    synchronization bug.
+
+    With {!Config.t.crash} armed, processors crash-stop at their
+    scheduled times (taking effect at synchronization points); a crashed
+    fiber unwinds with {!Midway_sched.Engine.Killed}, its held locks
+    fail over to live processors by majority quorum, and the run
+    completes with the survivors.  May then raise {!Crash_unavailable}
+    (see above). *)
 
 val run_each : t -> (ctx -> unit) array -> unit
 (** Run a distinct program per processor (length must equal [nprocs]). *)
@@ -108,6 +121,20 @@ val schedule_choices : t -> int list
     {!Config.with_replay} reproduces the schedule exactly — the raw
     material of the schedule explorer's counterexamples.  Valid during
     and after [run], including when [run] raised. *)
+
+(** {1 Crash-fault introspection}
+
+    All three are trivial when {!Config.t.crash} is unset: no killed
+    processors, zero failovers, availability 1. *)
+
+val killed_procs : t -> int list
+(** Processors whose fiber crash-stopped during the run, ascending. *)
+
+val failover_count : t -> int
+(** Total quorum ownership transfers across all locks. *)
+
+val availability : t -> float
+(** Fraction of processors still live at the end of the run. *)
 
 (** {1 Processor operations} *)
 

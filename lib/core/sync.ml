@@ -19,6 +19,10 @@ type lock = {
   mutable incarnation : int;
   vm_inc_seen : int array;
   mutable vm_log : (int * vm_log_entry) list;
+  (* crash-recovery state (armed by Config.crash; inert otherwise) *)
+  mutable backups : int list;
+  mutable replica : (int * Payload.vm_piece list) option;
+  mutable failovers : int;
 }
 
 type arrival = {
@@ -33,7 +37,7 @@ type barrier = {
   bid : int;
   mutable branges : Range.t list;
   participants : int;
-  manager : int;
+  mutable manager : int;
   mutable episode : int;
   mutable arrived : arrival list;
   mutable crossings : int;
@@ -56,6 +60,9 @@ let make_lock ~lid ~nprocs ~owner ~ranges =
     incarnation = 0;
     vm_inc_seen = Array.make nprocs (-1);
     vm_log = [];
+    backups = [];
+    replica = None;
+    failovers = 0;
   }
 
 let make_barrier ~bid ~nprocs ~participants ~manager ~ranges =

@@ -45,6 +45,14 @@ type lock = {
   mutable incarnation : int;
   vm_inc_seen : int array;  (** per-processor last incarnation observed *)
   mutable vm_log : (int * vm_log_entry) list;  (** newest first, trimmed to a window *)
+  (* crash recovery (armed by [Config.crash]; inert otherwise) *)
+  mutable backups : int list;
+      (** processors holding a replica of the bound data, freshest first *)
+  mutable replica : (int * Payload.vm_piece list) option;
+      (** (epoch, snapshot) shipped to the backups at the last release;
+          the epoch is the lock's incarnation at replication time, so a
+          failover can tell a current replica from a stale one *)
+  mutable failovers : int;  (** quorum ownership transfers performed *)
 }
 
 type arrival = {
@@ -59,7 +67,9 @@ type barrier = {
   bid : int;
   mutable branges : Range.t list;
   participants : int;
-  manager : int;  (** processor acting as barrier manager (0) *)
+  mutable manager : int;
+      (** processor acting as barrier manager (0); reassigned to the
+          lowest live processor when the manager crash-stops *)
   mutable episode : int;
   mutable arrived : arrival list;  (** current episode, arrival order *)
   mutable crossings : int;

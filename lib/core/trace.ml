@@ -13,6 +13,9 @@ type event =
   | Lock_rebound of { t : int; lock : int; proc : int; bound_bytes : int }
   | Barrier_arrived of { t : int; barrier : int; proc : int; payload_bytes : int }
   | Barrier_completed of { t : int; barrier : int; episode : int }
+  | Proc_crashed of { t : int; proc : int }
+  | Proc_recovered of { t : int; proc : int }
+  | Lock_failover of { t : int; lock : int; from_ : int; to_ : int; epoch : int; votes : int }
 
 type t = {
   capacity : int;
@@ -56,7 +59,10 @@ let event_time = function
   | Lock_released { t; _ }
   | Lock_rebound { t; _ }
   | Barrier_arrived { t; _ }
-  | Barrier_completed { t; _ } -> t
+  | Barrier_completed { t; _ }
+  | Proc_crashed { t; _ }
+  | Proc_recovered { t; _ }
+  | Lock_failover { t; _ } -> t
 
 let pp_event fmt = function
   | Lock_requested { t; lock; proc; shared } ->
@@ -83,6 +89,14 @@ let pp_event fmt = function
   | Barrier_completed { t; barrier; episode } ->
       Format.fprintf fmt "%-12s barrier %d: episode %d complete" (Midway_util.Units.pp_time t)
         barrier episode
+  | Proc_crashed { t; proc } ->
+      Format.fprintf fmt "%-12s p%d crash-stopped" (Midway_util.Units.pp_time t) proc
+  | Proc_recovered { t; proc } ->
+      Format.fprintf fmt "%-12s p%d recovered (rejoined with amnesia)"
+        (Midway_util.Units.pp_time t) proc
+  | Lock_failover { t; lock; from_; to_; epoch; votes } ->
+      Format.fprintf fmt "%-12s lock %d: failover p%d -> p%d (epoch %d, %d vote(s))"
+        (Midway_util.Units.pp_time t) lock from_ to_ epoch votes
 
 let dump t =
   let buf = Buffer.create 1024 in

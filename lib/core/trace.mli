@@ -24,6 +24,14 @@ type event =
   | Lock_rebound of { t : int; lock : int; proc : int; bound_bytes : int }
   | Barrier_arrived of { t : int; barrier : int; proc : int; payload_bytes : int }
   | Barrier_completed of { t : int; barrier : int; episode : int }
+  | Proc_crashed of { t : int; proc : int }
+      (** the processor's fiber crash-stopped at a synchronization point *)
+  | Proc_recovered of { t : int; proc : int }
+      (** the processor rejoined as a protocol participant with amnesia *)
+  | Lock_failover of { t : int; lock : int; from_ : int; to_ : int; epoch : int; votes : int }
+      (** quorum ownership transfer away from a suspected-dead owner:
+          [epoch] is the lock's incarnation after the bump, [votes] the
+          ballots collected (including the initiator's own) *)
 
 type t
 

@@ -12,6 +12,7 @@
 
 module Config = Midway.Config
 module R = Midway.Runtime
+module Crash = Midway_simnet.Crash
 
 (* ------------------------------------------------------------------ *)
 (* Executing one run and judging it                                    *)
@@ -85,6 +86,10 @@ type spec = {
   ecsan : bool;
   fault_drop : float option;  (* compose fault schedules with thread schedules *)
   fault_seed : int;
+  crash_events : int;  (* seeded node-crash episodes per run; 0 = off *)
+  crash_seed : int;
+  crash_horizon_ns : int;  (* window the seeded episodes land in *)
+  crash_plan : Crash.plan option;  (* explicit plan; overrides the seeded dimension *)
   trace_capacity : int;
   max_shrink_runs : int;  (* re-execution budget of one shrink *)
 }
@@ -99,24 +104,52 @@ let default_spec =
     ecsan = true;
     fault_drop = None;
     fault_seed = 0x0FA7;
+    crash_events = 0;
+    crash_seed = 0xC0DE;
+    crash_horizon_ns = 2_000_000;
+    crash_plan = None;
     trace_capacity = 64;
     max_shrink_runs = 48;
   }
 
 (* The run's fault seed is derived from both spec seed and schedule
    seed, so the fault schedule varies together with the thread schedule
-   and the pair is reproducible from the counterexample alone. *)
+   and the pair is reproducible from the counterexample alone.  The
+   crash seed gets the same treatment (with a different mixer so the
+   two derived streams never coincide). *)
 let effective_fault_seed spec sseed = spec.fault_seed lxor (sseed * 0x9E37)
+let effective_crash_seed spec sseed = spec.crash_seed lxor (sseed * 0x6B43)
+
+(* The crash plan for one run: an explicit plan wins; otherwise the
+   seeded dimension (when armed) derives one per schedule seed, so
+   crash schedules, fault schedules and thread schedules all vary
+   together. *)
+let crash_plan_for spec sseed =
+  match spec.crash_plan with
+  | Some _ as p -> p
+  | None ->
+      if spec.crash_events <= 0 then None
+      else
+        Some
+          (Crash.seeded ~seed:(effective_crash_seed spec sseed) ~nprocs:spec.nprocs
+             ~events:spec.crash_events ~horizon_ns:spec.crash_horizon_ns)
 
 let base_config spec backend =
   let cfg = Config.make backend ~nprocs:spec.nprocs in
   { cfg with Config.ecsan = spec.ecsan; trace_capacity = spec.trace_capacity }
 
-let armed_config spec backend sseed policy =
+(* [crash] overrides the spec-derived plan — the crash-event shrinker
+   re-executes with candidate plans through this hook. *)
+let armed_config ?crash spec backend sseed policy =
   let cfg = { (base_config spec backend) with Config.sched_policy = policy } in
-  match spec.fault_drop with
-  | None -> cfg
-  | Some drop -> Config.with_faults ~drop ~seed:(effective_fault_seed spec sseed) cfg
+  let cfg =
+    match spec.fault_drop with
+    | None -> cfg
+    | Some drop -> Config.with_faults ~drop ~seed:(effective_fault_seed spec sseed) cfg
+  in
+  match (crash, crash_plan_for spec sseed) with
+  | Some plan, _ | None, Some plan -> Config.with_crash plan cfg
+  | None, None -> cfg
 
 (* ------------------------------------------------------------------ *)
 (* Counterexamples and shrinking                                       *)
@@ -128,6 +161,7 @@ type counterexample = {
   c_ecsan : bool;
   c_fault_drop : float option;
   c_fault_seed : int option;
+  c_crash : string option;  (* rendered (possibly shrunk) crash plan *)
   c_schedule_seed : int;
   c_reason : string;
   c_choices : int list option;  (* as recorded by the failing run *)
@@ -183,6 +217,39 @@ let shrink ~budget ~fails choices =
     (Some (List.rev (strip (List.rev l))), !runs)
   end
 
+(* Shrink a failing crash plan by pointwise event deletion.  Removing
+   an event can break a processor's Stop/Recover alternation
+   ([Crash.scripted] rejects a Recover with no preceding Stop) — such
+   candidates are skipped, not counted against the budget.  [fails]
+   must re-execute the run under the candidate plan; because a changed
+   plan changes all downstream timing, callers re-run the *seeded*
+   schedule rather than replaying recorded choices.  Returns the
+   minimal verified-failing plan (possibly the input) and the number of
+   re-executions spent. *)
+let shrink_crash ~budget ~fails plan =
+  let runs = ref 0 in
+  let best = ref (Crash.events plan) in
+  let progress = ref true in
+  (* deletion passes to a fixpoint: removing one event (say a Stop) can
+     make another (its Recover) deletable on the next pass *)
+  while !progress && !runs < budget do
+    progress := false;
+    let i = ref 0 in
+    while !i < List.length !best && !runs < budget do
+      let cand = List.filteri (fun j _ -> j <> !i) !best in
+      match Crash.scripted cand with
+      | exception Invalid_argument _ -> incr i
+      | p ->
+          incr runs;
+          if fails p then begin
+            best := Crash.events p;  (* same index now names the next event *)
+            progress := true
+          end
+          else incr i
+    done
+  done;
+  (Crash.scripted !best, !runs)
+
 (* ------------------------------------------------------------------ *)
 (* The sweep                                                           *)
 
@@ -217,20 +284,46 @@ let run_spec ?(progress = null_progress) spec =
                 progress
                   (Printf.sprintf "FAIL %s/%s seed=%d: %s" w.Workload.name
                      (Config.backend_name backend) sseed j.j_reason);
+                (* the crash dimension shrinks first: a smaller plan
+                   changes all downstream timing, so it re-runs the
+                   seeded schedule and invalidates recorded choices,
+                   which are refreshed before the choice-list shrink *)
+                let j, plan, crash_runs =
+                  match crash_plan_for spec sseed with
+                  | None -> (j, None, 0)
+                  | Some p when Crash.events p = [] -> (j, Some p, 0)
+                  | Some p ->
+                      let fails q =
+                        let cfg =
+                          armed_config ~crash:q spec backend sseed
+                            (Midway_sched.Engine.Seeded sseed)
+                        in
+                        (execute w cfg).j_failed
+                      in
+                      let q, r = shrink_crash ~budget:(spec.max_shrink_runs / 2) ~fails p in
+                      if Crash.events q = Crash.events p then (j, Some p, r)
+                      else
+                        let cfg =
+                          armed_config ~crash:q spec backend sseed
+                            (Midway_sched.Engine.Seeded sseed)
+                        in
+                        (execute w cfg, Some q, r + 1)
+                in
                 let shrunk, runs =
                   match j.j_choices with
                   | None | Some [] -> (j.j_choices, 0)
                   | Some choices ->
                       let fails l =
                         let cfg =
-                          armed_config spec backend sseed (Midway_sched.Engine.Replay l)
+                          armed_config ?crash:plan spec backend sseed
+                            (Midway_sched.Engine.Replay l)
                         in
                         (execute w cfg).j_failed
                       in
                       let s, r = shrink ~budget:spec.max_shrink_runs ~fails choices in
                       (s, r)
                 in
-                total := !total + runs;
+                total := !total + crash_runs + runs;
                 failures :=
                   {
                     c_workload = w.Workload.name;
@@ -240,11 +333,12 @@ let run_spec ?(progress = null_progress) spec =
                     c_fault_drop = spec.fault_drop;
                     c_fault_seed =
                       Option.map (fun _ -> effective_fault_seed spec sseed) spec.fault_drop;
+                    c_crash = Option.map Crash.render plan;
                     c_schedule_seed = sseed;
                     c_reason = j.j_reason;
                     c_choices = j.j_choices;
                     c_shrunk = shrunk;
-                    c_shrink_runs = runs;
+                    c_shrink_runs = crash_runs + runs;
                     c_trace = j.j_trace;
                   }
                   :: !failures
@@ -277,6 +371,7 @@ let render_counterexample c =
       line "fault-drop=%g" drop;
       line "fault-seed=%d" fseed
   | _ -> ());
+  (match c.c_crash with Some s -> line "crash=%s" s | None -> ());
   line "schedule-seed=%d" c.c_schedule_seed;
   (match c.c_shrunk with
   | Some l -> line "choices=%s" (render_choices l)
@@ -295,6 +390,7 @@ type replay_spec = {
   rp_ecsan : bool;
   rp_fault_drop : float option;
   rp_fault_seed : int option;
+  rp_crash : string option;  (* raw --crash spec; parsed against rp_nprocs *)
   rp_schedule_seed : int option;
   rp_choices : int list option;
 }
@@ -309,6 +405,7 @@ let parse_counterexample text =
         rp_ecsan = true;
         rp_fault_drop = None;
         rp_fault_seed = None;
+        rp_crash = None;
         rp_schedule_seed = None;
         rp_choices = None;
       }
@@ -342,6 +439,7 @@ let parse_counterexample text =
                | "ecsan" -> spec := { !spec with rp_ecsan = bool_of_string v }
                | "fault-drop" -> spec := { !spec with rp_fault_drop = Some (float_of_string v) }
                | "fault-seed" -> spec := { !spec with rp_fault_seed = Some (int_of_string v) }
+               | "crash" -> spec := { !spec with rp_crash = Some v }
                | "schedule-seed" ->
                    spec := { !spec with rp_schedule_seed = Some (int_of_string v) }
                | "choices" ->
@@ -377,6 +475,8 @@ let workload_of_name ?(scale = 0.05) name =
   | "mix" -> Ok (Workload.mix ~groups:3 ~iters:6)
   | "order-sensitive" -> Ok Workload.order_sensitive
   | "racy" -> Ok Workload.racy
+  | "crashy" -> Ok (Workload.crashy ~iters:6)
+  | "crashy-broken" -> Ok (Workload.crashy_broken ~iters:6)
   | _ -> (
       match prefixed "ecgen:" with
       | Some seed -> Ok (Ecgen.workload ~seed ())
@@ -389,7 +489,7 @@ let workload_of_name ?(scale = 0.05) name =
               | Error _ ->
                   Error
                     (Printf.sprintf
-                       "unknown workload %S (expected counter|readers-writer|mix|order-sensitive|racy|ecgen:SEED|ecgen-buggy:SEED|water|quicksort|matrix|sor|cholesky)"
+                       "unknown workload %S (expected counter|readers-writer|mix|order-sensitive|racy|crashy|crashy-broken|ecgen:SEED|ecgen-buggy:SEED|water|quicksort|matrix|sor|cholesky)"
                        name))))
 
 let clean_workloads () =
@@ -439,6 +539,19 @@ let replay ?scale ?trace_out ?metrics_out rp =
           | Some drop, None -> Config.with_faults ~drop cfg
           | None, _ -> cfg
         in
+        let crash_plan =
+          match rp.rp_crash with
+          | None -> Ok None
+          (* crash-armed counterexample whose event list shrank to
+             empty: the layer stays armed (reliable routing, failure
+             detection) with no scheduled crash *)
+          | Some "" -> Ok (Some (Crash.scripted []))
+          | Some s -> Result.map Option.some (Crash.parse_spec ~nprocs:rp.rp_nprocs s)
+        in
+        match crash_plan with
+        | Error e -> Error e
+        | Ok plan ->
+        let cfg = match plan with None -> cfg | Some p -> Config.with_crash p cfg in
         let j, machine = execute_machine w cfg in
         (match Option.bind machine R.obs with
         | Some o ->

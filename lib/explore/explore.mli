@@ -2,11 +2,13 @@
     record/replay.
 
     Sweeps a grid of (workload x backend x schedule seed) — optionally
-    composed with fault injection, so fault schedules and thread
-    schedules vary together — judging every run by the workload's
-    sequential oracle, {!Midway.Runtime.check_invariants} and the ECSan
-    report.  A failure's recorded tie-break choices are shrunk to a
-    minimal verified-failing replay list and rendered as a
+    composed with fault injection and node-crash schedules, so fault
+    schedules, crash schedules and thread schedules all vary together —
+    judging every run by the workload's sequential oracle,
+    {!Midway.Runtime.check_invariants} and the ECSan report.  A
+    failure's crash-event list is shrunk by pointwise deletion, then
+    its recorded tie-break choices are shrunk to a minimal
+    verified-failing replay list, and the result is rendered as a
     counterexample file that reproduces the run from its text alone.
     See doc/SIMULATION.md ("The determinism contract") and
     [bin/midway_fuzz.ml]. *)
@@ -36,14 +38,23 @@ type spec = {
   ecsan : bool;
   fault_drop : float option;
   fault_seed : int;
+  crash_events : int;
+      (** seeded node-crash episodes per run ({!Midway_simnet.Crash.seeded});
+          [0] (the default) = no crash dimension *)
+  crash_seed : int;
+  crash_horizon_ns : int;  (** window the seeded episodes land in *)
+  crash_plan : Midway_simnet.Crash.plan option;
+      (** explicit plan applied to every run; overrides the seeded
+          dimension *)
   trace_capacity : int;
   max_shrink_runs : int;  (** re-execution budget of one shrink *)
 }
 
 val default_spec : spec
 (** rt+vm backends, 8 schedules from seed 1, 4 processors, ECSan on,
-    no faults, trace capacity 64, shrink budget 48 runs.  [workloads]
-    is empty — fill it in. *)
+    no faults, no crashes (crash seed 0xC0DE, horizon 2 ms when
+    armed), trace capacity 64, shrink budget 48 runs.  [workloads] is
+    empty — fill it in. *)
 
 val clean_workloads : unit -> Workload.t list
 (** The synthetic always-should-pass workloads (counter,
@@ -54,8 +65,9 @@ val buggy_workloads : unit -> Workload.t list
 
 val workload_of_name : ?scale:float -> string -> (Workload.t, string) result
 (** The registry: counter | readers-writer | mix | order-sensitive |
-    racy | ecgen:SEED | ecgen-buggy:SEED | one of the five application
-    names.  [scale] (default 0.05) applies to applications only. *)
+    racy | crashy | crashy-broken | ecgen:SEED | ecgen-buggy:SEED |
+    one of the five application names.  [scale] (default 0.05) applies
+    to applications only. *)
 
 type counterexample = {
   c_workload : string;
@@ -64,6 +76,10 @@ type counterexample = {
   c_ecsan : bool;
   c_fault_drop : float option;
   c_fault_seed : int option;  (** the effective per-run fault seed *)
+  c_crash : string option;
+      (** {!Midway_simnet.Crash.render} of the (possibly shrunk) crash
+          plan the failure reproduces under; [None] when the crash
+          dimension was off *)
   c_schedule_seed : int;
   c_reason : string;
   c_choices : int list option;  (** as recorded by the failing run *)
@@ -95,6 +111,19 @@ val shrink :
     [None] if the failure did not reproduce) and the number of
     re-executions spent.  At most [budget] re-executions. *)
 
+val shrink_crash :
+  budget:int ->
+  fails:(Midway_simnet.Crash.plan -> bool) ->
+  Midway_simnet.Crash.plan ->
+  Midway_simnet.Crash.plan * int
+(** Minimize a failing crash plan by pointwise event deletion under the
+    re-execution oracle [fails] (candidates breaking a processor's
+    Stop/Recover alternation are skipped for free).  A changed plan
+    shifts all downstream timing, so [fails] should re-run the seeded
+    schedule, not replay recorded choices.  Returns the minimal
+    verified-failing plan — the input itself when nothing could be
+    removed — and the re-executions spent. *)
+
 (** {1 Counterexample files} *)
 
 val render_counterexample : counterexample -> string
@@ -108,6 +137,9 @@ type replay_spec = {
   rp_ecsan : bool;
   rp_fault_drop : float option;
   rp_fault_seed : int option;
+  rp_crash : string option;
+      (** raw crash spec ({!Midway_simnet.Crash.parse_spec} syntax),
+          parsed against [rp_nprocs] at replay time *)
   rp_schedule_seed : int option;
   rp_choices : int list option;
 }

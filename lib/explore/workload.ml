@@ -296,6 +296,124 @@ let racy =
             (body, verify)));
   }
 
+(* Crash-fault prey and probe.  All state — one counter cell plus a
+   per-processor committed[] ledger — is bound to a single lock and
+   updated atomically inside one critical section, so whatever a crash
+   destroys it destroys consistently: the quorum failover reverts the
+   bound data to the last released snapshot, in which
+   [cell = sum (p+1) * committed.(p)] holds by construction.  The oracle
+   checks exactly that on the live processors' converged copies, plus
+   that no survivor lost a committed section.
+
+   Unless the incoming configuration already arms [Config.crash], the
+   workload injects a scripted plan stopping processor 0 at 10 us (with
+   a protocol-level recovery later): processor 0 enters its first
+   critical section at virtual time ~0 and holds it for [hold_ns] >> 10
+   us, so on every backend it dies mid-section holding the lock — the
+   canonical failover scenario, and [crashy-broken]'s opening to serve
+   stale data. *)
+let crashy_with ~name ~buggy ~broken ~iters =
+  let module Crash = Midway_simnet.Crash in
+  {
+    name;
+    buggy;
+    supports = lock_based;
+    run =
+      (fun cfg ->
+        let n = cfg.Config.nprocs in
+        if n < 3 then
+          invalid_arg (name ^ " needs at least 3 processors (majority quorum with one down)");
+        let cfg =
+          match cfg.Config.crash with
+          | Some cr when cr.Config.broken_failover = broken -> cfg
+          | Some cr ->
+              Config.with_crash ~replicas:cr.Config.replicas
+                ~suspect_attempts:cr.Config.suspect_attempts ~broken
+                ~watchdog_ns:cr.Config.watchdog_ns cr.Config.plan cfg
+          | None ->
+              let plan =
+                Crash.scripted
+                  [
+                    { Crash.at_ns = 10_000; proc = 0; action = Crash.Stop };
+                    { Crash.at_ns = 1_500_000; proc = 0; action = Crash.Recover };
+                  ]
+              in
+              Config.with_crash ~broken plan cfg
+        in
+        run_guarded cfg (fun m ->
+            let hold_ns = 30_000 in
+            let base = R.alloc m ((n + 1) * 8) in
+            let cell = base and committed p = base + ((p + 1) * 8) in
+            let lock = R.new_lock m [ Range.v base ((n + 1) * 8) ] in
+            let fin = R.new_barrier m [] in
+            let body c =
+              let me = R.id c in
+              for _ = 1 to iters do
+                R.acquire c lock;
+                R.write_int c cell (R.read_int c cell + me + 1);
+                R.write_int c (committed me) (R.read_int c (committed me) + 1);
+                (* keep the section open: the plan's crash window *)
+                R.work_ns c hold_ns;
+                R.release c lock;
+                R.work_ns c 500
+              done;
+              converge c fin [| lock |]
+            in
+            let verify () =
+              let space = R.space m in
+              let killed = R.killed_procs m in
+              let live = List.filter (fun p -> not (List.mem p killed)) (List.init n Fun.id) in
+              match live with
+              | [] -> (false, "no live processor left", "")
+              | first :: _ ->
+                  let get p a = Space.get_int space ~proc:p a in
+                  let com = Array.init n (fun i -> get first (committed i)) in
+                  let v = get first cell in
+                  let bad = ref [] in
+                  (* convergence: every live copy agrees with the first *)
+                  List.iter
+                    (fun p ->
+                      if get p cell <> v then
+                        bad :=
+                          Printf.sprintf "p%d cell diverged: %d vs %d" p (get p cell) v :: !bad;
+                      Array.iteri
+                        (fun i c0 ->
+                          if get p (committed i) <> c0 then
+                            bad :=
+                              Printf.sprintf "p%d committed[%d] diverged: %d vs %d" p i
+                                (get p (committed i)) c0
+                              :: !bad)
+                        com)
+                    live;
+                  (* the ledger invariant: atomic sections revert whole *)
+                  let want = ref 0 in
+                  Array.iteri (fun i c -> want := !want + ((i + 1) * c)) com;
+                  if v <> !want then
+                    bad := Printf.sprintf "cell is %d but the ledger says %d" v !want :: !bad;
+                  (* survivors lose nothing *)
+                  List.iter
+                    (fun p ->
+                      if com.(p) <> iters then
+                        bad :=
+                          Printf.sprintf "survivor p%d committed %d/%d" p com.(p) iters :: !bad)
+                    live;
+                  let digest =
+                    Printf.sprintf "cell=%d;committed=%s;killed=%s;failovers=%d" v
+                      (String.concat "," (Array.to_list (Array.map string_of_int com)))
+                      (String.concat "," (List.map string_of_int killed))
+                      (R.failover_count m)
+                  in
+                  (match !bad with
+                  | [] -> (true, "", digest)
+                  | l -> (false, String.concat "; " l, digest))
+            in
+            (body, verify)));
+  }
+
+let crashy ~iters = crashy_with ~name:"crashy" ~buggy:false ~broken:false ~iters
+
+let crashy_broken ~iters = crashy_with ~name:"crashy-broken" ~buggy:true ~broken:true ~iters
+
 (* Wrap one of the five paper applications.  The application verifies
    itself against its sequential oracle; the digest is left empty
    because app memory layouts are backend-shaped (the explorer's

@@ -79,6 +79,27 @@ val racy : t
     Fails (oracle + ECSan) on every schedule; shrinks to the empty
     choice list. *)
 
+(** {1 Crash-fault workloads} *)
+
+val crashy : iters:int -> t
+(** Lock-guarded counter plus a per-processor committed[] ledger, all
+    bound to one lock and updated atomically per critical section, under
+    node crashes.  Unless the configuration already arms
+    {!Midway.Config.t.crash}, injects a scripted plan stopping
+    processor 0 at 10 us — inside its first critical section while
+    holding the lock — so every run exercises the quorum failover.  The
+    oracle checks, over live processors only: convergence, the ledger
+    invariant [cell = sum (p+1)*committed.(p)] (atomic sections revert
+    whole), and that no survivor lost a committed section.  Needs
+    [nprocs >= 3] (majority quorum with one processor down).  The digest
+    includes the killed set and the failover count. *)
+
+val crashy_broken : iters:int -> t
+(** [crashy] with {!Midway.Config.t.crash}'s [broken_failover] forced
+    on: the failover skips replication and the epoch reset, so a new
+    owner can serve stale bound data.  Fuzzer prey for the crash
+    dimension. *)
+
 (** {1 Applications} *)
 
 val app : scale:float -> Midway_report.Suite.app -> t

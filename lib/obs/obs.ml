@@ -17,6 +17,7 @@ type kind =
   | Apply  (* installing received updates on the requester *)
   | Retransmit  (* a reliable-channel episode that needed retransmissions *)
   | Sched_block  (* generic scheduler block, tagged with the reason *)
+  | Failover  (* suspicion of a dead lock owner until quorum ownership transfer *)
 
 let kind_name = function
   | Acquire_wait -> "lock_wait"
@@ -26,6 +27,7 @@ let kind_name = function
   | Apply -> "apply"
   | Retransmit -> "retransmit"
   | Sched_block -> "sched_block"
+  | Failover -> "failover"
 
 type span = {
   kind : kind;

@@ -14,10 +14,12 @@ type kind =
   | Apply  (** installing received updates on the requester *)
   | Retransmit  (** a reliable-channel episode needing retransmissions *)
   | Sched_block  (** generic scheduler block, tagged with the reason *)
+  | Failover
+      (** suspicion of a dead lock owner until quorum ownership transfer *)
 
 val kind_name : kind -> string
 (** Stable wire name: ["lock_wait"], ["barrier_wait"], ["collect"],
-    ["diff"], ["apply"], ["retransmit"], ["sched_block"]. *)
+    ["diff"], ["apply"], ["retransmit"], ["sched_block"], ["failover"]. *)
 
 type span = {
   kind : kind;

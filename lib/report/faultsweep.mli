@@ -12,7 +12,15 @@
 
     Every run is still verified against the application's sequential
     oracle and the protocol invariants — the point of the report is that
-    correctness holds while only the timing degrades. *)
+    correctness holds while only the timing degrades.
+
+    With a [crash] plan armed the sweep additionally measures the
+    recovery protocol: every run executes under the same node-crash
+    schedule, the table gains quorum-failover and availability columns,
+    and an oracle failure no longer aborts the sweep — a crashed
+    processor's share of the result is legitimately missing, so the
+    point is marked degraded ([*]) instead.  Protocol invariants remain
+    strict either way. *)
 
 type point = {
   drop : float;  (** per-link drop probability of this run *)
@@ -22,6 +30,11 @@ type point = {
   drops_observed : int;
   duplicates_suppressed : int;
   backoff_ms : float;
+  failovers : int;  (** quorum ownership transfers (0 without a crash plan) *)
+  availability : float;  (** live fraction at end of run (1.0 without a crash plan) *)
+  degraded : bool;
+      (** the run completed but failed its sequential oracle — only
+          tolerated (and only possible) under a crash plan *)
 }
 
 type line = { app : Suite.app; points : point list }
@@ -31,6 +44,7 @@ type t = {
   scale : float;
   fault_seed : int;
   drops : float list;
+  crash : Midway_simnet.Crash.plan option;
   lines : line list;
 }
 
@@ -43,15 +57,18 @@ val run :
   ?duplicate:float ->
   ?jitter_ns:int ->
   ?seed:int ->
+  ?crash:Midway_simnet.Crash.plan ->
   nprocs:int ->
   scale:float ->
   unit ->
   t
 (** Execute the sweep.  [duplicate], [jitter_ns] (default 0) and [seed]
-    (default 42) shape the fault policy of every non-zero-drop run.
-    Raises [Failure] if any run fails oracle verification or leaves a
-    protocol invariant violated — a faulty fabric must degrade timing,
-    never correctness. *)
+    (default 42) shape the fault policy of every non-zero-drop run;
+    [crash] (default none) arms the same node-crash plan on every run,
+    including the drop = 0 baseline.  Raises [Failure] if any run fails
+    oracle verification without a crash plan, or leaves a protocol
+    invariant violated — a faulty fabric must degrade timing, never
+    correctness. *)
 
 val render : t -> string
 (** The sweep as an aligned text table, one row group per application. *)

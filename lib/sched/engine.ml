@@ -2,6 +2,7 @@ type proc = {
   id : int;
   mutable clock : int;
   mutable finished : bool;
+  mutable killed : bool;
   mutable blocked_reason : string option;
 }
 
@@ -34,9 +35,19 @@ type t = {
      scheduler computed anyway, so arming it cannot change a run. *)
   mutable block_observer :
     (proc:int -> reason:string option -> blocked_at:int -> woke_at:int -> unit) option;
+  (* Called when a fiber dies of [Killed], after its bookkeeping is
+     settled.  The crash-recovery layer uses it to run failover for the
+     resources the dead fiber held, so its waiters are unblocked with a
+     typed reason instead of deadlocking. *)
+  mutable kill_observer : (proc:int -> reason:string -> at:int -> unit) option;
 }
 
 exception Deadlock of string
+
+exception Killed of string
+(** Raised *inside* a fiber to crash-stop it: the fiber terminates, is
+    excluded from deadlock accounting, and the kill observer fires with
+    the typed reason. *)
 
 type _ Effect.t +=
   | Yield : proc -> unit Effect.t
@@ -63,7 +74,9 @@ let create ?(policy = Fifo) ~nprocs () =
   in
   {
     n = nprocs;
-    procs = Array.init nprocs (fun id -> { id; clock = 0; finished = false; blocked_reason = None });
+    procs =
+      Array.init nprocs (fun id ->
+          { id; clock = 0; finished = false; killed = false; blocked_reason = None });
     runq = Midway_util.Minheap.create ();
     bodies = Array.make nprocs None;
     live = 0;
@@ -71,6 +84,7 @@ let create ?(policy = Fifo) ~nprocs () =
     policy;
     chooser;
     block_observer = None;
+    kill_observer = None;
   }
 
 let nprocs t = t.n
@@ -78,6 +92,13 @@ let nprocs t = t.n
 let policy t = t.policy
 
 let set_block_observer t f = t.block_observer <- f
+
+let set_kill_observer t f = t.kill_observer <- f
+
+let is_killed p = p.killed
+
+let killed t =
+  Array.to_list t.procs |> List.filter (fun p -> p.killed) |> List.map (fun p -> p.id)
 
 let choices t =
   match t.chooser with None -> [] | Some ch -> List.rev ch.recorded_rev
@@ -116,7 +137,21 @@ let start_fiber t p body =
       retc = (fun () ->
           p.finished <- true;
           t.live <- t.live - 1);
-      exnc = (fun e -> raise e);
+      exnc =
+        (fun e ->
+          match e with
+          | Killed reason ->
+              (* crash-stop: the fiber dies, its waiters are the kill
+                 observer's problem; it must not count as live or the
+                 run would end in a spurious deadlock *)
+              p.finished <- true;
+              p.killed <- true;
+              p.blocked_reason <- None;
+              t.live <- t.live - 1;
+              (match t.kill_observer with
+              | Some f -> f ~proc:p.id ~reason ~at:p.clock
+              | None -> ())
+          | e -> raise e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with

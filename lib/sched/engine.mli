@@ -56,6 +56,16 @@ exception Deadlock of string
     replay length), so a hang found by the schedule explorer is
     reproducible from the message alone. *)
 
+exception Killed of string
+(** Crash-stop, raised *inside* a fiber (typically by the runtime's
+    crash layer at a synchronization point): the fiber terminates
+    immediately with the given typed reason, is marked {!is_killed},
+    stops counting toward deadlock detection, and the
+    {!set_kill_observer} hook fires so the recovery protocol can fail
+    over whatever the dead fiber held — its waiters must be unblocked,
+    not deadlocked.  Unlike other exceptions, [Killed] does not escape
+    {!run}. *)
+
 val create : ?policy:policy -> nprocs:int -> unit -> t
 (** [policy] defaults to [Fifo]. *)
 
@@ -71,6 +81,18 @@ val set_block_observer :
     only reads state the scheduler computed anyway — installing one
     cannot alter the simulation.  Used by the observability layer to
     record scheduler-block spans. *)
+
+val set_kill_observer : t -> (proc:int -> reason:string -> at:int -> unit) option -> unit
+(** Install (or clear) the hook called after a fiber dies of {!Killed}:
+    [proc] is the dead processor, [reason] the kill reason, [at] its
+    clock at death.  The hook runs in scheduler context (it must not
+    perform engine effects) and may push wakes — the crash layer uses it
+    to run lock failover and barrier repair. *)
+
+val is_killed : proc -> bool
+
+val killed : t -> int list
+(** Processors whose fibers died of {!Killed}, ascending. *)
 
 val choices : t -> int list
 (** The tie-break choices applied so far, oldest first — empty under

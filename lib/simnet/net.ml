@@ -6,6 +6,9 @@ type kind =
   | Barrier_release
   | Startup
   | Ack
+  | Replicate
+  | Vote
+  | Vote_reply
 
 let kind_name = function
   | Lock_request -> "lock-request"
@@ -15,6 +18,9 @@ let kind_name = function
   | Barrier_release -> "barrier-release"
   | Startup -> "startup"
   | Ack -> "ack"
+  | Replicate -> "replicate"
+  | Vote -> "vote"
+  | Vote_reply -> "vote-reply"
 
 let kind_index = function
   | Lock_request -> 0
@@ -24,8 +30,11 @@ let kind_index = function
   | Barrier_release -> 4
   | Startup -> 5
   | Ack -> 6
+  | Replicate -> 7
+  | Vote -> 8
+  | Vote_reply -> 9
 
-let nkinds = 7
+let nkinds = 10
 
 type fault_link = { drop : float; duplicate : float; jitter_ns : int }
 
@@ -46,16 +55,37 @@ type fault_policy = {
   fault_seed : int;
 }
 
+(* A [fault_link] with a probability outside [0, 1] would silently
+   misbehave: the PRNG draw is compared raw, so drop = 1.5 behaves like
+   certain loss and drop = -0.1 like none, with no hint the policy is
+   nonsense.  Validate every link at policy-construction time and name
+   the offending field. *)
+let check_link ~where (l : fault_link) =
+  let bad field v =
+    invalid_arg
+      (Printf.sprintf "Net.fault_policy: %s.%s = %g outside [0, 1]" where field v)
+  in
+  if l.drop < 0.0 || l.drop > 1.0 then bad "drop" l.drop;
+  if l.duplicate < 0.0 || l.duplicate > 1.0 then bad "duplicate" l.duplicate;
+  if l.jitter_ns < 0 then
+    invalid_arg
+      (Printf.sprintf "Net.fault_policy: %s.jitter_ns = %d is negative" where l.jitter_ns)
+
+let validate_fault_policy policy =
+  check_link ~where:"link" policy.link;
+  List.iter
+    (fun ((src, dst), l) -> check_link ~where:(Printf.sprintf "overrides[(%d,%d)]" src dst) l)
+    policy.overrides;
+  policy
+
 let uniform_faults ?(duplicate = 0.0) ?(jitter_ns = 0) ?(seed = 42) ~drop () =
-  if drop < 0.0 || drop > 1.0 || duplicate < 0.0 || duplicate > 1.0 then
-    invalid_arg "Net.uniform_faults: probabilities must be in [0, 1]";
-  if jitter_ns < 0 then invalid_arg "Net.uniform_faults: negative jitter";
-  {
-    link = { drop; duplicate; jitter_ns };
-    overrides = [];
-    windows = [];
-    fault_seed = seed;
-  }
+  validate_fault_policy
+    {
+      link = { drop; duplicate; jitter_ns };
+      overrides = [];
+      windows = [];
+      fault_seed = seed;
+    }
 
 type fault_state = {
   policy : fault_policy;
@@ -74,6 +104,11 @@ type t = {
   payload_received : int array;
   by_kind : int array;
   mutable fault : fault_state option;
+  (* Node-level faults: when set, a message from or to a down processor
+     is destroyed deterministically (no PRNG draw), composing with the
+     probabilistic hazards below exactly like a scripted window. *)
+  mutable down : (proc:int -> at:int -> bool) option;
+  mutable crash_drops : int;
 }
 
 let create ?(latency_ns = 150_000) ?(ns_per_byte = 57) ?(header_bytes = 64) ~nprocs () =
@@ -88,19 +123,25 @@ let create ?(latency_ns = 150_000) ?(ns_per_byte = 57) ?(header_bytes = 64) ~npr
     payload_received = Array.make nprocs 0;
     by_kind = Array.make nkinds 0;
     fault = None;
+    down = None;
+    crash_drops = 0;
   }
 
 let set_fault_policy t policy =
   t.fault <-
     Some
       {
-        policy;
+        policy = validate_fault_policy policy;
         prng = Midway_util.Prng.create ~seed:policy.fault_seed;
         drops = 0;
         dups = 0;
       }
 
 let fault_policy t = Option.map (fun f -> f.policy) t.fault
+
+let set_crash_predicate t down = t.down <- down
+
+let crash_drops_injected t = t.crash_drops
 
 let nprocs t = t.nprocs
 
@@ -163,20 +204,55 @@ let send ?(overhead_bytes = 0) t ~kind ~src ~dst ~payload_bytes ~at =
   if payload_bytes < 0 || overhead_bytes < 0 then invalid_arg "Net.send: negative payload";
   if src = dst then Delivered at
   else begin
-    t.msgs_sent.(src) <- t.msgs_sent.(src) + 1;
-    t.payload_sent.(src) <- t.payload_sent.(src) + payload_bytes;
-    t.by_kind.(kind_index kind) <- t.by_kind.(kind_index kind) + 1;
-    let base = at + transfer_ns t ~payload_bytes:(payload_bytes + overhead_bytes) in
-    let outcome =
-      match t.fault with
-      | None -> Delivered base
-      | Some f -> inject f ~kind ~src ~dst ~at ~base ~echo_ns:t.latency_ns
+    let down proc when_ =
+      match t.down with None -> false | Some f -> f ~proc ~at:when_
     in
-    (match outcome with
-    | Dropped -> ()
-    | Delivered _ | Duplicated _ ->
-        t.payload_received.(dst) <- t.payload_received.(dst) + payload_bytes);
-    outcome
+    if down src at then begin
+      (* a halted processor puts nothing on the wire *)
+      t.crash_drops <- t.crash_drops + 1;
+      Dropped
+    end
+    else begin
+      t.msgs_sent.(src) <- t.msgs_sent.(src) + 1;
+      t.payload_sent.(src) <- t.payload_sent.(src) + payload_bytes;
+      t.by_kind.(kind_index kind) <- t.by_kind.(kind_index kind) + 1;
+      let base = at + transfer_ns t ~payload_bytes:(payload_bytes + overhead_bytes) in
+      let outcome =
+        match t.fault with
+        | None -> Delivered base
+        | Some f -> inject f ~kind ~src ~dst ~at ~base ~echo_ns:t.latency_ns
+      in
+      (* a copy arriving at a down destination is destroyed in the NIC;
+         each surviving copy is judged at its own arrival time, so an
+         echo can outlive a recovery the original missed *)
+      let outcome =
+        match outcome with
+        | Dropped -> Dropped
+        | Delivered a ->
+            if down dst a then begin
+              t.crash_drops <- t.crash_drops + 1;
+              Dropped
+            end
+            else Delivered a
+        | Duplicated (a, b) -> (
+            match (down dst a, down dst b) with
+            | false, false -> Duplicated (a, b)
+            | false, true ->
+                t.crash_drops <- t.crash_drops + 1;
+                Delivered a
+            | true, false ->
+                t.crash_drops <- t.crash_drops + 1;
+                Delivered b
+            | true, true ->
+                t.crash_drops <- t.crash_drops + 2;
+                Dropped)
+      in
+      (match outcome with
+      | Dropped -> ()
+      | Delivered _ | Duplicated _ ->
+          t.payload_received.(dst) <- t.payload_received.(dst) + payload_bytes);
+      outcome
+    end
   end
 
 let messages_sent t ~proc = t.msgs_sent.(proc)

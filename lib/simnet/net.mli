@@ -27,6 +27,9 @@ type kind =
   | Barrier_release
   | Startup
   | Ack  (** reliable-channel acknowledgement (see {!Reliable}) *)
+  | Replicate  (** bound-data replica shipped to a backup at release (see {!Crash}) *)
+  | Vote  (** failover ballot requesting an ownership-transfer vote *)
+  | Vote_reply  (** a quorum member's answer to a ballot *)
 
 val kind_name : kind -> string
 
@@ -64,6 +67,14 @@ val uniform_faults :
 (** A policy with the same hazards on every link and no scripted
     windows.  Defaults: no duplication, no jitter, seed 42. *)
 
+val validate_fault_policy : fault_policy -> fault_policy
+(** Check every probability field of the policy ([link] and each entry
+    of [overrides]): [drop] and [duplicate] must lie in [0, 1] and
+    [jitter_ns] must be non-negative, else [Invalid_argument] naming the
+    offending field is raised.  Returns the policy unchanged.  Both
+    {!uniform_faults} and {!set_fault_policy} validate, so a hand-built
+    policy cannot silently misbehave through the raw PRNG compare. *)
+
 type t
 
 val create :
@@ -76,6 +87,18 @@ val set_fault_policy : t -> fault_policy -> unit
     resets the injection PRNG to the new policy's seed. *)
 
 val fault_policy : t -> fault_policy option
+
+val set_crash_predicate : t -> (proc:int -> at:int -> bool) option -> unit
+(** Arm (or disarm with [None]) node-level faults: when the predicate
+    says a processor is down, any message it would send is never put on
+    the wire, and any copy arriving at it is destroyed in the NIC — a
+    deterministic drop, composing with the probabilistic hazards like a
+    scripted window.  Typically [Crash.is_down] partially applied to a
+    {!Crash.plan}. *)
+
+val crash_drops_injected : t -> int
+(** Copies destroyed because an endpoint was down (0 without a crash
+    predicate). *)
 
 val nprocs : t -> int
 

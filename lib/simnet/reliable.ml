@@ -27,9 +27,31 @@ type t = {
      It sees values [send] computed anyway, after all fault draws are
      resolved, so arming it cannot perturb the PRNG stream or the run. *)
   mutable observer : (episode -> unit) option;
+  (* Suspicion oracle: when set and the retry budget runs out against a
+     peer the oracle says is down, the episode surfaces as [Suspected]
+     (a failure-detector event the recovery protocol reacts to) instead
+     of the generic [Exhausted]. *)
+  mutable suspector : (peer:int -> at:int -> bool) option;
+}
+
+type suspicion = {
+  s_kind : Net.kind;
+  s_src : int;
+  s_dst : int;
+  s_seq : int;
+  s_attempts : int;
+  s_elapsed_ns : int;  (** virtual time burned before giving up *)
 }
 
 exception Exhausted of string
+
+exception Suspected of suspicion
+
+let exhausted_message ~kind ~src ~dst ~seq ~attempts ~elapsed_ns =
+  Printf.sprintf
+    "Reliable.send: exhausted {kind=%s; src=p%d; dst=p%d; seq=%d; attempts=%d; \
+     elapsed_ns=%d}"
+    (Net.kind_name kind) src dst seq attempts elapsed_ns
 
 let create ?(config = default_config) net =
   if config.timeout_ns <= 0 then invalid_arg "Reliable.create: timeout must be positive";
@@ -45,11 +67,14 @@ let create ?(config = default_config) net =
     retransmits = 0;
     backoff_ns = 0;
     observer = None;
+    suspector = None;
   }
 
 let config t = t.cfg
 
 let set_observer t f = t.observer <- f
+
+let set_suspector t f = t.suspector <- f
 
 type delivery = {
   delivered_at : int;
@@ -101,11 +126,34 @@ let send ?(overhead_bytes = 0) t ~kind ~src ~dst ~payload_bytes ~at =
     while !acked = None do
       if !attempts >= t.cfg.max_attempts then begin
         t.unacked <- t.unacked - 1;
-        raise
-          (Exhausted
-             (Printf.sprintf
-                "Reliable.send: %s seq %d from p%d to p%d lost %d times (retry budget %d)"
-                (Net.kind_name kind) seq src dst !attempts t.cfg.max_attempts))
+        t.retransmits <- t.retransmits + !attempts - 1;
+        t.backoff_ns <- t.backoff_ns + !backoff;
+        let elapsed_ns = !send_at - at in
+        (* Either end being down explains the exhaustion as a crash
+           fault: a dead receiver never acks, and a sender that crashed
+           mid-episode stops retransmitting (its remaining copies drop
+           at the network).  The caller tells the cases apart from the
+           plan — a dead source means the caller itself is the crash. *)
+        let suspected =
+          match t.suspector with
+          | Some dead -> dead ~peer:dst ~at:!send_at || dead ~peer:src ~at:!send_at
+          | None -> false
+        in
+        if suspected then
+          raise
+            (Suspected
+               {
+                 s_kind = kind;
+                 s_src = src;
+                 s_dst = dst;
+                 s_seq = seq;
+                 s_attempts = !attempts;
+                 s_elapsed_ns = elapsed_ns;
+               })
+        else
+          raise
+            (Exhausted
+               (exhausted_message ~kind ~src ~dst ~seq ~attempts:!attempts ~elapsed_ns))
       end;
       incr attempts;
       let ack =

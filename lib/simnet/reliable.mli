@@ -37,7 +37,42 @@ type t
 
 exception Exhausted of string
 (** Raised when a message burns its whole retry budget — under an
-    all-drop fault window this is the expected diagnosis. *)
+    all-drop fault window this is the expected diagnosis.  The message
+    is structured, one [key=value] per episode field:
+    ["Reliable.send: exhausted {kind=lock-request; src=p0; dst=p1;
+    seq=4; attempts=20; elapsed_ns=…}"], where [elapsed_ns] is the
+    virtual time between the first copy and giving up. *)
+
+type suspicion = {
+  s_kind : Net.kind;
+  s_src : int;
+  s_dst : int;
+  s_seq : int;
+  s_attempts : int;
+  s_elapsed_ns : int;  (** virtual time burned before giving up *)
+}
+(** A failure-detector event: the retry budget ran out against a peer
+    the {!set_suspector} oracle considers down. *)
+
+exception Suspected of suspicion
+(** Raised instead of {!Exhausted} when the suspicion oracle blames
+    either end of the link, not the wire: a dead receiver never acks,
+    and a sender that crashed mid-episode stops retransmitting.  The
+    recovery protocol ({!Midway.Runtime}) tells the cases apart from
+    the crash plan — a dead receiver triggers quorum ownership
+    failover, a dead sender is the caller's own crash taking effect.  A
+    partitioned-but-alive peer still surfaces as {!Exhausted}. *)
+
+val exhausted_message :
+  kind:Net.kind -> src:int -> dst:int -> seq:int -> attempts:int -> elapsed_ns:int ->
+  string
+(** The exact message {!Exhausted} carries — exposed so tests can assert
+    the format. *)
+
+val set_suspector : t -> (peer:int -> at:int -> bool) option -> unit
+(** Install (or clear) the suspicion oracle consulted when a retry
+    budget runs out.  With node-level faults armed this is
+    {!Crash.is_down} on the run's crash plan. *)
 
 val create : ?config:config -> Net.t -> t
 
@@ -83,8 +118,11 @@ val send :
     retry and acknowledgement against the fabric's fault draws.  On a
     fault-free fabric this degenerates to exactly one data copy plus one
     ack.  Self-sends are delivered locally: no messages, no sequence
-    number, all counters zero.  Raises {!Exhausted} when
-    [config.max_attempts] transmissions all fail to produce an ack. *)
+    number, all counters zero.  Raises {!Exhausted} (or {!Suspected},
+    when the suspicion oracle blames the peer) when
+    [config.max_attempts] transmissions all fail to produce an ack; the
+    failed attempts still count toward {!total_retransmits} and
+    {!total_backoff_ns}. *)
 
 val unacked : t -> int
 (** Messages currently in flight (sent, not yet acknowledged).  Because

@@ -23,6 +23,8 @@ type t = {
   mutable drops_observed : int;
   mutable duplicates_suppressed : int;
   mutable backoff_time_ns : int;
+  mutable failovers : int;
+  mutable replications : int;
 }
 
 let create () =
@@ -51,6 +53,8 @@ let create () =
     drops_observed = 0;
     duplicates_suppressed = 0;
     backoff_time_ns = 0;
+    failovers = 0;
+    replications = 0;
   }
 
 let reset t =
@@ -77,7 +81,9 @@ let reset t =
   t.retransmits <- 0;
   t.drops_observed <- 0;
   t.duplicates_suppressed <- 0;
-  t.backoff_time_ns <- 0
+  t.backoff_time_ns <- 0;
+  t.failovers <- 0;
+  t.replications <- 0
 
 let add ~into t =
   into.dirtybits_set <- into.dirtybits_set + t.dirtybits_set;
@@ -103,7 +109,9 @@ let add ~into t =
   into.retransmits <- into.retransmits + t.retransmits;
   into.drops_observed <- into.drops_observed + t.drops_observed;
   into.duplicates_suppressed <- into.duplicates_suppressed + t.duplicates_suppressed;
-  into.backoff_time_ns <- into.backoff_time_ns + t.backoff_time_ns
+  into.backoff_time_ns <- into.backoff_time_ns + t.backoff_time_ns;
+  into.failovers <- into.failovers + t.failovers;
+  into.replications <- into.replications + t.replications
 
 let total arr =
   let acc = create () in
@@ -139,6 +147,8 @@ let average arr =
     acc.drops_observed <- acc.drops_observed / n;
     acc.duplicates_suppressed <- acc.duplicates_suppressed / n;
     acc.backoff_time_ns <- acc.backoff_time_ns / n;
+    acc.failovers <- acc.failovers / n;
+    acc.replications <- acc.replications / n;
     acc
   end
 

@@ -40,6 +40,9 @@ type t = {
   mutable drops_observed : int;  (** data/ack copies of this processor's messages the fabric destroyed *)
   mutable duplicates_suppressed : int;  (** redundant incoming copies discarded by sequence number *)
   mutable backoff_time_ns : int;  (** virtual time this processor's messages spent in retransmission timeouts *)
+  (* --- crash-recovery activity (all zero without node-level faults) --- *)
+  mutable failovers : int;  (** quorum lock-ownership transfers this processor initiated *)
+  mutable replications : int;  (** bound-data replicas this processor shipped at release *)
 }
 
 val create : unit -> t

@@ -138,6 +138,7 @@ let test_fuzzer_finds_and_shrinks_order_bug () =
               rp_ecsan = true;
               rp_fault_drop = None;
               rp_fault_seed = None;
+              rp_crash = None;
               rp_schedule_seed = Some c.Explore.c_schedule_seed;
               rp_choices = Some l;
             }
@@ -168,6 +169,115 @@ let test_fuzzer_shrinks_racy_to_empty () =
          go 0)
   | l -> Alcotest.fail (Printf.sprintf "expected exactly one failure, got %d" (List.length l))
 
+(* Satellite: the determinism contract over the full fault space — a
+   (workload seed, schedule seed, fault seed, crash schedule) tuple
+   yields a bit-identical run digest across two executions.  The crashy
+   digest folds in the killed set and the failover count, so the
+   recovery protocol itself is under the identity check. *)
+let runs_are_deterministic_under_crash_faults =
+  QCheck.Test.make
+    ~name:"(workload, schedule, fault, crash) tuples replay bit-identically" ~count:6
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+    (fun (sseed, cseed) ->
+      let plan =
+        Midway_simnet.Crash.seeded ~seed:cseed ~nprocs:4 ~events:2 ~horizon_ns:600_000
+      in
+      let w = Workload.crashy ~iters:4 in
+      let run () =
+        let cfg = Config.make Config.Rt ~nprocs:4 in
+        let cfg = { cfg with Config.ecsan = true; sched_policy = Engine.Seeded sseed } in
+        let cfg = Config.with_faults ~drop:0.01 ~seed:(sseed lxor 0x5A5A) cfg in
+        let cfg = Config.with_crash plan cfg in
+        Explore.execute w cfg
+      in
+      let a = run () and b = run () in
+      if a.Explore.j_digest = "" then
+        QCheck.Test.fail_reportf "sseed=%d cseed=%d: no digest (%s)" sseed cseed
+          a.Explore.j_reason;
+      if a.Explore.j_digest <> b.Explore.j_digest || a.Explore.j_reason <> b.Explore.j_reason
+      then
+        QCheck.Test.fail_reportf "sseed=%d cseed=%d: %S / %S vs %S / %S" sseed cseed
+          a.Explore.j_digest a.Explore.j_reason b.Explore.j_digest b.Explore.j_reason;
+      true)
+
+(* The crash-event shrinker, against a pure predicate. *)
+let test_shrink_crash_deletes_to_minimum () =
+  let module Crash = Midway_simnet.Crash in
+  let ev at_ns proc action = { Crash.at_ns; proc; action } in
+  let plan =
+    Crash.scripted
+      [ ev 10 0 Crash.Stop; ev 20 0 Crash.Recover; ev 30 1 Crash.Stop ]
+  in
+  (* the failure only needs p1's stop; p0's stop/recover pair is noise.
+     Deleting p0's Stop alone is illegal (dangling Recover), so the
+     fixpoint pass must remove the Recover first, then the Stop. *)
+  let fails p =
+    List.exists (fun e -> e.Crash.proc = 1 && e.Crash.action = Crash.Stop) (Crash.events p)
+  in
+  let shrunk, runs = Explore.shrink_crash ~budget:30 ~fails plan in
+  (match Crash.events shrunk with
+  | [ e ] ->
+      Alcotest.(check int) "the culprit survives" 1 e.Crash.proc;
+      Alcotest.(check bool) "and is a stop" true (e.Crash.action = Crash.Stop)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length l)));
+  Alcotest.(check bool) "bounded budget" true (runs <= 30)
+
+(* End to end over the crash dimension: the fuzzer composes crash
+   schedules with thread schedules, catches the broken-failover prey,
+   shrinks the crash-event list, and the dumped counterexample replays
+   through the file format. *)
+let test_fuzzer_finds_broken_failover () =
+  let spec =
+    {
+      Explore.default_spec with
+      Explore.workloads = [ Workload.crashy_broken ~iters:6 ];
+      backends = [ Config.Rt; Config.Vm ];
+      schedules = 12;
+      crash_events = 2;
+      crash_horizon_ns = 800_000;
+    }
+  in
+  let report = Explore.run_spec spec in
+  match report.Explore.failures with
+  | [] -> Alcotest.fail "the broken failover escaped the grid"
+  | c :: _ -> (
+      Alcotest.(check string) "right workload" "crashy-broken" c.Explore.c_workload;
+      (match c.Explore.c_crash with
+      | None -> Alcotest.fail "counterexample must carry its crash plan"
+      | Some s -> Alcotest.(check bool) "the plan shrank to stops only" true
+            (String.length s > 0 && not (String.contains s ' ')));
+      match Explore.parse_counterexample (Explore.render_counterexample c) with
+      | Error e -> Alcotest.fail e
+      | Ok rp -> (
+          Alcotest.(check bool) "crash plan survives the file round trip" true
+            (rp.Explore.rp_crash = c.Explore.c_crash);
+          match Explore.replay rp with
+          | Error e -> Alcotest.fail e
+          | Ok r ->
+              Alcotest.(check bool) "the shrunk crash counterexample reproduces" true
+                r.Explore.rr_failed))
+
+(* The clean crash workload must survive the same grid: failover under
+   seeded crash schedules is not allowed to corrupt the bound data. *)
+let test_fuzzer_crash_clean_sweep () =
+  let spec =
+    {
+      Explore.default_spec with
+      Explore.workloads = [ Workload.crashy ~iters:6 ];
+      backends = [ Config.Rt; Config.Vm; Config.Twin ];
+      schedules = 8;
+      crash_events = 2;
+      crash_horizon_ns = 800_000;
+    }
+  in
+  let report = Explore.run_spec spec in
+  (match report.Explore.failures with
+  | [] -> ()
+  | c :: _ ->
+      Alcotest.fail
+        (Printf.sprintf "quorum failover corrupted a clean run: %s" c.Explore.c_reason));
+  Alcotest.(check int) "three grid points swept" 3 report.Explore.grid_points
+
 (* Counterexample file round trip. *)
 let test_counterexample_roundtrip () =
   let c =
@@ -178,6 +288,7 @@ let test_counterexample_roundtrip () =
       c_ecsan = false;
       c_fault_drop = Some 0.02;
       c_fault_seed = Some 1234;
+      c_crash = Some "stop@2000:p1,recover@8000:p1";
       c_schedule_seed = 17;
       c_reason = "oracle: something\nbroke";
       c_choices = Some [ 0; 2; 1 ];
@@ -195,7 +306,9 @@ let test_counterexample_roundtrip () =
       Alcotest.(check (option (list int))) "the shrunk choices travel" (Some [ 2 ])
         rp.Explore.rp_choices;
       Alcotest.(check (option int)) "schedule seed" (Some 17) rp.Explore.rp_schedule_seed;
-      Alcotest.(check (option int)) "fault seed" (Some 1234) rp.Explore.rp_fault_seed
+      Alcotest.(check (option int)) "fault seed" (Some 1234) rp.Explore.rp_fault_seed;
+      Alcotest.(check (option string)) "the crash plan travels"
+        (Some "stop@2000:p1,recover@8000:p1") rp.Explore.rp_crash
 
 let test_parse_rejects_junk () =
   (match Explore.parse_counterexample "workload=counter\nnot a kv line" with
@@ -241,8 +354,11 @@ let () =
   Alcotest.run "explore"
     [
       ( "property",
-        [ qtest random_programs_converge; Alcotest.test_case "ecgen deterministic" `Quick
-            test_ecgen_deterministic ] );
+        [
+          qtest random_programs_converge;
+          qtest runs_are_deterministic_under_crash_faults;
+          Alcotest.test_case "ecgen deterministic" `Quick test_ecgen_deterministic;
+        ] );
       ( "record/replay",
         [
           Alcotest.test_case "replay reproduces a clean run" `Quick
@@ -256,12 +372,18 @@ let () =
             test_shrink_everywhere_failure_to_empty;
           Alcotest.test_case "unreproducible is None" `Quick test_shrink_unreproducible_is_none;
           Alcotest.test_case "zeroes survivors" `Quick test_shrink_zeroes_survivors;
+          Alcotest.test_case "crash events delete to the culprit" `Quick
+            test_shrink_crash_deletes_to_minimum;
         ] );
       ( "fuzzer",
         [
           Alcotest.test_case "finds and shrinks the order bug" `Quick
             test_fuzzer_finds_and_shrinks_order_bug;
           Alcotest.test_case "shrinks racy to empty" `Quick test_fuzzer_shrinks_racy_to_empty;
+          Alcotest.test_case "finds the broken failover via the crash dimension" `Quick
+            test_fuzzer_finds_broken_failover;
+          Alcotest.test_case "clean failover survives the crash grid" `Quick
+            test_fuzzer_crash_clean_sweep;
         ] );
       ( "counterexample files",
         [

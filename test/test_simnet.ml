@@ -1,9 +1,10 @@
 (* Tests for the interconnect model: transfer-time arithmetic,
-   per-processor payload accounting, fault injection and the reliable
-   delivery channel built on top of it. *)
+   per-processor payload accounting, fault injection, node-crash plans
+   and the reliable delivery channel built on top of it. *)
 
 module Net = Midway_simnet.Net
 module Reliable = Midway_simnet.Reliable
+module Crash = Midway_simnet.Crash
 
 let qtest = QCheck_alcotest.to_alcotest
 
@@ -152,6 +153,47 @@ let test_fault_window () =
   | Net.Delivered _ -> ()
   | _ -> Alcotest.fail "window end is exclusive")
 
+(* An out-of-range probability would be compared raw against the PRNG
+   draw and silently act like 0 or 1; construction must refuse it and
+   name the offending field. *)
+let test_fault_policy_validation () =
+  Alcotest.check_raises "drop above one"
+    (Invalid_argument "Net.fault_policy: link.drop = 1.5 outside [0, 1]")
+    (fun () -> ignore (Net.uniform_faults ~drop:1.5 ()));
+  Alcotest.check_raises "negative duplicate"
+    (Invalid_argument "Net.fault_policy: link.duplicate = -0.25 outside [0, 1]")
+    (fun () -> ignore (Net.uniform_faults ~duplicate:(-0.25) ~drop:0.0 ()));
+  Alcotest.check_raises "negative jitter"
+    (Invalid_argument "Net.fault_policy: link.jitter_ns = -5 is negative")
+    (fun () -> ignore (Net.uniform_faults ~jitter_ns:(-5) ~drop:0.0 ()));
+  Alcotest.check_raises "per-link override named by its endpoints"
+    (Invalid_argument "Net.fault_policy: overrides[(0,1)].drop = 2 outside [0, 1]")
+    (fun () ->
+      ignore
+        (Net.validate_fault_policy
+           {
+             Net.link = Net.fault_free_link;
+             overrides = [ ((0, 1), { Net.drop = 2.0; duplicate = 0.0; jitter_ns = 0 }) ];
+             windows = [];
+             fault_seed = 1;
+           }));
+  (* arming a hand-built policy validates too *)
+  let net = Net.create ~nprocs:2 () in
+  Alcotest.check_raises "set_fault_policy validates"
+    (Invalid_argument "Net.fault_policy: link.drop = -1 outside [0, 1]")
+    (fun () ->
+      Net.set_fault_policy net
+        {
+          Net.link = { Net.drop = -1.0; duplicate = 0.0; jitter_ns = 0 };
+          overrides = [];
+          windows = [];
+          fault_seed = 1;
+        });
+  (* a valid policy passes through unchanged *)
+  let p = Net.uniform_faults ~duplicate:1.0 ~drop:0.0 () in
+  Alcotest.(check bool) "valid policy survives validation" true
+    (Net.validate_fault_policy p == p)
+
 let test_delivery_of_dropped_raises () =
   Alcotest.check_raises "delivery of Dropped"
     (Invalid_argument "Net.delivery: message was dropped")
@@ -238,9 +280,76 @@ let test_reliable_exhausts () =
       ~config:{ Reliable.timeout_ns = 1_000; backoff_cap_ns = 4_000; max_attempts = 3 } net
   in
   (match Reliable.send ch ~kind:Net.Lock_request ~src:0 ~dst:1 ~payload_bytes:0 ~at:0 with
-  | exception Reliable.Exhausted _ -> ()
+  | exception Reliable.Exhausted msg ->
+      (* copies at 0, 1000, 3000; the give-up check happens one (capped)
+         timeout after the last copy, so the episode burned 7000 ns *)
+      Alcotest.(check string) "structured episode context in the message"
+        "Reliable.send: exhausted {kind=lock-request; src=p0; dst=p1; seq=0; attempts=3; \
+         elapsed_ns=7000}"
+        msg;
+      Alcotest.(check string) "message agrees with exhausted_message"
+        (Reliable.exhausted_message ~kind:Net.Lock_request ~src:0 ~dst:1 ~seq:0 ~attempts:3
+           ~elapsed_ns:7000)
+        msg
   | _ -> Alcotest.fail "a 100% loss rate must exhaust the retry budget");
   Alcotest.(check int) "gave up cleanly: nothing left in flight" 0 (Reliable.unacked ch)
+
+(* With the suspicion oracle armed, a retry budget burned against a dead
+   RECEIVER surfaces as the failure-detector event the recovery protocol
+   reacts to, with the full episode context. *)
+let test_reliable_suspects_dead_receiver () =
+  let net = Net.create ~nprocs:2 () in
+  let plan = Crash.scripted [ { Crash.at_ns = 0; proc = 1; action = Crash.Stop } ] in
+  Net.set_crash_predicate net (Some (fun ~proc ~at -> Crash.is_down plan ~proc ~at));
+  let ch =
+    Reliable.create
+      ~config:{ Reliable.timeout_ns = 1_000; backoff_cap_ns = 4_000; max_attempts = 3 } net
+  in
+  Reliable.set_suspector ch (Some (fun ~peer ~at -> Crash.is_down plan ~proc:peer ~at));
+  (match Reliable.send ch ~kind:Net.Lock_request ~src:0 ~dst:1 ~payload_bytes:0 ~at:100 with
+  | exception Reliable.Suspected s ->
+      Alcotest.(check int) "suspect is the receiver" 1 s.Reliable.s_dst;
+      Alcotest.(check int) "sender recorded" 0 s.Reliable.s_src;
+      Alcotest.(check int) "sequence recorded" 0 s.Reliable.s_seq;
+      Alcotest.(check int) "whole budget burned" 3 s.Reliable.s_attempts;
+      Alcotest.(check int) "elapsed virtual time" 7_000 s.Reliable.s_elapsed_ns;
+      Alcotest.(check string) "kind recorded" "lock-request" (Net.kind_name s.Reliable.s_kind)
+  | _ -> Alcotest.fail "sending to a dead peer must raise Suspected");
+  Alcotest.(check bool) "the NIC destroyed the copies" true (Net.crash_drops_injected net > 0);
+  Alcotest.(check int) "nothing left in flight" 0 (Reliable.unacked ch)
+
+(* ... and a SENDER that crashes mid-episode is also a suspicion, not a
+   generic exhaustion: its remaining copies drop at the network, and the
+   caller (the runtime) recognises its own crash from the plan. *)
+let test_reliable_suspects_dead_sender () =
+  let net = Net.create ~nprocs:2 () in
+  let plan = Crash.scripted [ { Crash.at_ns = 2_000; proc = 0; action = Crash.Stop } ] in
+  Net.set_crash_predicate net (Some (fun ~proc ~at -> Crash.is_down plan ~proc ~at));
+  (* the first two copies (at 100 and 1100) die in a scripted window;
+     the third is never put on the wire — the sender is down by then *)
+  Net.set_fault_policy net
+    {
+      Net.link = Net.fault_free_link;
+      overrides = [];
+      windows =
+        [ { Net.w_from_ns = 0; w_until_ns = 2_000; w_kind = Some Net.Lock_request;
+            w_src = None; w_dst = None } ];
+      fault_seed = 1;
+    };
+  let ch =
+    Reliable.create
+      ~config:{ Reliable.timeout_ns = 1_000; backoff_cap_ns = 4_000; max_attempts = 3 } net
+  in
+  Reliable.set_suspector ch (Some (fun ~peer ~at -> Crash.is_down plan ~proc:peer ~at));
+  (match Reliable.send ch ~kind:Net.Lock_request ~src:0 ~dst:1 ~payload_bytes:0 ~at:100 with
+  | exception Reliable.Suspected s ->
+      Alcotest.(check int) "episode blamed on a crash, src recorded" 0 s.Reliable.s_src;
+      Alcotest.(check int) "receiver was alive the whole time" 1 s.Reliable.s_dst;
+      Alcotest.(check int) "whole budget burned" 3 s.Reliable.s_attempts
+  | exception Reliable.Exhausted _ ->
+      Alcotest.fail "a sender crash mid-episode must surface as Suspected, not Exhausted"
+  | _ -> Alcotest.fail "the episode cannot succeed: every copy died");
+  Alcotest.(check int) "nothing left in flight" 0 (Reliable.unacked ch)
 
 let test_reliable_ack_lost_on_final_attempt () =
   (* The nastiest give-up: every data copy arrives but every ack dies,
@@ -353,6 +462,93 @@ let test_reliable_backoff_cap_clamps () =
   Alcotest.(check int) "channel retransmit total agrees" 4 (Reliable.total_retransmits ch);
   Alcotest.(check int) "all acked in the end" 0 (Reliable.unacked ch)
 
+(* ------------------------------------------------------------------ *)
+(* Crash plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ev at_ns proc action = { Crash.at_ns; proc; action }
+
+let test_crash_scripted_validation () =
+  Alcotest.check_raises "double stop"
+    (Invalid_argument "Crash.scripted: p1 stopped twice (second at 30 ns)")
+    (fun () -> ignore (Crash.scripted [ ev 10 1 Crash.Stop; ev 30 1 Crash.Stop ]));
+  Alcotest.check_raises "recovery of a live processor"
+    (Invalid_argument "Crash.scripted: p0 recovers at 5 ns but is not down")
+    (fun () -> ignore (Crash.scripted [ ev 5 0 Crash.Recover ]));
+  Alcotest.check_raises "negative event time"
+    (Invalid_argument "Crash.scripted: negative event time")
+    (fun () -> ignore (Crash.scripted [ ev (-1) 0 Crash.Stop ]));
+  Alcotest.check_raises "negative processor"
+    (Invalid_argument "Crash.scripted: negative processor")
+    (fun () -> ignore (Crash.scripted [ ev 10 (-2) Crash.Stop ]))
+
+let test_crash_plan_queries () =
+  let p =
+    Crash.scripted
+      [ ev 100 1 Crash.Stop; ev 300 1 Crash.Recover; ev 200 0 Crash.Stop ]
+  in
+  Alcotest.(check bool) "up before its stop" false (Crash.is_down p ~proc:1 ~at:99);
+  Alcotest.(check bool) "down from the stop instant" true (Crash.is_down p ~proc:1 ~at:100);
+  Alcotest.(check bool) "still down just before recovery" true (Crash.is_down p ~proc:1 ~at:299);
+  Alcotest.(check bool) "up from the recovery instant" false (Crash.is_down p ~proc:1 ~at:300);
+  Alcotest.(check bool) "crash-stop never comes back" true (Crash.is_down p ~proc:0 ~at:max_int);
+  Alcotest.(check bool) "unscripted processor never down" false
+    (Crash.is_down p ~proc:2 ~at:max_int);
+  Alcotest.(check int) "two down mid-plan" 2 (Crash.down_count p ~nprocs:3 ~at:250);
+  Alcotest.(check int) "one down after the recovery" 1 (Crash.down_count p ~nprocs:3 ~at:400);
+  Alcotest.(check int) "stops seen so far" 1 (Crash.stops_before p ~proc:1 ~at:250);
+  Alcotest.(check (option int)) "first stop" (Some 100) (Crash.first_stop p ~proc:1);
+  Alcotest.(check (option int)) "no stop scripted" None (Crash.first_stop p ~proc:2);
+  Alcotest.(check int) "empty plan is empty" 0 (List.length (Crash.events Crash.empty))
+
+let test_crash_render_parse_roundtrip () =
+  let p =
+    Crash.scripted
+      [ ev 100 1 Crash.Stop; ev 300 1 Crash.Recover; ev 200 0 Crash.Stop ]
+  in
+  (* events are kept sorted by time, so rendering is canonical *)
+  Alcotest.(check string) "canonical rendering" "stop@100:p1,stop@200:p0,recover@300:p1"
+    (Crash.render p);
+  (match Crash.parse_spec ~nprocs:2 (Crash.render p) with
+  | Ok q -> Alcotest.(check string) "round trip" (Crash.render p) (Crash.render q)
+  | Error e -> Alcotest.fail e);
+  (* time suffixes scale to nanoseconds *)
+  (match Crash.parse_spec ~nprocs:4 "stop@2ms:p1,recover@8ms:p1" with
+  | Ok q -> Alcotest.(check string) "ms suffix" "stop@2000000:p1,recover@8000000:p1" (Crash.render q)
+  | Error e -> Alcotest.fail e);
+  (* the seeded form is parsed and reproducible *)
+  (match (Crash.parse_spec ~nprocs:4 "n=2,seed=7", Crash.parse_spec ~nprocs:4 "n=2,seed=7") with
+  | Ok a, Ok b ->
+      Alcotest.(check string) "seeded form deterministic" (Crash.render a) (Crash.render b)
+  | _ -> Alcotest.fail "seeded form must parse");
+  (* malformed specs come back as Error, never as an exception *)
+  let expect_error what s =
+    match Crash.parse_spec ~nprocs:4 s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (what ^ " must be rejected")
+  in
+  expect_error "out-of-range target" "stop@2ms:p9";
+  expect_error "unknown action" "pause@2ms:p1";
+  expect_error "bad time" "stop@soon:p1";
+  expect_error "seeded form without n" "seed=7";
+  expect_error "alternation break" "recover@5:p0";
+  expect_error "empty spec" ""
+
+(* The seeded generator must never script a majority down — quorum
+   failover has to stay able to make progress under any seed. *)
+let crash_seeded_keeps_majority_up =
+  QCheck.Test.make ~name:"seeded crash plans keep a strict majority up" ~count:100
+    QCheck.(pair (int_bound 10_000) (int_range 1 8))
+    (fun (seed, nprocs) ->
+      let mk () = Crash.seeded ~seed ~nprocs ~events:nprocs ~horizon_ns:1_000_000 in
+      let p = mk () in
+      (* the down set only changes at event instants, so checking each
+         one bounds the whole timeline *)
+      List.for_all
+        (fun (e : Crash.event) -> 2 * Crash.down_count p ~nprocs ~at:e.Crash.at_ns < nprocs)
+        (Crash.events p)
+      && Crash.render (mk ()) = Crash.render p)
+
 let delivery_monotone =
   QCheck.Test.make ~name:"delivery time grows with payload" ~count:200
     QCheck.(pair (int_bound 100_000) (int_bound 100_000))
@@ -420,7 +616,16 @@ let () =
           Alcotest.test_case "certain drop" `Quick test_certain_drop;
           Alcotest.test_case "certain duplication" `Quick test_certain_duplication;
           Alcotest.test_case "scripted window" `Quick test_fault_window;
+          Alcotest.test_case "policy validation names the field" `Quick
+            test_fault_policy_validation;
           Alcotest.test_case "delivery of Dropped raises" `Quick test_delivery_of_dropped_raises;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "scripted plan validation" `Quick test_crash_scripted_validation;
+          Alcotest.test_case "plan queries" `Quick test_crash_plan_queries;
+          Alcotest.test_case "render/parse round trip" `Quick test_crash_render_parse_roundtrip;
+          qtest crash_seeded_keeps_majority_up;
         ] );
       ( "reliable",
         [
@@ -430,6 +635,9 @@ let () =
           Alcotest.test_case "suppresses duplicates" `Quick test_reliable_suppresses_duplicates;
           Alcotest.test_case "exponential backoff" `Quick test_reliable_backoff_doubles;
           Alcotest.test_case "retry budget exhaustion" `Quick test_reliable_exhausts;
+          Alcotest.test_case "suspects a dead receiver" `Quick
+            test_reliable_suspects_dead_receiver;
+          Alcotest.test_case "suspects a dead sender" `Quick test_reliable_suspects_dead_sender;
           Alcotest.test_case "ack lost on final attempt" `Quick
             test_reliable_ack_lost_on_final_attempt;
           Alcotest.test_case "dup suppression across retransmit" `Quick
