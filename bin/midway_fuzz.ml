@@ -9,11 +9,20 @@
      midway-fuzz --faults 0.02 --fault-seed 42    # fault x thread schedules
      midway-fuzz --crash-events 2                 # crash x thread schedules
 
-   Demo: hunt the deliberately buggy workloads (order-sensitive, racy)
-   and exit 0 only if every one is caught and shrunk within the grid —
-   the self-test wired into @fuzzsmoke:
+   Demo: hunt the deliberately buggy workloads (order-sensitive, racy,
+   deadlocky) and exit 0 only if every one is caught and shrunk within
+   the grid — the self-test wired into @fuzzsmoke.  The synchronization
+   defects among them (racy, deadlocky) must additionally be flagged by
+   the static analyzer first, with the exact diagnostic class and zero
+   executions (order-sensitive is statically clean by design: its bug
+   is an oracle assumption, not a synchronization defect):
 
      midway-fuzz --demo-bug --schedules 12
+
+   Analyze: static EC-IR analysis of the selected workloads before the
+   sweep, each static warning handed to the explorer as a hunt target:
+
+     midway-fuzz --analyze --apps racy,deadlocky,ecgen-buggy:1
 
    Replay: re-execute a dumped counterexample and exit 0 iff the
    failure reproduces:
@@ -24,6 +33,16 @@
 module Config = Midway.Config
 module Explore = Midway_explore.Explore
 module Workload = Midway_explore.Workload
+module Analyze = Midway_analyze.Analyze
+
+(* The demo's static contract: these seeded bugs are synchronization
+   defects, so the analyzer must flag them — with this exact class —
+   before any run. *)
+let demo_static_expectations =
+  [ ("racy", "unsynchronized-access"); ("deadlocky", "lock-cycle") ]
+
+let static_flags report slug =
+  List.exists (fun f -> Analyze.class_slug f.Analyze.cls = slug) report.Analyze.warnings
 
 let parse_names of_name csv =
   String.split_on_char ',' csv
@@ -91,7 +110,7 @@ let run_replay scale trace_out metrics_out path =
       end
 
 let run apps_csv backends_csv schedules schedule_seed nprocs scale faults fault_seed crash
-    crash_events crash_seed crash_horizon trace no_ecsan demo_bug shrink_budget dump
+    crash_events crash_seed crash_horizon trace no_ecsan demo_bug analyze shrink_budget dump
     replay_file trace_out metrics_out =
   match replay_file with
   | Some path -> run_replay scale trace_out metrics_out path
@@ -141,6 +160,36 @@ let run apps_csv backends_csv schedules schedule_seed nprocs scale faults fault_
           max_shrink_runs = shrink_budget;
         }
       in
+      (* static pre-pass: the demo's synchronization defects must be
+         flagged before any run; --analyze reports (and hunts) every
+         static warning of the selected workloads *)
+      let static_ok = ref true in
+      if demo_bug then
+        List.iter
+          (fun (w : Workload.t) ->
+            match List.assoc_opt w.Workload.name demo_static_expectations with
+            | None -> ()
+            | Some slug -> (
+                match Explore.static_report ~nprocs w with
+                | Some rep when static_flags rep slug ->
+                    Printf.printf "demo: %s statically flagged as [%s] with zero runs\n"
+                      w.Workload.name slug
+                | _ ->
+                    Printf.printf "demo: %s NOT statically flagged as [%s] — analyzer miss\n"
+                      w.Workload.name slug;
+                    static_ok := false))
+          workloads;
+      if analyze then
+        List.iter
+          (fun (w : Workload.t) ->
+            match
+              Explore.confirm_static ~backends ~schedules ~schedule_seed ~nprocs w
+            with
+            | None -> Printf.printf "analyze: %s has no EC-IR lift, skipped\n" w.Workload.name
+            | Some (rep, confirmations) ->
+                print_string (Analyze.render rep);
+                List.iter (fun c -> print_endline (Explore.render_confirmation c)) confirmations)
+          workloads;
       let report = Explore.run_spec ~progress:print_endline spec in
       let failures = report.Explore.failures in
       Printf.printf "\n%d run(s) over %d grid point(s): %d failure(s)\n" report.Explore.total_runs
@@ -156,10 +205,11 @@ let run apps_csv backends_csv schedules schedule_seed nprocs scale faults fault_
             failures
         in
         let missed = List.filter (fun w -> not (caught w)) workloads in
-        if missed = [] then begin
+        if missed = [] && !static_ok then begin
           Printf.printf "demo: every seeded bug was found and shrunk\n";
           0
         end
+        else if missed = [] then 1 (* dynamically caught, but the static pre-pass missed *)
         else begin
           List.iter
             (fun (w : Workload.t) ->
@@ -264,7 +314,17 @@ let demo_bug =
     & info [ "demo-bug" ]
         ~doc:
           "Hunt the deliberately buggy workloads instead of the clean ones; exit 0 only if \
-           every seeded bug is found and shrunk within the grid.")
+           the static analyzer flags the synchronization defects first (exact class, zero \
+           runs) and every seeded bug is then found and shrunk within the grid.")
+
+let analyze =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:
+          "Before the sweep, statically analyze each selected workload's EC-IR and hand every \
+           static warning to the explorer as a hunt target (CONFIRMED vs unconfirmed).  \
+           Informational: does not change the exit code.")
 
 let shrink_budget =
   Arg.(
@@ -308,6 +368,6 @@ let cmd =
     Term.(
       const run $ apps $ backends $ schedules $ schedule_seed $ nprocs $ scale $ faults
       $ fault_seed $ crash $ crash_events $ crash_seed $ crash_horizon $ trace $ no_ecsan
-      $ demo_bug $ shrink_budget $ dump $ replay_file $ trace_out $ metrics_out)
+      $ demo_bug $ analyze $ shrink_budget $ dump $ replay_file $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval' cmd)

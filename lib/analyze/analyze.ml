@@ -1,0 +1,639 @@
+(* ECLint: static entry-consistency analysis over the EC-IR.
+
+   Three passes over one walk of the program grid:
+
+   1. A flow-sensitive lockset / binding-coverage dataflow.  Per
+      processor, per round, every shared access is checked against the
+      bindings the processor can be *sure* cover it (held locks whose
+      binding cannot change under it, plus barrier bindings).  Bytes
+      that are not surely covered join the may-race set, classified onto
+      the same diagnostic classes ECSan uses dynamically — so a static
+      verdict and a dynamic one can be compared word for word.
+
+   2. A static lock-order graph.  Acquiring L2 while holding L1 records
+      the edge L1 -> L2, tagged with the acquisition path; a cycle whose
+      witness edges come from one round and at least two processors is a
+      potential deadlock.
+
+   3. Binding hygiene: overlapping lock bindings, degenerate (empty)
+      ranges, bindings never written by anyone, and rebinds performed
+      without exclusive ownership.
+
+   Soundness contract (checked by the test suite): every diagnosis
+   ECSan can produce on some schedule of a program appears in the
+   static may-race set, by class (and by sync object when both name
+   one).  The converse does not hold — the static set may contain
+   warnings no schedule realizes; the schedule explorer is used to
+   confirm or refute those. *)
+
+module Range = Midway_check.Range
+module Diag = Midway_check.Diag
+
+type hygiene =
+  | Overlapping_bindings
+  | Degenerate_binding
+  | Never_written_binding
+  | Rebind_without_exclusive_hold
+
+type cls = May_race of Diag.cls | Lock_cycle | Hygiene of hygiene
+
+type finding = {
+  cls : cls;
+  procs : int list;
+  sync : int;
+  lo : int;
+  hi : int;
+  round : int;
+  count : int;
+  detail : string;
+  witness : string list;
+}
+
+type report = {
+  program : string;
+  nprocs : int;
+  warnings : finding list;
+  lints : finding list;
+}
+
+let hygiene_slug = function
+  | Overlapping_bindings -> "overlapping-bindings"
+  | Degenerate_binding -> "degenerate-binding"
+  | Never_written_binding -> "never-written-binding"
+  | Rebind_without_exclusive_hold -> "rebind-without-exclusive-hold"
+
+let class_slug = function
+  | May_race d -> Diag.class_name d
+  | Lock_cycle -> "lock-cycle"
+  | Hygiene h -> hygiene_slug h
+
+let is_warning = function May_race _ | Lock_cycle -> true | Hygiene _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Deduplicating accumulator                                           *)
+(* ------------------------------------------------------------------ *)
+
+type acc = {
+  a_cls : cls;
+  a_sync : int;
+  mutable a_procs : int list;
+  mutable a_lo : int;
+  mutable a_hi : int;
+  mutable a_round : int;
+  mutable a_count : int;
+  a_detail : string;
+  mutable a_witness : string list;  (* reversed *)
+}
+
+type emitter = {
+  tbl : (string, acc) Hashtbl.t;
+  mutable order : acc list;  (* reversed insertion order *)
+}
+
+let new_emitter () = { tbl = Hashtbl.create 16; order = [] }
+
+let emit e ~cls ?(extra = "") ~procs ~sync ~round ?(ranges = []) ~detail ?wit () =
+  let key = Printf.sprintf "%s/%d/%s" (class_slug cls) sync extra in
+  let a =
+    match Hashtbl.find_opt e.tbl key with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            a_cls = cls;
+            a_sync = sync;
+            a_procs = [];
+            a_lo = max_int;
+            a_hi = min_int;
+            a_round = max_int;
+            a_count = 0;
+            a_detail = detail;
+            a_witness = [];
+          }
+        in
+        Hashtbl.replace e.tbl key a;
+        e.order <- a :: e.order;
+        a
+  in
+  a.a_count <- a.a_count + 1;
+  a.a_procs <- List.sort_uniq compare (procs @ a.a_procs);
+  if round < a.a_round then a.a_round <- round;
+  List.iter
+    (fun r ->
+      if not (Range.is_empty r) then begin
+        if r.Range.addr < a.a_lo then a.a_lo <- r.Range.addr;
+        if Range.limit r > a.a_hi then a.a_hi <- Range.limit r
+      end)
+    ranges;
+  match wit with
+  | Some w when List.length a.a_witness < 8 && not (List.mem w a.a_witness) ->
+      a.a_witness <- w :: a.a_witness
+  | _ -> ()
+
+let findings_of e =
+  List.rev_map
+    (fun a ->
+      {
+        cls = a.a_cls;
+        procs = a.a_procs;
+        sync = a.a_sync;
+        lo = (if a.a_lo = max_int then 0 else a.a_lo);
+        hi = (if a.a_hi = min_int then 0 else a.a_hi);
+        round = (if a.a_round = max_int then -1 else a.a_round);
+        count = a.a_count;
+        detail = a.a_detail;
+        witness = List.rev a.a_witness;
+      })
+    e.order
+
+(* ------------------------------------------------------------------ *)
+(* The analysis                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let norm rs = Range.normalize rs
+
+let inter_all = function [] -> [] | v :: vs -> List.fold_left Range.inter v vs
+
+let union_all vs = List.fold_left Range.union [] vs
+
+let analyze (p : Ir.program) : report =
+  (match Ir.validate p with
+  | [] -> ()
+  | e :: _ -> invalid_arg ("Analyze.analyze: malformed program: " ^ e));
+  let e = new_emitter () in
+  let nr = Array.length p.rounds in
+  let nprocs = p.nprocs in
+  let locks = List.map (fun (id, rs) -> (id, norm rs)) p.locks in
+  let barriers = List.map (fun (id, rs) -> (id, norm rs)) p.barriers in
+  let barrier_cover = union_all (List.map snd barriers) in
+
+  (* --- pre-scan: per-round per-proc access footprints ---------------- *)
+  let reads = Array.make_matrix nr nprocs [] in
+  let writes = Array.make_matrix nr nprocs [] in
+  let privs = Array.make_matrix nr nprocs [] in
+  Array.iteri
+    (fun r procs ->
+      Array.iteri
+        (fun proc ops ->
+          List.iter
+            (fun op ->
+              match op with
+              | Ir.Read rg -> reads.(r).(proc) <- rg :: reads.(r).(proc)
+              | Ir.Write rg -> writes.(r).(proc) <- rg :: writes.(r).(proc)
+              | Ir.Write_private rg -> privs.(r).(proc) <- rg :: privs.(r).(proc)
+              | Ir.Acquire _ | Ir.Release _ | Ir.Rebind _ | Ir.Work _ -> ())
+            ops;
+          reads.(r).(proc) <- norm reads.(r).(proc);
+          writes.(r).(proc) <- norm writes.(r).(proc);
+          privs.(r).(proc) <- norm privs.(r).(proc))
+        procs)
+    p.rounds;
+  (* Cumulative views up to and including round [r]: what has been
+     written by anyone, and what each processor has touched.  Barriers
+     order rounds, so accesses in later rounds cannot precede an access
+     in round [r]; same-round accesses can. *)
+  let touched_upto = Array.make_matrix nr nprocs [] in
+  let written_upto = Array.make nr [] in
+  for r = 0 to nr - 1 do
+    for q = 0 to nprocs - 1 do
+      let prev = if r = 0 then [] else touched_upto.(r - 1).(q) in
+      touched_upto.(r).(q) <- Range.union prev (Range.union reads.(r).(q) writes.(r).(q))
+    done;
+    let prev = if r = 0 then [] else written_upto.(r - 1) in
+    written_upto.(r) <- Range.union prev (union_all (Array.to_list writes.(r)))
+  done;
+  let touched_by_other ~proc r =
+    let acc = ref [] in
+    for q = 0 to nprocs - 1 do
+      if q <> proc then acc := Range.union !acc touched_upto.(r).(q)
+    done;
+    !acc
+  in
+  let all_written = if nr = 0 then [] else written_upto.(nr - 1) in
+
+  (* --- hygiene: declared bindings ------------------------------------ *)
+  let check_degenerate ~sync ~round raw =
+    List.iter
+      (fun rg ->
+        if Range.is_empty rg then
+          emit e ~cls:(Hygiene Degenerate_binding) ~procs:[] ~sync ~round
+            ~detail:
+              (Printf.sprintf "sync %d binds a zero-length range at %#x" sync rg.Range.addr)
+            ())
+      raw
+  in
+  List.iter (fun (id, raw) -> check_degenerate ~sync:id ~round:(-1) raw) p.locks;
+  List.iter (fun (id, raw) -> check_degenerate ~sync:id ~round:(-1) raw) p.barriers;
+  let rec overlap_pairs = function
+    | [] -> ()
+    | (ida, ba) :: rest ->
+        List.iter
+          (fun (idb, bb) ->
+            match Range.inter ba bb with
+            | [] -> ()
+            | o ->
+                emit e
+                  ~cls:(Hygiene Overlapping_bindings)
+                  ~extra:(Printf.sprintf "%d-%d" ida idb)
+                  ~procs:[] ~sync:ida ~round:(-1) ~ranges:o
+                  ~detail:
+                    (Printf.sprintf "locks %d and %d both bind %s" ida idb (Ir.pp_ranges o))
+                  ())
+          rest;
+        overlap_pairs rest
+  in
+  overlap_pairs locks;
+
+  (* --- the walk ------------------------------------------------------- *)
+  (* Binding state per lock: the carried-in binding at round start, the
+     set of versions that may be in effect during the round (carry-in
+     plus every rebind target of the round), and the bytes ever bound. *)
+  let carry = Hashtbl.create 8 in
+  let ever = Hashtbl.create 8 in
+  List.iter
+    (fun (id, b) ->
+      Hashtbl.replace carry id b;
+      Hashtbl.replace ever id b)
+    locks;
+  (* held state persists across rounds (a lock may be held across a
+     barrier); own_version tracks a rebind the holder itself performed,
+     which it — alone — can rely on until release. *)
+  let held = Array.make nprocs [] in
+  let own_version = Array.make nprocs [] in
+  (* lock-order edges, per round: (from, to) -> witnesses (proc, text) *)
+  let priv_events = ref [] in  (* (proc, round, ranges) *)
+  let unbound_events = ref [] in  (* (proc, round, ranges, writing) *)
+  for r = 0 to nr - 1 do
+    (* versions in effect during this round *)
+    let round_rebinds = Hashtbl.create 4 in
+    Array.iter
+      (fun ops ->
+        List.iter
+          (fun op ->
+            match op with
+            | Ir.Rebind { lock; ranges } ->
+                let prev = Option.value (Hashtbl.find_opt round_rebinds lock) ~default:[] in
+                Hashtbl.replace round_rebinds lock (prev @ [ norm ranges ])
+            | _ -> ())
+          ops)
+      p.rounds.(r);
+    let versions id =
+      let base = Option.value (Hashtbl.find_opt carry id) ~default:[] in
+      base :: Option.value (Hashtbl.find_opt round_rebinds id) ~default:[]
+    in
+    let cur_inter = List.map (fun (id, _) -> (id, inter_all (versions id))) locks in
+    let cur_union = List.map (fun (id, _) -> (id, union_all (versions id))) locks in
+    let ever_before = List.map (fun (id, _) -> (id, Hashtbl.find ever id)) locks in
+    (* bytes that may be observed retired from lock [id] this round *)
+    let may_retired =
+      List.map
+        (fun (id, ev) ->
+          (id, Range.subtract_list ev ~minus:(List.assoc id cur_inter)))
+        ever_before
+    in
+    let sure_binding ~proc id =
+      match List.assoc_opt id own_version.(proc) with
+      | Some v -> v
+      | None -> List.assoc id cur_inter
+    in
+    let edges = Hashtbl.create 8 in
+    let barrier_writes = Hashtbl.create 4 in  (* barrier id -> (proc, ranges) list *)
+
+    (* classify the uncovered bytes of one access *)
+    let classify ~proc ~verb ~writing uncovered =
+      if uncovered <> [] then begin
+        let remaining = ref uncovered in
+        List.iter
+          (fun (id, ret) ->
+            match Range.inter uncovered ret with
+            | [] -> ()
+            | stale ->
+                remaining := Range.subtract_list !remaining ~minus:stale;
+                emit e
+                  ~cls:(May_race Diag.Stale_binding_access)
+                  ~procs:[ proc ] ~sync:id ~round:r ~ranges:stale
+                  ~detail:
+                    (Printf.sprintf "p%d may %s data that lock %d no longer binds (rebound away)"
+                       proc verb id)
+                  ())
+          may_retired;
+        (* bound to a lock the processor does not hold (including the
+           ambiguous bytes a same-round rebind may retire) *)
+        List.iter
+          (fun (id, cu) ->
+            match Range.inter uncovered cu with
+            | [] -> ()
+            | bound ->
+                remaining := Range.subtract_list !remaining ~minus:bound;
+                emit e
+                  ~cls:(May_race Diag.Unsynchronized_access)
+                  ~procs:[ proc ] ~sync:id ~round:r ~ranges:bound
+                  ~detail:
+                    (Printf.sprintf "p%d may %s %s bound to lock %d without holding it" proc verb
+                       (Ir.pp_ranges bound) id)
+                  ())
+          cur_union;
+        (* formerly bound, no current binding *)
+        let ever_any = union_all (List.map snd ever_before) in
+        (match Range.inter !remaining ever_any with
+        | [] -> ()
+        | formerly ->
+            remaining := Range.subtract_list !remaining ~minus:formerly;
+            emit e
+              ~cls:(May_race Diag.Unsynchronized_access)
+              ~procs:[ proc ] ~sync:(-1) ~round:r ~ranges:formerly
+              ~detail:
+                (Printf.sprintf "p%d may %s formerly-bound data with no current binding" proc verb)
+              ());
+        (* never bound: aggregate program-wide, conflicts decided later *)
+        if !remaining <> [] then
+          unbound_events := (proc, r, !remaining, writing) :: !unbound_events
+      end
+    in
+
+    Array.iteri
+      (fun proc ops ->
+        List.iter
+          (fun op ->
+            match op with
+            | Ir.Work _ -> ()
+            | Ir.Acquire { lock; mode } ->
+                List.iter
+                  (fun (h, _) ->
+                    if h <> lock then begin
+                      let wit =
+                        Printf.sprintf "p%d round %d: holds {%s}, acquires %d" proc r
+                          (String.concat "," (List.rev_map (fun (l, _) -> string_of_int l)
+                                                held.(proc)))
+                          lock
+                      in
+                      let prev =
+                        Option.value (Hashtbl.find_opt edges (h, lock)) ~default:[]
+                      in
+                      Hashtbl.replace edges (h, lock) (prev @ [ (proc, wit) ])
+                    end)
+                  held.(proc);
+                if not (List.mem_assoc lock held.(proc)) then
+                  held.(proc) <- (lock, mode) :: held.(proc)
+                else if mode = Ir.Exclusive then
+                  held.(proc) <-
+                    List.map (fun (l, m) -> if l = lock then (l, Ir.Exclusive) else (l, m))
+                      held.(proc)
+            | Ir.Release lock ->
+                held.(proc) <- List.remove_assoc lock held.(proc);
+                own_version.(proc) <- List.remove_assoc lock own_version.(proc)
+            | Ir.Rebind { lock; ranges } ->
+                check_degenerate ~sync:lock ~round:r ranges;
+                (match List.assoc_opt lock held.(proc) with
+                | Some Ir.Exclusive -> ()
+                | held_how ->
+                    emit e
+                      ~cls:(Hygiene Rebind_without_exclusive_hold)
+                      ~procs:[ proc ] ~sync:lock ~round:r ~ranges:(norm ranges)
+                      ~detail:
+                        (Printf.sprintf "p%d rebinds lock %d %s" proc lock
+                           (match held_how with
+                           | None -> "without holding it"
+                           | Some _ -> "while holding it only in shared mode"))
+                      ());
+                own_version.(proc) <-
+                  (lock, norm ranges) :: List.remove_assoc lock own_version.(proc)
+            | Ir.Read rg ->
+                let rg = norm [ rg ] in
+                let covered =
+                  union_all
+                    (barrier_cover
+                    :: List.map (fun (l, _) -> sure_binding ~proc l) held.(proc))
+                in
+                let uncovered = Range.subtract_list rg ~minus:covered in
+                (* a read races only with a write another processor may
+                   have performed (same or earlier round) *)
+                let conflict =
+                  Range.inter
+                    (Range.inter uncovered written_upto.(r))
+                    (touched_by_other ~proc r)
+                in
+                classify ~proc ~verb:"read" ~writing:false conflict
+            | Ir.Write rg ->
+                let rg = norm [ rg ] in
+                List.iter
+                  (fun (b, bb) ->
+                    match Range.inter rg bb with
+                    | [] -> ()
+                    | hit ->
+                        let prev =
+                          Option.value (Hashtbl.find_opt barrier_writes b) ~default:[]
+                        in
+                        Hashtbl.replace barrier_writes b (prev @ [ (proc, hit) ]))
+                  barriers;
+                let excl_cover =
+                  union_all
+                    (List.filter_map
+                       (fun (l, m) ->
+                         if m = Ir.Exclusive then Some (sure_binding ~proc l) else None)
+                       held.(proc))
+                in
+                let left = Range.subtract_list rg ~minus:excl_cover in
+                let left =
+                  List.fold_left
+                    (fun left (l, m) ->
+                      if m <> Ir.Shared then left
+                      else
+                        match Range.inter left (sure_binding ~proc l) with
+                        | [] -> left
+                        | shared_hit ->
+                            emit e
+                              ~cls:(May_race Diag.Write_under_shared_hold)
+                              ~procs:[ proc ] ~sync:l ~round:r ~ranges:shared_hit
+                              ~detail:
+                                (Printf.sprintf
+                                   "p%d writes %s bound to lock %d while holding it in shared \
+                                    (read) mode"
+                                   proc (Ir.pp_ranges shared_hit) l)
+                              ();
+                            Range.subtract_list left ~minus:shared_hit)
+                    left held.(proc)
+                in
+                let uncovered = Range.subtract_list left ~minus:barrier_cover in
+                classify ~proc ~verb:"write" ~writing:true uncovered
+            | Ir.Write_private rg -> priv_events := (proc, r, norm [ rg ]) :: !priv_events)
+          ops)
+      p.rounds.(r);
+
+    (* same-round conflicting writes to barrier-bound data: the slot
+       arriving later at the crossing silently wins *)
+    List.iter
+      (fun (b, _) ->
+        let ws = Option.value (Hashtbl.find_opt barrier_writes b) ~default:[] in
+        let rec pairs = function
+          | [] -> ()
+          | (pa, ra) :: rest ->
+              List.iter
+                (fun (pb, rb) ->
+                  if pa <> pb then
+                    match Range.inter ra rb with
+                    | [] -> ()
+                    | o ->
+                        emit e
+                          ~cls:(May_race Diag.Unsynchronized_access)
+                          ~procs:[ pa; pb ] ~sync:b ~round:r ~ranges:o
+                          ~detail:
+                            (Printf.sprintf
+                               "p%d and p%d may both write barrier %d's bound data %s in the \
+                                same round (one update is lost at the merge)"
+                               (min pa pb) (max pa pb) b (Ir.pp_ranges o))
+                          ())
+                rest;
+              pairs rest
+        in
+        pairs ws)
+      barriers;
+
+    (* lock-order cycles among this round's edges *)
+    let nodes =
+      List.sort_uniq compare (Hashtbl.fold (fun (a, b) _ acc -> a :: b :: acc) edges [])
+    in
+    let succs n = List.filter (fun m -> Hashtbl.mem edges (n, m)) nodes in
+    let report_cycle cycle =
+      (* cycle = [n0; n1; ...; nk] with an implicit edge nk -> n0 *)
+      let edge_list =
+        let rec go = function
+          | a :: (b :: _ as rest) -> (a, b) :: go rest
+          | [ last ] -> [ (last, List.hd cycle) ]
+          | [] -> []
+        in
+        go cycle
+      in
+      let wits = List.concat_map (fun ed -> Hashtbl.find edges ed) edge_list in
+      let procs = List.sort_uniq compare (List.map fst wits) in
+      if List.length procs >= 2 then
+        emit e ~cls:Lock_cycle
+          ~extra:(String.concat "-" (List.map string_of_int cycle))
+          ~procs ~sync:(List.hd cycle) ~round:r
+          ~detail:
+            (Printf.sprintf "potential deadlock: lock %s -> %s"
+               (String.concat " -> lock " (List.map string_of_int cycle))
+               (string_of_int (List.hd cycle)))
+          ~wit:(String.concat "; " (List.map snd wits))
+          ()
+    in
+    let rec dfs start path n =
+      List.iter
+        (fun m ->
+          if m = start then report_cycle (List.rev path)
+          else if m > start && not (List.mem m path) then dfs start (m :: path) m)
+        (succs n)
+    in
+    List.iter (fun s -> dfs s [ s ] s) nodes;
+
+    (* round epilogue: advance binding state *)
+    List.iter
+      (fun (id, _) ->
+        (match Hashtbl.find_opt round_rebinds id with
+        | Some (_ :: _ as targets) ->
+            Hashtbl.replace carry id (List.nth targets (List.length targets - 1))
+        | _ -> ());
+        Hashtbl.replace ever id
+          (Range.union (Hashtbl.find ever id) (List.assoc id cur_union)))
+      locks
+  done;
+
+  (* --- program-wide classifications ----------------------------------- *)
+  (* unbound shared data: a conflict needs two processors and a write *)
+  let unbound = List.rev !unbound_events in
+  List.iter
+    (fun (pa, ra, rga, wa) ->
+      List.iter
+        (fun (pb, rb, rgb, wb) ->
+          (* each unordered distinct-processor pair once, writer required *)
+          if pa < pb && (wa || wb) then
+            match Range.inter rga rgb with
+              | [] -> ()
+              | o ->
+                  emit e
+                    ~cls:(May_race Diag.Unbound_shared_data)
+                    ~procs:[ pa; pb ] ~sync:(-1) ~round:(min ra rb) ~ranges:o
+                    ~detail:
+                      (Printf.sprintf
+                         "shared data %s touched by p%d and p%d but never bound to any lock or \
+                          barrier"
+                         (Ir.pp_ranges o) (min pa pb) (max pa pb))
+                    ())
+        unbound)
+    unbound;
+  (* private stores later read by another processor *)
+  List.iter
+    (fun (proc, r, rg) ->
+      for q = 0 to nprocs - 1 do
+        if q <> proc then
+          for r' = r to nr - 1 do
+            match Range.inter rg reads.(r').(q) with
+            | [] -> ()
+            | o ->
+                emit e
+                  ~cls:(May_race Diag.Misclassified_private_store)
+                  ~procs:[ proc; q ] ~sync:(-1) ~round:r ~ranges:o
+                  ~detail:
+                    (Printf.sprintf
+                       "p%d stores %s through write_*_private but p%d reads the data (the store \
+                        needed instrumentation)"
+                       proc (Ir.pp_ranges o) q)
+                  ()
+          done
+      done)
+    (List.rev !priv_events);
+  (* bindings nobody ever writes *)
+  List.iter
+    (fun (id, b) ->
+      if b <> [] && Range.inter b all_written = [] then
+        emit e
+          ~cls:(Hygiene Never_written_binding)
+          ~procs:[] ~sync:id ~round:(-1) ~ranges:b
+          ~detail:
+            (Printf.sprintf "sync %d binds %s but no processor ever writes it" id
+               (Ir.pp_ranges b))
+          ())
+    (locks @ barriers);
+
+  let all = findings_of e in
+  let warnings, lints = List.partition (fun f -> is_warning f.cls) all in
+  { program = p.name; nprocs; warnings; lints }
+
+(* ------------------------------------------------------------------ *)
+(* Queries and rendering                                               *)
+(* ------------------------------------------------------------------ *)
+
+let predicts report ~cls ~sync =
+  List.exists
+    (fun f ->
+      match f.cls with
+      | May_race d -> d = cls && (sync < 0 || f.sync < 0 || f.sync = sync)
+      | Lock_cycle | Hygiene _ -> false)
+    report.warnings
+
+let cycles report = List.filter (fun f -> f.cls = Lock_cycle) report.warnings
+
+let may_races report =
+  List.filter (fun f -> match f.cls with May_race _ -> true | _ -> false) report.warnings
+
+let render_finding f =
+  let where =
+    if f.hi > f.lo then Printf.sprintf " [%#x,%#x)" f.lo f.hi
+    else ""
+  in
+  let round = if f.round >= 0 then Printf.sprintf " (round %d)" f.round else "" in
+  let base = Printf.sprintf "  [%s]%s%s %s" (class_slug f.cls) where round f.detail in
+  match f.witness with
+  | [] -> base
+  | ws -> base ^ "\n" ^ String.concat "\n" (List.map (fun w -> "      " ^ w) ws)
+
+let render report =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "eclint %S (nprocs=%d): %d warning%s, %d lint%s\n" report.program
+    report.nprocs (List.length report.warnings)
+    (if List.length report.warnings = 1 then "" else "s")
+    (List.length report.lints)
+    (if List.length report.lints = 1 then "" else "s");
+  List.iter (fun f -> Buffer.add_string b (render_finding f ^ "\n")) report.warnings;
+  List.iter (fun f -> Buffer.add_string b (render_finding f ^ "\n")) report.lints;
+  Buffer.contents b

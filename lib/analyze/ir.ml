@@ -1,0 +1,103 @@
+(* The EC-IR: an entry-consistency program as data.
+
+   A program is a grid of per-processor operation sequences grouped into
+   barrier-separated *rounds*: every processor finishes its round-[r]
+   sequence and crosses the (implicit) round barrier before any
+   processor starts round [r+1].  Within a round the per-processor
+   sequences interleave arbitrarily — that interleaving freedom is
+   exactly what the static analyzer reasons about.
+
+   The IR deliberately mirrors the observable surface of the simulator's
+   runtime (acquire / release / rebind / typed loads and stores /
+   private stores) rather than its implementation, so the same program
+   can be executed dynamically under ECSan and analyzed statically, and
+   the two verdicts compared. *)
+
+module Range = Midway_check.Range
+
+type mode = Shared | Exclusive
+
+type op =
+  | Acquire of { lock : int; mode : mode }
+  | Release of int
+  | Read of Range.t  (* a load from shared memory, byte-granular *)
+  | Write of Range.t  (* a store to shared memory *)
+  | Write_private of Range.t  (* a store through the uninstrumented path *)
+  | Rebind of { lock : int; ranges : Range.t list }
+  | Work of int  (* local compute; no shared-memory effect *)
+
+type program = {
+  name : string;
+  nprocs : int;
+  locks : (int * Range.t list) list;  (* id, initial binding *)
+  barriers : (int * Range.t list) list;  (* id, binding (fixed) *)
+  rounds : op list array array;  (* rounds.(r).(p) = proc p's ops in round r *)
+}
+
+let mode_name = function Shared -> "shared" | Exclusive -> "exclusive"
+
+let pp_range r = Printf.sprintf "[%#x,%#x)" r.Range.addr (Range.limit r)
+
+let pp_ranges rs = String.concat "+" (List.map pp_range rs)
+
+let pp_op = function
+  | Acquire { lock; mode } -> Printf.sprintf "acquire(%d,%s)" lock (mode_name mode)
+  | Release l -> Printf.sprintf "release(%d)" l
+  | Read r -> Printf.sprintf "read%s" (pp_range r)
+  | Write r -> Printf.sprintf "write%s" (pp_range r)
+  | Write_private r -> Printf.sprintf "write_private%s" (pp_range r)
+  | Rebind { lock; ranges } -> Printf.sprintf "rebind(%d,%s)" lock (pp_ranges ranges)
+  | Work n -> Printf.sprintf "work(%d)" n
+
+(* Structural sanity: the dataflow passes are robust to unbalanced
+   acquire/release (they model it), but references to sync ids that the
+   program never declares, or a ragged round grid, are authoring bugs
+   worth rejecting up front. *)
+let validate p =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  if p.nprocs <= 0 then err "nprocs must be positive (got %d)" p.nprocs;
+  let ids = List.map fst p.locks @ List.map fst p.barriers in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun id ->
+      if Hashtbl.mem seen id then err "sync id %d declared twice" id;
+      Hashtbl.replace seen id ())
+    ids;
+  let known_lock id = List.mem_assoc id p.locks in
+  Array.iteri
+    (fun r procs ->
+      if Array.length procs <> p.nprocs then
+        err "round %d has %d processor slots, expected %d" r (Array.length procs) p.nprocs;
+      Array.iteri
+        (fun proc ops ->
+          List.iter
+            (fun op ->
+              match op with
+              | Acquire { lock; _ } | Release lock | Rebind { lock; _ } ->
+                  if not (known_lock lock) then
+                    err "round %d p%d: %s references undeclared lock %d" r proc (pp_op op) lock
+              | Read _ | Write _ | Write_private _ | Work _ -> ())
+            ops)
+        procs)
+    p.rounds;
+  List.rev !errs
+
+let pp p =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "program %S  nprocs=%d\n" p.name p.nprocs;
+  List.iter (fun (id, rs) -> Printf.bprintf b "  lock %d binds %s\n" id (pp_ranges rs)) p.locks;
+  List.iter
+    (fun (id, rs) ->
+      Printf.bprintf b "  barrier %d binds %s\n" id
+        (if rs = [] then "(nothing)" else pp_ranges rs))
+    p.barriers;
+  Array.iteri
+    (fun r procs ->
+      Printf.bprintf b "  round %d:\n" r;
+      Array.iteri
+        (fun proc ops ->
+          Printf.bprintf b "    p%d: %s\n" proc (String.concat "; " (List.map pp_op ops)))
+        procs)
+    p.rounds;
+  Buffer.contents b

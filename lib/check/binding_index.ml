@@ -3,8 +3,8 @@ type kind = Lock | Barrier
 type sync = {
   id : int;
   kind : kind;
-  mutable cur : Interval.t list;
-  mutable retired : Interval.t list;
+  mutable cur : Range.t list;
+  mutable retired : Range.t list;
   sync_count : int array;
   mutable episode : int;
 }
@@ -14,7 +14,7 @@ type t = {
   syncs : (int, sync) Hashtbl.t;
   word_index : (int, int list) Hashtbl.t;  (* word -> ids currently binding it *)
   retired_index : (int, int list) Hashtbl.t;  (* word -> ids that retired it *)
-  mutable ever : Interval.t list;  (* word-granular: every word ever bound *)
+  mutable ever : Range.t list;  (* word-granular: every word ever bound *)
   mutable degenerate : (int * int * int) list;  (* newest first *)
 }
 
@@ -28,24 +28,26 @@ let create ~nprocs =
     degenerate = [];
   }
 
-let intervals_of_raw raw = Interval.normalize (List.map (fun (addr, len) -> Interval.v ~lo:addr ~len) raw)
+let ranges_of_raw raw = Range.normalize (List.map (fun (addr, len) -> Range.v addr len) raw)
 
-(* Byte intervals widened to the 8-byte words they touch. *)
-let words_of ivs =
-  Interval.normalize
+(* Byte ranges widened to the 8-byte words they touch. *)
+let words_of ranges =
+  Range.normalize
     (List.filter_map
-       (fun (i : Interval.t) ->
-         if Interval.is_empty i then None
-         else Some { Interval.lo = i.Interval.lo asr 3; hi = ((i.Interval.hi - 1) asr 3) + 1 })
-       ivs)
+       (fun r ->
+         if Range.is_empty r then None
+         else
+           let lo = r.Range.addr asr 3 in
+           Some (Range.v lo (((Range.limit r - 1) asr 3) + 1 - lo)))
+       ranges)
 
-let index_add tbl ivs id =
-  Interval.iter_points (words_of ivs) ~f:(fun w ->
+let index_add tbl ranges id =
+  Range.iter_points (words_of ranges) ~f:(fun w ->
       let ids = Option.value (Hashtbl.find_opt tbl w) ~default:[] in
       if not (List.mem id ids) then Hashtbl.replace tbl w (ids @ [ id ]))
 
-let index_remove tbl ivs id =
-  Interval.iter_points (words_of ivs) ~f:(fun w ->
+let index_remove tbl ranges id =
+  Range.iter_points (words_of ranges) ~f:(fun w ->
       match Hashtbl.find_opt tbl w with
       | None -> ()
       | Some ids -> (
@@ -61,11 +63,11 @@ let note_degenerate t ~id ~raw =
 let register t ~id ~kind ~raw =
   if Hashtbl.mem t.syncs id then invalid_arg "Binding_index.register: duplicate sync id";
   note_degenerate t ~id ~raw;
-  let cur = intervals_of_raw raw in
+  let cur = ranges_of_raw raw in
   let s = { id; kind; cur; retired = []; sync_count = Array.make t.nprocs 0; episode = 0 } in
   Hashtbl.replace t.syncs id s;
   index_add t.word_index cur id;
-  t.ever <- Interval.union t.ever (words_of cur)
+  t.ever <- Range.union t.ever (words_of cur)
 
 let find t id = Hashtbl.find_opt t.syncs id
 
@@ -77,16 +79,16 @@ let get t id =
 let rebind t ~id ~raw =
   note_degenerate t ~id ~raw;
   let s = get t id in
-  let nw = intervals_of_raw raw in
+  let nw = ranges_of_raw raw in
   index_remove t.word_index s.cur id;
   index_add t.word_index nw id;
-  let new_retired = Interval.subtract (Interval.union s.retired s.cur) ~minus:nw in
+  let new_retired = Range.subtract_list (Range.union s.retired s.cur) ~minus:nw in
   index_remove t.retired_index s.retired id;
   index_remove t.retired_index s.cur id;
   index_add t.retired_index new_retired id;
   s.retired <- new_retired;
   s.cur <- nw;
-  t.ever <- Interval.union t.ever (words_of nw)
+  t.ever <- Range.union t.ever (words_of nw)
 
 let all t =
   Hashtbl.fold (fun _ s acc -> s :: acc) t.syncs []
@@ -101,9 +103,8 @@ let syncs_at t w = ids_at t.word_index t w
 
 let retired_at t w = ids_at t.retired_index t w
 
-let ever_bound t w = Interval.mem t.ever w
+let ever_bound t w = Range.mem t.ever w
 
 let degenerate t = List.rev t.degenerate
 
-let current_ranges t ~id =
-  List.map (fun (i : Interval.t) -> (i.Interval.lo, i.Interval.hi - i.Interval.lo)) (get t id).cur
+let current_ranges t ~id = List.map (fun r -> (r.Range.addr, r.Range.len)) (get t id).cur

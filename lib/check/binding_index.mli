@@ -14,8 +14,8 @@ type kind = Lock | Barrier
 type sync = {
   id : int;
   kind : kind;
-  mutable cur : Interval.t list;  (** current binding, byte-granular, normalized *)
-  mutable retired : Interval.t list;  (** once bound, no longer; byte-granular *)
+  mutable cur : Range.t list;  (** current binding, byte-granular, normalized *)
+  mutable retired : Range.t list;  (** once bound, no longer; byte-granular *)
   sync_count : int array;  (** per processor: acquisitions / barrier crossings *)
   mutable episode : int;  (** barriers: mirror of the runtime episode number *)
 }

@@ -241,17 +241,18 @@ let lint t ~region_kind =
               if a.Binding_index.kind = Binding_index.Lock && b.Binding_index.kind = Binding_index.Lock
               then
                 List.iter
-                  (fun (ia : Interval.t) ->
+                  (fun ia ->
                     List.iter
-                      (fun (ib : Interval.t) ->
-                        let lo = max ia.Interval.lo ib.Interval.lo in
-                        let hi = min ia.Interval.hi ib.Interval.hi in
-                        if lo < hi then
-                          lint_note ~cls:Diag.Lint_overlapping_bindings ~sync:a.Binding_index.id
-                            ~lo ~hi
-                            ~detail:
-                              (Printf.sprintf "locks %d and %d both bind [%#x,%#x)"
-                                 a.Binding_index.id b.Binding_index.id lo hi))
+                      (fun ib ->
+                        match Range.intersect ia ib with
+                        | None -> ()
+                        | Some o ->
+                            let lo = o.Range.addr and hi = Range.limit o in
+                            lint_note ~cls:Diag.Lint_overlapping_bindings ~sync:a.Binding_index.id
+                              ~lo ~hi
+                              ~detail:
+                                (Printf.sprintf "locks %d and %d both bind [%#x,%#x)"
+                                   a.Binding_index.id b.Binding_index.id lo hi))
                       b.Binding_index.cur)
                   a.Binding_index.cur)
             rest;
@@ -262,21 +263,20 @@ let lint t ~region_kind =
     List.iter
       (fun (s : Binding_index.sync) ->
         List.iter
-          (fun (i : Interval.t) ->
+          (fun i ->
+            let lo = i.Range.addr and hi = Range.limit i in
             let bad at =
               match region_kind at with
               | `Shared -> None
               | `Private -> Some "private memory"
               | `Unmapped -> Some "unmapped memory"
             in
-            match (bad i.Interval.lo, bad (i.Interval.hi - 1)) with
+            match (bad lo, bad (hi - 1)) with
             | Some what, _ | None, Some what ->
-                lint_note ~cls:Diag.Lint_private_binding ~sync:s.Binding_index.id ~lo:i.Interval.lo
-                  ~hi:i.Interval.hi
+                lint_note ~cls:Diag.Lint_private_binding ~sync:s.Binding_index.id ~lo ~hi
                   ~detail:
                     (Printf.sprintf "%s %d binds [%#x,%#x), which lies in %s"
-                       (kind_name s.Binding_index.kind) s.Binding_index.id i.Interval.lo
-                       i.Interval.hi what)
+                       (kind_name s.Binding_index.kind) s.Binding_index.id lo hi what)
             | None, None -> ())
           s.Binding_index.cur)
       syncs

@@ -1,8 +1,15 @@
-(** Address ranges: the unit of entry-consistency data binding.
+(** Address ranges: the unit of entry-consistency data binding, and the
+    one interval algebra of the tree.
 
     The programmer associates a lock or barrier with the ranges of shared
     memory it protects; collection scans exactly these ranges.  Ranges are
-    half-open byte intervals [\[addr, addr+len)]. *)
+    half-open byte intervals [\[addr, addr+len)].
+
+    The module lives in [midway_check] — the dependency-free layer below
+    the simulator — so the runtime (which re-exports it as
+    [Midway.Range]), the ECSan binding index and the static analyzer all
+    share a single implementation of normalize/merge/overlap instead of
+    carrying private copies. *)
 
 type t = { addr : int; len : int }
 
@@ -42,3 +49,24 @@ val iter_lines : t -> line_size:int -> f:(addr:int -> len:int -> unit) -> unit
     with the line's full extent (aligned start, [line_size] bytes), i.e.
     partially covered lines are widened to line granularity, because a
     dirtybit describes the whole line. *)
+
+(** {1 List algebra}
+
+    Set operations over range lists, used by the sanitizer's binding
+    index and the static analyzer.  All results are normalized. *)
+
+val mem : t list -> int -> bool
+(** Membership of a point. *)
+
+val union : t list -> t list -> t list
+
+val inter : t list -> t list -> t list
+
+val subtract_list : t list -> minus:t list -> t list
+(** Pieces of the first list not covered by the second. *)
+
+val covers : t list -> t list -> bool
+(** [covers ranges sub]: every byte of [sub] lies inside [ranges]. *)
+
+val iter_points : t list -> f:(int -> unit) -> unit
+(** Visit every integer point of a normalized list. *)

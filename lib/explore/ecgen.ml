@@ -23,6 +23,7 @@ type op =
   | Add of { group : int; cell : int; delta : int }
   | Raw_add of { group : int; cell : int; delta : int }  (* buggy: no acquire *)
   | Sweep of int  (* read-mode pull of one group *)
+  | Rebind of int  (* exclusive acquire + same-range rebind + release *)
   | Work of int  (* local computation, ns *)
 
 type program = {
@@ -42,16 +43,17 @@ let generate ?(buggy = false) ~seed ~nprocs () =
   let cells_per_group = 1 + Prng.int rng 4 in
   let nrounds = 1 + Prng.int rng 2 in
   let gen_op () =
-    let roll = Prng.int rng 10 in
-    if roll < 7 then
+    let roll = Prng.int rng 20 in
+    if roll < 13 then
       Add
         {
           group = Prng.int rng ngroups;
           cell = Prng.int rng cells_per_group;
           delta = 1 + Prng.int rng 9;
         }
-    else if roll < 9 then Sweep (Prng.int rng ngroups)
-    else Work ((1 + Prng.int rng 5) * 1_000)
+    else if roll < 17 then Sweep (Prng.int rng ngroups)
+    else if roll < 19 then Work ((1 + Prng.int rng 5) * 1_000)
+    else Rebind (Prng.int rng ngroups)
   in
   let ops =
     Array.init nrounds (fun _ ->
@@ -92,9 +94,59 @@ let expected program =
          | Add { group; cell; delta } | Raw_add { group; cell; delta } ->
              let i = (group * program.cells_per_group) + cell in
              exp.(i) <- exp.(i) + delta
-         | Sweep _ | Work _ -> ())))
+         | Sweep _ | Rebind _ | Work _ -> ())))
     program.ops;
   exp
+
+(* Lift to the EC-IR.  The static base address is 0 (the IR is abstract
+   over allocation), and sync ids follow creation order in [run]: lock
+   for group [g] gets id [g], the round barrier gets id [ngroups] —
+   exactly the runtime's assignment, so static findings name the same
+   objects ECSan would. *)
+let to_ir program =
+  let module Ir = Midway_analyze.Ir in
+  let cpg = program.cells_per_group in
+  let addr g i = ((g * cpg) + i) * 8 in
+  let cell g i = Range.v (addr g i) 8 in
+  let group_range g = Range.v (addr g 0) (cpg * 8) in
+  let lower = function
+    | Add { group; cell = i; _ } ->
+        [
+          Ir.Acquire { lock = group; mode = Ir.Exclusive };
+          Ir.Read (cell group i);
+          Ir.Write (cell group i);
+          Ir.Release group;
+        ]
+    | Raw_add { group; cell = i; _ } -> [ Ir.Read (cell group i); Ir.Write (cell group i) ]
+    | Sweep g ->
+        (Ir.Acquire { lock = g; mode = Ir.Shared }
+        :: List.init cpg (fun i -> Ir.Read (cell g i)))
+        @ [ Ir.Release g ]
+    | Rebind g ->
+        [
+          Ir.Acquire { lock = g; mode = Ir.Exclusive };
+          Ir.Rebind { lock = g; ranges = [ group_range g ] };
+          Ir.Release g;
+        ]
+    | Work ns -> [ Ir.Work ns ]
+  in
+  let converge_round =
+    Array.init program.nprocs (fun _ ->
+        List.concat
+          (List.init program.ngroups (fun g ->
+               [ Ir.Acquire { lock = g; mode = Ir.Shared }; Ir.Release g ])))
+  in
+  {
+    Ir.name =
+      Printf.sprintf "%s:%d" (if program.buggy then "ecgen-buggy" else "ecgen") program.seed;
+    nprocs = program.nprocs;
+    locks = List.init program.ngroups (fun g -> (g, [ group_range g ]));
+    barriers = [ (program.ngroups, []) ];
+    rounds =
+      Array.init (program.nrounds + 1) (fun r ->
+          if r < program.nrounds then Array.map (List.concat_map lower) program.ops.(r)
+          else converge_round);
+  }
 
 let run program cfg =
   if cfg.Config.nprocs <> program.nprocs then
@@ -127,6 +179,12 @@ let run program cfg =
               ignore (R.read_int c (addr group i))
             done;
             R.release c locks.(group)
+        | Rebind group ->
+            (* a same-range rebind: exercises the rebind path while
+               leaving the binding — and therefore the oracle — intact *)
+            R.acquire c locks.(group);
+            R.rebind c locks.(group) [ Range.v (addr group 0) (cpg * 8) ];
+            R.release c locks.(group)
         | Work ns -> R.work_ns c ns
       in
       let body c =
@@ -148,6 +206,7 @@ let workload ?(buggy = false) ~seed () =
     Workload.name = Printf.sprintf "%s:%d" (if buggy then "ecgen-buggy" else "ecgen") seed;
     buggy;
     supports = Workload.lock_based;
+    ir = Some (fun ~nprocs -> to_ir (generate ~buggy ~seed ~nprocs ()));
     run =
       (fun cfg ->
         run (generate ~buggy ~seed ~nprocs:cfg.Config.nprocs ()) cfg);

@@ -14,6 +14,9 @@ type op =
   | Raw_add of { group : int; cell : int; delta : int }
       (** the seeded bug: the same add without the acquire *)
   | Sweep of int  (** read-mode pull of one group *)
+  | Rebind of int
+      (** exclusive acquire + same-range rebind + release: exercises the
+          rebind path while leaving the binding (and the oracle) intact *)
   | Work of int  (** local computation, ns *)
 
 type program = {
@@ -30,6 +33,13 @@ val generate : ?buggy:bool -> seed:int -> nprocs:int -> unit -> program
 (** Deterministic: equal [(buggy, seed, nprocs)] yield equal programs.
     Always contains at least one [Add].  With [buggy] (default false)
     one randomly chosen add loses its lock and becomes [Raw_add]. *)
+
+val to_ir : program -> Midway_analyze.Ir.program
+(** Lift to the EC-IR for static analysis (base address 0; lock for
+    group [g] gets sync id [g], the round barrier id [ngroups] — the
+    runtime's creation-order assignment, so static and dynamic findings
+    name the same objects).  The lowered grid has [nrounds + 1] rounds:
+    the generated ones plus the converge sweep. *)
 
 val expected : program -> int array
 (** The sequential oracle: per-cell sum of all deltas (cells start 0),

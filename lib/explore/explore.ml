@@ -475,6 +475,7 @@ let workload_of_name ?(scale = 0.05) name =
   | "mix" -> Ok (Workload.mix ~groups:3 ~iters:6)
   | "order-sensitive" -> Ok Workload.order_sensitive
   | "racy" -> Ok Workload.racy
+  | "deadlocky" -> Ok Workload.deadlocky
   | "crashy" -> Ok (Workload.crashy ~iters:6)
   | "crashy-broken" -> Ok (Workload.crashy_broken ~iters:6)
   | _ -> (
@@ -489,7 +490,7 @@ let workload_of_name ?(scale = 0.05) name =
               | Error _ ->
                   Error
                     (Printf.sprintf
-                       "unknown workload %S (expected counter|readers-writer|mix|order-sensitive|racy|crashy|crashy-broken|ecgen:SEED|ecgen-buggy:SEED|water|quicksort|matrix|sor|cholesky)"
+                       "unknown workload %S (expected counter|readers-writer|mix|order-sensitive|racy|deadlocky|crashy|crashy-broken|ecgen:SEED|ecgen-buggy:SEED|water|quicksort|matrix|sor|cholesky)"
                        name))))
 
 let clean_workloads () =
@@ -499,7 +500,7 @@ let clean_workloads () =
     Workload.mix ~groups:3 ~iters:6;
   ]
 
-let buggy_workloads () = [ Workload.order_sensitive; Workload.racy ]
+let buggy_workloads () = [ Workload.order_sensitive; Workload.racy; Workload.deadlocky ]
 
 type replay_result = {
   rr_failed : bool;
@@ -578,3 +579,94 @@ let replay ?scale ?trace_out ?metrics_out rp =
             rr_choices = Option.value j.j_choices ~default:[];
           }
       end
+
+(* ------------------------------------------------------------------ *)
+(* Static analysis x dynamic confirmation                              *)
+
+module Analyze = Midway_analyze.Analyze
+
+let static_report ?(nprocs = 4) (w : Workload.t) =
+  Option.map (fun lift -> Analyze.analyze (lift ~nprocs)) w.Workload.ir
+
+type confirmation = {
+  cf_finding : Analyze.finding;
+  cf_confirmed : (Config.backend * int) option;
+  cf_runs : int;
+}
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Does one judged execution realize a static warning?  A may-race is
+   realized when ECSan reports a violation of the same class (and the
+   same sync object, when both name one); a lock cycle is realized by a
+   deadlocked run. *)
+let realizes (f : Analyze.finding) (j : judged) machine =
+  match f.Analyze.cls with
+  | Analyze.Lock_cycle -> j.j_failed && contains j.j_reason "deadlock"
+  | Analyze.May_race d -> (
+      match machine with
+      | None -> false
+      | Some m ->
+          List.exists
+            (fun (v : Midway_check.Diag.violation) ->
+              v.Midway_check.Diag.cls = d
+              && (f.Analyze.sync < 0 || v.Midway_check.Diag.sync < 0
+                || v.Midway_check.Diag.sync = f.Analyze.sync))
+            (R.check_report m).Midway_check.Report.violations)
+  | Analyze.Hygiene _ -> false
+
+(* Hunt each static warning across (backend x schedule seed) until some
+   execution realizes it: PLAUSIBLE warnings become CONFIRMED, the rest
+   stay unconfirmed with the spent run count — the static analyzer's
+   precision, measured by the explorer.  ECSan is forced on (the
+   may-race classes are its diagnoses). *)
+let confirm_static ?(backends = [ Config.Rt; Config.Vm ]) ?(schedules = 6)
+    ?(schedule_seed = 1) ?(nprocs = 4) (w : Workload.t) =
+  match static_report ~nprocs w with
+  | None -> None
+  | Some rep ->
+      let confirm f =
+        let runs = ref 0 in
+        let hit = ref None in
+        (try
+           List.iter
+             (fun backend ->
+               if w.Workload.supports backend then
+                 for i = 0 to schedules - 1 do
+                   let sseed = schedule_seed + i in
+                   let cfg = Config.make backend ~nprocs in
+                   let cfg =
+                     {
+                       cfg with
+                       Config.ecsan = true;
+                       trace_capacity = 64;
+                       sched_policy = Midway_sched.Engine.Seeded sseed;
+                     }
+                   in
+                   incr runs;
+                   let j, machine = execute_machine w cfg in
+                   if realizes f j machine then begin
+                     hit := Some (backend, sseed);
+                     raise Exit
+                   end
+                 done)
+             backends
+         with Exit -> ());
+        { cf_finding = f; cf_confirmed = !hit; cf_runs = !runs }
+      in
+      Some (rep, List.map confirm rep.Analyze.warnings)
+
+let render_confirmation c =
+  let f = c.cf_finding in
+  match c.cf_confirmed with
+  | Some (backend, sseed) ->
+      Printf.sprintf "  CONFIRMED [%s] by %s seed=%d (%d run%s): %s"
+        (Analyze.class_slug f.Analyze.cls) (Config.backend_name backend) sseed c.cf_runs
+        (if c.cf_runs = 1 then "" else "s")
+        f.Analyze.detail
+  | None ->
+      Printf.sprintf "  unconfirmed [%s] after %d runs (may be a false positive): %s"
+        (Analyze.class_slug f.Analyze.cls) c.cf_runs f.Analyze.detail

@@ -163,3 +163,38 @@ val replay :
     replayed schedule's Chrome trace / metrics JSON — the span timeline
     of a shrunk counterexample is usually the fastest way to see the
     ordering that breaks. *)
+
+(** {1 Static analysis x dynamic confirmation}
+
+    The workloads that carry an EC-IR lift ({!Workload.t.ir}) can be
+    analyzed statically ({!Midway_analyze.Analyze}) before any run, and
+    each static warning then handed to the explorer as a hunt target:
+    a may-race is {e confirmed} when some execution makes ECSan report
+    the same diagnostic class (and sync object, when both name one), a
+    lock cycle when some execution deadlocks. *)
+
+val static_report : ?nprocs:int -> Workload.t -> Midway_analyze.Analyze.report option
+(** Analyze the workload's IR lift at [nprocs] (default 4); [None] when
+    the workload has no lift. *)
+
+type confirmation = {
+  cf_finding : Midway_analyze.Analyze.finding;
+  cf_confirmed : (Midway.Config.backend * int) option;
+      (** the (backend, schedule seed) of the first realizing run *)
+  cf_runs : int;  (** executions spent hunting this finding *)
+}
+
+val confirm_static :
+  ?backends:Midway.Config.backend list ->
+  ?schedules:int ->
+  ?schedule_seed:int ->
+  ?nprocs:int ->
+  Workload.t ->
+  (Midway_analyze.Analyze.report * confirmation list) option
+(** Analyze, then hunt every static warning over (backend x schedule
+    seed) with ECSan forced on — defaults rt+vm, 6 seeds from 1,
+    4 processors.  [None] when the workload has no IR lift.  Warnings
+    left unconfirmed after the sweep may be false positives (the
+    analyzer is sound, not complete). *)
+
+val render_confirmation : confirmation -> string

@@ -16,6 +16,7 @@ module R = Midway.Runtime
 module Config = Midway.Config
 module Range = Midway.Range
 module Space = Midway_memory.Space
+module Ir = Midway_analyze.Ir
 
 type outcome = {
   ok : bool;
@@ -29,7 +30,19 @@ type t = {
   buggy : bool;
   supports : Config.backend -> bool;
   run : Config.t -> outcome;
+  ir : (nprocs:int -> Ir.program) option;
 }
+
+(* IR lift helpers.  Sync ids are numbered in creation order — exactly
+   the runtime's id assignment in [run] — so static findings name the
+   same lock/barrier the dynamic sanitizer would. *)
+let reps n l = List.concat (List.init n (fun _ -> l))
+
+let acq ?(mode = Ir.Exclusive) lock = Ir.Acquire { lock; mode }
+
+let rel lock = Ir.Release lock
+
+let sweep_locks n = List.concat (List.init n (fun g -> [ acq ~mode:Ir.Shared g; rel g ]))
 
 (* Every synthetic workload synchronizes with locks and data-less
    barriers only, so even Blast (lock-bound data only) can run it.
@@ -98,6 +111,22 @@ let counter ~iters =
     name = "counter";
     buggy = false;
     supports = lock_based;
+    ir =
+      Some
+        (fun ~nprocs ->
+          {
+            Ir.name = "counter";
+            nprocs;
+            locks = [ (0, [ Range.v 0 8 ]) ];
+            barriers = [ (1, []) ];
+            rounds =
+              [|
+                Array.init nprocs (fun _ ->
+                    reps iters
+                      [ acq 0; Ir.Read (Range.v 0 8); Ir.Write (Range.v 0 8); rel 0; Ir.Work 500 ]);
+                Array.init nprocs (fun _ -> sweep_locks 1);
+              |];
+          });
     run =
       (fun cfg ->
         run_guarded cfg (fun m ->
@@ -131,6 +160,24 @@ let readers_writer ~iters =
     name = "readers-writer";
     buggy = false;
     supports = lock_based;
+    ir =
+      Some
+        (fun ~nprocs ->
+          {
+            Ir.name = "readers-writer";
+            nprocs;
+            locks = [ (0, [ Range.v 0 8 ]) ];
+            barriers = [ (1, []) ];
+            rounds =
+              [|
+                Array.init nprocs (fun p ->
+                    if p = 0 then reps iters [ acq 0; Ir.Write (Range.v 0 8); rel 0; Ir.Work 300 ]
+                    else
+                      reps iters
+                        [ acq ~mode:Ir.Shared 0; Ir.Read (Range.v 0 8); rel 0; Ir.Work 400 ]);
+                Array.init nprocs (fun _ -> sweep_locks 1);
+              |];
+          });
     run =
       (fun cfg ->
         run_guarded cfg (fun m ->
@@ -182,6 +229,25 @@ let mix ~groups ~iters =
     name = "mix";
     buggy = false;
     supports = lock_based;
+    ir =
+      Some
+        (fun ~nprocs ->
+          let cell g = Range.v (g * 8) 8 in
+          {
+            Ir.name = "mix";
+            nprocs;
+            locks = List.init groups (fun g -> (g, [ cell g ]));
+            barriers = [ (groups, []) ];
+            rounds =
+              [|
+                Array.init nprocs (fun p ->
+                    List.concat
+                      (List.init iters (fun k ->
+                           let g = (p + k) mod groups in
+                           [ acq g; Ir.Read (cell g); Ir.Write (cell g); rel g; Ir.Work 200 ])));
+                Array.init nprocs (fun _ -> sweep_locks groups);
+              |];
+          });
     run =
       (fun cfg ->
         run_guarded cfg (fun m ->
@@ -233,6 +299,25 @@ let order_sensitive =
     name = "order-sensitive";
     buggy = true;
     supports = lock_based;
+    (* Statically clean: the bug is an oracle assumption about commit
+       order, not a synchronization defect — the precision half of the
+       analyzer's contract (no warning here, a dynamic-only failure). *)
+    ir =
+      Some
+        (fun ~nprocs ->
+          {
+            Ir.name = "order-sensitive";
+            nprocs;
+            locks = [ (0, [ Range.v 0 8 ]) ];
+            barriers = [ (1, []) ];
+            rounds =
+              [|
+                Array.init nprocs (fun p ->
+                    if p < 2 then [ acq 0; Ir.Read (Range.v 0 8); Ir.Write (Range.v 0 8); rel 0 ]
+                    else []);
+                Array.init nprocs (fun _ -> sweep_locks 1);
+              |];
+          });
     run =
       (fun cfg ->
         if cfg.Config.nprocs < 2 then
@@ -267,6 +352,28 @@ let racy =
     name = "racy";
     buggy = true;
     supports = lock_based;
+    (* Statically flagged before any run: p1 touches lock 0's bound data
+       without holding it — the exact class ECSan reports dynamically. *)
+    ir =
+      Some
+        (fun ~nprocs ->
+          let c = Range.v 0 8 in
+          {
+            Ir.name = "racy";
+            nprocs;
+            locks = [ (0, [ c ]) ];
+            barriers = [ (1, []) ];
+            rounds =
+              [|
+                Array.init nprocs (fun p ->
+                    if p = 0 then [ acq 0; Ir.Write c; rel 0 ] else []);
+                Array.init nprocs (fun p ->
+                    if p = 0 then [ acq 0; Ir.Read c; Ir.Write c; rel 0 ]
+                    else if p = 1 then [ Ir.Read c; Ir.Write c ]
+                    else []);
+                Array.init nprocs (fun _ -> sweep_locks 1);
+              |];
+          });
     run =
       (fun cfg ->
         if cfg.Config.nprocs < 2 then invalid_arg "racy needs at least 2 processors";
@@ -296,6 +403,71 @@ let racy =
             (body, verify)));
   }
 
+(* Deliberately buggy: processors 0 and 1 nest the two locks in
+   opposite orders, with a work window between the two acquisitions so
+   that on every virtual-time schedule both outer acquisitions happen
+   before either inner one — a guaranteed deadlock (the counterexample
+   shrinks to the empty choice list).  Statically this is a cycle in the
+   lock-order graph with one witness path per processor. *)
+let deadlocky =
+  {
+    name = "deadlocky";
+    buggy = true;
+    supports = lock_based;
+    ir =
+      Some
+        (fun ~nprocs ->
+          let c0 = Range.v 0 8 and c1 = Range.v 8 8 in
+          {
+            Ir.name = "deadlocky";
+            nprocs;
+            locks = [ (0, [ c0 ]); (1, [ c1 ]) ];
+            barriers = [ (2, []) ];
+            rounds =
+              [|
+                Array.init nprocs (fun p ->
+                    if p = 0 then
+                      [ acq 0; Ir.Work 2000; acq 1; Ir.Read c1; Ir.Write c1; rel 1; rel 0 ]
+                    else if p = 1 then
+                      [ acq 1; Ir.Work 2000; acq 0; Ir.Read c0; Ir.Write c0; rel 0; rel 1 ]
+                    else []);
+                Array.init nprocs (fun _ -> sweep_locks 2);
+              |];
+          });
+    run =
+      (fun cfg ->
+        if cfg.Config.nprocs < 2 then invalid_arg "deadlocky needs at least 2 processors";
+        run_guarded cfg (fun m ->
+            (* one 8-byte line per cell: distinct locks must not share a
+               cache line (cf. mix) *)
+            let base = R.alloc m ~line_size:8 16 in
+            let a = R.new_lock m [ Range.v base 8 ] in
+            let b = R.new_lock m ~owner:(1 mod cfg.Config.nprocs) [ Range.v (base + 8) 8 ] in
+            let fin = R.new_barrier m [] in
+            let bump c addr = R.write_int c addr (R.read_int c addr + 1) in
+            let body c =
+              (match R.id c with
+              | 0 ->
+                  R.acquire c a;
+                  R.work_ns c 2000;
+                  R.acquire c b;
+                  bump c (base + 8);
+                  R.release c b;
+                  R.release c a
+              | 1 ->
+                  R.acquire c b;
+                  R.work_ns c 2000;
+                  R.acquire c a;
+                  bump c base;
+                  R.release c a;
+                  R.release c b
+              | _ -> ());
+              converge c fin [| a; b |]
+            in
+            let verify () = check_cells m [| base; base + 8 |] [| 1; 1 |] in
+            (body, verify)));
+  }
+
 (* Crash-fault prey and probe.  All state — one counter cell plus a
    per-processor committed[] ledger — is bound to a single lock and
    updated atomically inside one critical section, so whatever a crash
@@ -318,6 +490,8 @@ let crashy_with ~name ~buggy ~broken ~iters =
     name;
     buggy;
     supports = lock_based;
+    (* crash plans and quorum failover are beyond the IR *)
+    ir = None;
     run =
       (fun cfg ->
         let n = cfg.Config.nprocs in
@@ -424,6 +598,8 @@ let app ~scale suite_app =
   {
     name;
     buggy = false;
+    (* applications are real programs, not IR grids *)
+    ir = None;
     supports =
       (fun b ->
         match b with

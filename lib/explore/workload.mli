@@ -27,6 +27,13 @@ type t = {
   buggy : bool;  (** deliberately wrong: fuzzer prey, excluded from clean sweeps *)
   supports : Midway.Config.backend -> bool;
   run : Midway.Config.t -> outcome;
+  ir : (nprocs:int -> Midway_analyze.Ir.program) option;
+      (** the workload lifted to the EC-IR for static analysis; [None]
+          for workloads whose behavior the IR cannot express (crash
+          plans, full applications).  The lift must mirror [run]'s
+          synchronization structure, with sync ids numbered in creation
+          order — exactly the runtime's id assignment — so static and
+          dynamic findings name the same objects. *)
 }
 
 val lock_based : Midway.Config.backend -> bool
@@ -78,6 +85,12 @@ val racy : t
 (** Processor 1 writes lock-bound data without acquiring the lock.
     Fails (oracle + ECSan) on every schedule; shrinks to the empty
     choice list. *)
+
+val deadlocky : t
+(** Processors 0 and 1 nest two locks in opposite orders with a work
+    window between the acquisitions, so every schedule interleaves the
+    outer acquisitions and deadlocks; shrinks to the empty choice list.
+    Statically a lock-order cycle (the analyzer's deadlock prey). *)
 
 (** {1 Crash-fault workloads} *)
 

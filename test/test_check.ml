@@ -14,7 +14,6 @@
 module Config = Midway.Config
 module Runtime = Midway.Runtime
 module Range = Midway.Range
-module Interval = Midway_check.Interval
 module Binding_index = Midway_check.Binding_index
 module Diag = Midway_check.Diag
 module Report = Midway_check.Report
@@ -254,34 +253,36 @@ let lint_cases =
     Alcotest.test_case "private and degenerate bindings" `Quick test_lint_private_and_degenerate;
   ]
 
-(* --- unit tests: interval algebra ---------------------------------------- *)
+(* --- unit tests: the shared range list algebra --------------------------- *)
+(* The same edge cases the former lib/check Interval module carried;
+   Range (now the single implementation, shared with the runtime and the
+   static analyzer) must keep them. *)
 
-let ipairs ivs = List.map (fun (i : Interval.t) -> (i.Interval.lo, i.Interval.hi)) ivs
+let rpairs rs = List.map (fun (r : Range.t) -> (r.Range.addr, Range.limit r)) rs
 
-let test_interval_normalize () =
+let test_range_normalize () =
   Alcotest.(check (list (pair int int)))
     "sorts, drops empties, merges adjacent" [ (0, 8); (12, 16) ]
-    (ipairs
-       (Interval.normalize
-          [
-            Interval.v ~lo:4 ~len:4;
-            Interval.v ~lo:10 ~len:0;
-            Interval.v ~lo:12 ~len:4;
-            Interval.v ~lo:0 ~len:4;
-          ]));
-  Alcotest.(check bool) "mem inside" true (Interval.mem [ { Interval.lo = 0; hi = 8 } ] 7);
-  Alcotest.(check bool) "mem at hi is out" false (Interval.mem [ { Interval.lo = 0; hi = 8 } ] 8)
+    (rpairs (Range.normalize [ Range.v 4 4; Range.v 10 0; Range.v 12 4; Range.v 0 4 ]));
+  Alcotest.(check bool) "mem inside" true (Range.mem [ Range.v 0 8 ] 7);
+  Alcotest.(check bool) "mem at limit is out" false (Range.mem [ Range.v 0 8 ] 8)
 
-let test_interval_subtract_union () =
-  let a = [ { Interval.lo = 0; hi = 16 } ] in
+let test_range_subtract_union () =
+  let a = [ Range.v 0 16 ] in
   Alcotest.(check (list (pair int int)))
     "subtract splits" [ (0, 4); (8, 16) ]
-    (ipairs (Interval.subtract a ~minus:[ { Interval.lo = 4; hi = 8 } ]));
+    (rpairs (Range.subtract_list a ~minus:[ Range.v 4 4 ]));
   Alcotest.(check (list (pair int int)))
     "union merges" [ (0, 16) ]
-    (ipairs (Interval.union [ { Interval.lo = 0; hi = 8 } ] [ { Interval.lo = 8; hi = 16 } ]));
+    (rpairs (Range.union [ Range.v 0 8 ] [ Range.v 8 8 ]));
+  Alcotest.(check (list (pair int int)))
+    "inter clips" [ (4, 8); (12, 14) ]
+    (rpairs (Range.inter [ Range.v 0 8; Range.v 12 2 ] [ Range.v 4 16 ]));
+  Alcotest.(check bool) "covers full" true (Range.covers [ Range.v 0 8; Range.v 8 8 ] [ Range.v 2 10 ]);
+  Alcotest.(check bool) "covers with a hole" false
+    (Range.covers [ Range.v 0 4; Range.v 8 8 ] [ Range.v 2 10 ]);
   let points = ref [] in
-  Interval.iter_points [ { Interval.lo = 2; hi = 5 } ] ~f:(fun p -> points := p :: !points);
+  Range.iter_points [ Range.v 2 3 ] ~f:(fun p -> points := p :: !points);
   Alcotest.(check (list int)) "iter_points visits each point" [ 2; 3; 4 ] (List.rev !points)
 
 (* --- unit tests: binding index ------------------------------------------- *)
@@ -339,8 +340,8 @@ let test_dedup () =
 
 let unit_cases =
   [
-    Alcotest.test_case "interval normalize/mem" `Quick test_interval_normalize;
-    Alcotest.test_case "interval subtract/union/points" `Quick test_interval_subtract_union;
+    Alcotest.test_case "range normalize/mem" `Quick test_range_normalize;
+    Alcotest.test_case "range subtract/union/points" `Quick test_range_subtract_union;
     Alcotest.test_case "binding index rebind/retire" `Quick test_binding_index_rebind;
     Alcotest.test_case "binding index degenerate ranges" `Quick test_binding_index_degenerate;
     Alcotest.test_case "violation dedup" `Quick test_dedup;
