@@ -658,6 +658,30 @@ let vm_rebound_since (l : Sync.lock) ~seen ~current =
   seen < current
   && List.exists (fun (inc, e) -> inc > seen && e = Sync.Full_marker) l.Sync.vm_log
 
+let vm_debug_lid =
+  match Sys.getenv_opt "MIDWAY_VM_DEBUG" with
+  | Some s -> ( try Some (int_of_string s) with _ -> None)
+  | None -> None
+
+let vm_debug_pieces pieces =
+  String.concat ","
+    (List.map
+       (fun (p : Payload.vm_piece) ->
+         Printf.sprintf "%d+%d" p.Payload.addr (Bytes.length p.Payload.data))
+       pieces)
+
+let vm_debug_payload = function
+  | Payload.Empty -> "empty"
+  | Payload.Vm_full pieces -> Printf.sprintf "full[%s]" (vm_debug_pieces pieces)
+  | Payload.Vm_updates us ->
+      Printf.sprintf "updates[%s]"
+        (String.concat " | "
+           (List.map
+              (fun (u : Payload.vm_update) ->
+                Printf.sprintf "inc%d:%s" u.Payload.incarnation (vm_debug_pieces u.Payload.pieces))
+              us))
+  | _ -> "?"
+
 let vm_collect_lock (c : ctx) vm (l : Sync.lock) ~for_ =
   let cfg = c.machine.cfg in
   let bound = Sync.lock_bound_bytes l in
@@ -668,7 +692,12 @@ let vm_collect_lock (c : ctx) vm (l : Sync.lock) ~for_ =
     (* Diff-free full transfer after a rebinding: ship the releaser's
        current bound data as is.  Pages stay dirty and writable (no
        protection churn) and any saved diffs under the ranges are
-       superseded. *)
+       superseded.  The shipped words are absorbed into the twins: the
+       full transfer makes them the protocol's current state, and leaving
+       them differing from their twins would let a later collection
+       (possibly of another lock sharing the page) resurrect them with
+       data the protocol has since moved past. *)
+    Vm_state.absorb vm ~space:c.machine.space ~proc:c.cid ~ranges:l.Sync.ranges;
     Vm_state.discard_pending vm ~ranges:l.Sync.ranges;
     l.Sync.vm_log <- vm_log_trim cfg ((this_inc, Sync.Full_marker) :: l.Sync.vm_log);
     l.Sync.incarnation <- this_inc + 1;
@@ -676,6 +705,9 @@ let vm_collect_lock (c : ctx) vm (l : Sync.lock) ~for_ =
     let payload =
       Payload.Vm_full (Payload.read_pieces c.machine.space ~proc:c.cid l.Sync.ranges)
     in
+    if vm_debug_lid = Some l.Sync.lid then
+      Printf.eprintf "[vm] lock %d: p%d serves p%d REBOUND-FULL seen=%d inc=%d %s\n%!"
+        l.Sync.lid c.cid for_ seen this_inc (vm_debug_payload payload);
     (payload, 0, this_inc)
   end
   else begin
@@ -683,6 +715,9 @@ let vm_collect_lock (c : ctx) vm (l : Sync.lock) ~for_ =
       Vm_state.collect vm ~space:c.machine.space ~proc:c.cid ~counters:c.counters
         ~cost:cfg.cost ~ranges:l.Sync.ranges
     in
+    if vm_debug_lid = Some l.Sync.lid then
+      Printf.eprintf "[vm] lock %d: p%d collect for p%d seen=%d inc=%d own-diff=[%s]\n%!"
+        l.Sync.lid c.cid for_ seen this_inc (vm_debug_pieces pieces);
     l.Sync.vm_log <- vm_log_trim cfg ((this_inc, Sync.Pieces pieces) :: l.Sync.vm_log);
     l.Sync.incarnation <- this_inc + 1;
     c.counters.dirty_bytes_found <- c.counters.dirty_bytes_found + Payload.pieces_bytes pieces;
@@ -710,6 +745,9 @@ let vm_collect_lock (c : ctx) vm (l : Sync.lock) ~for_ =
         else Payload.Vm_updates updates
       end
     in
+    if vm_debug_lid = Some l.Sync.lid then
+      Printf.eprintf "[vm] lock %d: p%d serves p%d seen=%d inc=%d -> %s\n%!" l.Sync.lid c.cid
+        for_ seen this_inc (vm_debug_payload payload);
     (payload, diff_ns, this_inc)
   end
 

@@ -173,7 +173,7 @@ let apply_pieces t ~space ~proc ~counters ~cost pieces =
         let first = p.Payload.addr / psize and last = (p.Payload.addr + len - 1) / psize in
         for number = first to last do
           let page = Page_table.page_of_addr t.pt (number * psize) in
-          match page.Page_table.twin with
+          (match page.Page_table.twin with
           | Some twin when page.Page_table.dirty ->
               let page_base = number * psize in
               let lo = max p.Payload.addr page_base in
@@ -184,11 +184,47 @@ let apply_pieces t ~space ~proc ~counters ~cost pieces =
                 counters.Counters.twin_update_bytes + (hi - lo);
               total_cost :=
                 !total_cost + Cost_model.copy_cost_ns cost ~bytes:(hi - lo) ~warm:true
-          | _ -> ()
+          | _ -> ());
+          (* An incoming piece is the protocol's current data for its
+             range: any saved diff overlapping it is superseded and must
+             be dropped, or a later collection would resurrect the stale
+             shadow over newer data. *)
+          match Hashtbl.find_opt t.pending number with
+          | None -> ()
+          | Some pp ->
+              let applied = Range.v p.Payload.addr len in
+              let remaining =
+                List.concat_map (fun d -> Range.subtract d ~minus:[ applied ]) pp.dirty
+                |> Range.normalize
+              in
+              if remaining = [] then Hashtbl.remove t.pending number
+              else pp.dirty <- remaining
         done
       end)
     pieces;
   !total_cost
+
+let absorb t ~space ~proc ~ranges =
+  let psize = page_size t in
+  List.iter
+    (fun (r : Range.t) ->
+      if not (Range.is_empty r) then begin
+        let first = r.Range.addr / psize and last = (Range.limit r - 1) / psize in
+        for number = first to last do
+          let page = Page_table.page_of_addr t.pt (number * psize) in
+          match page.Page_table.twin with
+          | Some twin when page.Page_table.dirty ->
+              let page_base = number * psize in
+              let lo = max r.Range.addr page_base in
+              let hi = min (Range.limit r) (page_base + psize) in
+              if lo < hi then begin
+                let current, cur_off = Space.backing_slice space ~proc page_base ~len:psize in
+                Bytes.blit current (cur_off + (lo - page_base)) twin (lo - page_base) (hi - lo)
+              end
+          | _ -> ()
+        done
+      end)
+    ranges
 
 let discard_pending t ~ranges =
   let psize = page_size t in

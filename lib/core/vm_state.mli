@@ -56,8 +56,22 @@ val apply_pieces :
   int
 (** Apply incoming update pieces at the requesting processor: write the
     data, and for pages currently dirty also patch the twin so the update
-    is not later mistaken for a local modification (section 3.4).
-    Returns the apply cost in nanoseconds. *)
+    is not later mistaken for a local modification (section 3.4).  Saved
+    diffs overlapping an applied piece are dropped — the incoming data is
+    the protocol's current state for those words, so shipping the stashed
+    shadow later would regress them.  Returns the apply cost in
+    nanoseconds. *)
+
+val absorb :
+  t -> space:Midway_memory.Space.t -> proc:int -> ranges:Range.t list -> unit
+(** Declare the current contents of [ranges] consistent without a
+    collection: patch the twins of dirty pages so those words no longer
+    read as local modifications.  Used by the diff-free full transfer
+    after a rebinding — the shipped data is the protocol's current state,
+    so a later diff (possibly for another object sharing the page) must
+    not resurrect it.  Pages stay dirty and writable; words outside
+    [ranges] are untouched.  Free of simulated cost: the transfer it
+    rides on already shipped the data. *)
 
 val discard_pending : t -> ranges:Range.t list -> unit
 (** Drop saved diffs that fall inside [ranges].  Used by a diff-free full

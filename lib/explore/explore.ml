@@ -478,7 +478,32 @@ let workload_of_name ?(scale = 0.05) name =
   | "deadlocky" -> Ok Workload.deadlocky
   | "crashy" -> Ok (Workload.crashy ~iters:6)
   | "crashy-broken" -> Ok (Workload.crashy_broken ~iters:6)
+  | "kv" -> Ok (Kv_workload.workload ~name:"kv" Kv_workload.default)
+  | "kv-migrate" ->
+      Ok
+        (Kv_workload.workload ~name:"kv-migrate"
+           { Kv_workload.default with migrate_every = 10 })
+  | "kv-broken-migration" ->
+      (* read-only mix over a preloaded keyspace: the broken migration's
+         dropped presence flags can never be repaired by a later put, so
+         the refinement violation is deterministic on every schedule *)
+      Ok
+        (Kv_workload.workload ~name:"kv-broken-migration" ~buggy:true
+           {
+             Kv_workload.default with
+             ycsb = { Kv_workload.default.ycsb with mix = Ycsb.mix_c };
+             migrate_every = 10;
+             broken_migration = true;
+           })
+  | "kv-crashy" -> Ok (Kv_workload.crashy_workload ~name:"kv-crashy" Kv_workload.default)
   | _ -> (
+      match prefixed "kv:" with
+      | Some seed ->
+          Ok
+            (Kv_workload.workload
+               ~name:(Printf.sprintf "kv:%d" seed)
+               { Kv_workload.default with ycsb = { Kv_workload.default.ycsb with seed } })
+      | None -> (
       match prefixed "ecgen:" with
       | Some seed -> Ok (Ecgen.workload ~seed ())
       | None -> (
@@ -490,8 +515,9 @@ let workload_of_name ?(scale = 0.05) name =
               | Error _ ->
                   Error
                     (Printf.sprintf
-                       "unknown workload %S (expected counter|readers-writer|mix|order-sensitive|racy|deadlocky|crashy|crashy-broken|ecgen:SEED|ecgen-buggy:SEED|water|quicksort|matrix|sor|cholesky)"
-                       name))))
+                       "unknown workload %S (expected \
+                        counter|readers-writer|mix|order-sensitive|racy|deadlocky|crashy|crashy-broken|kv|kv-migrate|kv-broken-migration|kv-crashy|kv:SEED|ecgen:SEED|ecgen-buggy:SEED|water|quicksort|matrix|sor|cholesky)"
+                       name)))))
 
 let clean_workloads () =
   [
@@ -500,7 +526,13 @@ let clean_workloads () =
     Workload.mix ~groups:3 ~iters:6;
   ]
 
-let buggy_workloads () = [ Workload.order_sensitive; Workload.racy; Workload.deadlocky ]
+let buggy_workloads () =
+  [
+    Workload.order_sensitive;
+    Workload.racy;
+    Workload.deadlocky;
+    (match workload_of_name "kv-broken-migration" with Ok w -> w | Error e -> failwith e);
+  ]
 
 type replay_result = {
   rr_failed : bool;

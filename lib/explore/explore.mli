@@ -61,13 +61,15 @@ val clean_workloads : unit -> Workload.t list
     readers-writer, mix). *)
 
 val buggy_workloads : unit -> Workload.t list
-(** The deliberately broken prey (order-sensitive, racy). *)
+(** The deliberately broken prey (order-sensitive, racy, deadlocky,
+    kv-broken-migration). *)
 
 val workload_of_name : ?scale:float -> string -> (Workload.t, string) result
 (** The registry: counter | readers-writer | mix | order-sensitive |
-    racy | crashy | crashy-broken | ecgen:SEED | ecgen-buggy:SEED |
-    one of the five application names.  [scale] (default 0.05) applies
-    to applications only. *)
+    racy | crashy | crashy-broken | kv | kv-migrate |
+    kv-broken-migration | kv-crashy | kv:SEED | ecgen:SEED |
+    ecgen-buggy:SEED | one of the five application names.  [scale]
+    (default 0.05) applies to applications only. *)
 
 type counterexample = {
   c_workload : string;

@@ -22,6 +22,16 @@ let bytes_buckets = [| 0; 64; 256; 1_024; 4_096; 16_384; 65_536; 262_144; 1_048_
 
 let count_buckets = [| 0; 1; 2; 4; 8; 16; 32; 64 |]
 
+(* Request latencies want tighter percentile brackets than ns_buckets'
+   coarse decades: roughly 1-1.8-3.2-5.6 per decade from 1 us to 1 s,
+   so a quantile bracket is at most a factor of ~1.8 wide. *)
+let latency_buckets =
+  [|
+    1_000; 1_800; 3_200; 5_600; 10_000; 18_000; 32_000; 56_000; 100_000; 180_000; 320_000;
+    560_000; 1_000_000; 1_800_000; 3_200_000; 5_600_000; 10_000_000; 18_000_000; 32_000_000;
+    56_000_000; 100_000_000; 180_000_000; 320_000_000; 560_000_000; 1_000_000_000;
+  |]
+
 type hist = {
   buckets : int array;  (* strictly increasing upper bounds *)
   counts : int array;  (* length buckets + 1; last = overflow *)
@@ -178,6 +188,28 @@ let hist_totals s ~name =
     (fun (sum, count) (((n, _), h) : (string * string) * hist_view) ->
       if n = name then (sum + h.h_sum, count + h.h_count) else (sum, count))
     (0, 0) s.s_hists
+
+(* Nearest-rank quantile bracketing.  With inclusive upper bounds a
+   value v in bucket i satisfies bound(i-1) < v <= bound(i), so when the
+   cumulative count first reaches the rank at bucket i the exact
+   nearest-rank quantile lies in exactly that open-closed interval:
+   lo < q-th value <= hi.  The bracket width is the quantization error
+   bound of any percentile read off the histogram. *)
+let quantile (h : hist_view) q =
+  if h.h_count = 0 then invalid_arg "Metrics.quantile: empty histogram";
+  if not (q > 0. && q <= 1.) then invalid_arg "Metrics.quantile: q must be in (0, 1]";
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int h.h_count))) in
+  let nb = Array.length h.h_buckets in
+  let rec go i cum =
+    let cum = cum + h.h_counts.(i) in
+    if cum >= rank then i else go (i + 1) cum
+  in
+  let i = go 0 0 in
+  let lo = if i = 0 then h.h_min - 1 else h.h_buckets.(i - 1) in
+  let hi = if i < nb then h.h_buckets.(i) else h.h_max in
+  (lo, hi)
+
+let quantile_le h q = snd (quantile h q)
 
 let labels_of s ~name =
   List.filter_map

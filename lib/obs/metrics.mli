@@ -36,6 +36,10 @@ val bytes_buckets : int array
 val count_buckets : int array
 (** Small counts (retransmits per send and the like): 0 .. 64. *)
 
+val latency_buckets : int array
+(** Request latencies: 1 us .. 1 s at roughly 1/1.8/3.2/5.6 per decade,
+    so a {!quantile} bracket is at most a factor of ~1.8 wide. *)
+
 (** {1 Snapshots} *)
 
 type hist_view = {
@@ -70,6 +74,20 @@ val hist_totals : snapshot -> name:string -> int * int
 
 val labels_of : snapshot -> name:string -> string list
 (** The labels under which histogram [name] was observed, sorted. *)
+
+val quantile : hist_view -> float -> int * int
+(** [quantile h q] brackets the nearest-rank [q]-quantile (the
+    [ceil (q * count)]-th smallest observation): returns [(lo, hi)] such
+    that the exact quantile [v] satisfies [lo < v <= hi].  [lo] is the
+    previous bucket's upper bound ([h_min - 1] in the first bucket) and
+    [hi] the containing bucket's bound ([h_max] in the overflow bucket);
+    the bracket width is the histogram's quantization error bound.
+    Raises [Invalid_argument] on an empty histogram or [q] outside
+    [(0, 1]]. *)
+
+val quantile_le : hist_view -> float -> int
+(** The conservative (upper) end of {!quantile}'s bracket — what the
+    reports print as p50/p95/p99. *)
 
 (** {1 Rendering} *)
 

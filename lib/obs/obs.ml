@@ -18,6 +18,7 @@ type kind =
   | Retransmit  (* a reliable-channel episode that needed retransmissions *)
   | Sched_block  (* generic scheduler block, tagged with the reason *)
   | Failover  (* suspicion of a dead lock owner until quorum ownership transfer *)
+  | Request  (* an application-level request, scheduled arrival to completion *)
 
 let kind_name = function
   | Acquire_wait -> "lock_wait"
@@ -28,6 +29,7 @@ let kind_name = function
   | Retransmit -> "retransmit"
   | Sched_block -> "sched_block"
   | Failover -> "failover"
+  | Request -> "kv_request"
 
 type span = {
   kind : kind;

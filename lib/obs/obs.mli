@@ -16,10 +16,16 @@ type kind =
   | Sched_block  (** generic scheduler block, tagged with the reason *)
   | Failover
       (** suspicion of a dead lock owner until quorum ownership transfer *)
+  | Request
+      (** an application-level request (the sharded KV store's
+          get/put/delete/scan), from scheduled open-loop arrival to
+          completion — [t1 - t0] is the request's sojourn latency
+          including queueing behind its client's earlier requests *)
 
 val kind_name : kind -> string
 (** Stable wire name: ["lock_wait"], ["barrier_wait"], ["collect"],
-    ["diff"], ["apply"], ["retransmit"], ["sched_block"], ["failover"]. *)
+    ["diff"], ["apply"], ["retransmit"], ["sched_block"], ["failover"],
+    ["kv_request"]. *)
 
 type span = {
   kind : kind;

@@ -1,0 +1,504 @@
+(* The sharded KV store: the YCSB-style generator's determinism and
+   distribution properties, the refinement oracle's soundness (passing
+   hand-written interleavings, rejected mutants), the migration edge
+   cases (re-bind under shared readers, under message faults, across a
+   crash of the old owner), and the latency-percentile report
+   cross-checked against exact percentiles from the raw observation
+   log. *)
+
+module Config = Midway.Config
+module R = Midway.Runtime
+module Engine = Midway_sched.Engine
+module Metrics = Midway_obs.Metrics
+module Oracle = Midway_kv.Oracle
+module Kvstore = Midway_kv.Kvstore
+module Ycsb = Midway_explore.Ycsb
+module Kv_workload = Midway_explore.Kv_workload
+module Explore = Midway_explore.Explore
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- the generator ------------------------------------------------------ *)
+
+let gen_cfg =
+  {
+    Ycsb.keys = 64;
+    requests = 1000;
+    mix = Ycsb.mix_crud;
+    dist = Ycsb.Zipfian 0.99;
+    arrival = Ycsb.Poisson 2_000;
+    max_scan = 8;
+    seed = 11;
+  }
+
+(* Same seed => bit-identical stream, every call (the generator is a pure
+   function of (cfg, client), so this also covers "across backends": no
+   machine state is consulted at all).  Different clients and different
+   seeds decouple. *)
+let test_gen_determinism () =
+  let d1 = Ycsb.stream_digest (Ycsb.client_stream gen_cfg ~client:0) in
+  let d2 = Ycsb.stream_digest (Ycsb.client_stream gen_cfg ~client:0) in
+  Alcotest.(check string) "same seed, same stream" d1 d2;
+  let other = Ycsb.stream_digest (Ycsb.client_stream gen_cfg ~client:1) in
+  Alcotest.(check bool) "clients decoupled" true (d1 <> other);
+  let reseeded =
+    Ycsb.stream_digest (Ycsb.client_stream { gen_cfg with Ycsb.seed = 12 } ~client:0)
+  in
+  Alcotest.(check bool) "seeds decoupled" true (d1 <> reseeded)
+
+let count_kinds stream =
+  let g = ref 0 and p = ref 0 and d = ref 0 and s = ref 0 in
+  Array.iter
+    (fun (r : Ycsb.req) ->
+      match r.Ycsb.r_op with
+      | Ycsb.Get _ -> incr g
+      | Ycsb.Put _ -> incr p
+      | Ycsb.Delete _ -> incr d
+      | Ycsb.Scan _ -> incr s)
+    stream;
+  [| !g; !p; !d; !s |]
+
+(* The finite stream respects the mix *exactly* (largest-remainder
+   apportionment, not sampling). *)
+let test_gen_exact_mix () =
+  let counts = count_kinds (Ycsb.client_stream gen_cfg ~client:2) in
+  Alcotest.(check (array int)) "crud mix apportioned exactly" [| 700; 200; 50; 50 |] counts;
+  let m = gen_cfg.Ycsb.mix in
+  let expected =
+    Ycsb.apportion ~n:gen_cfg.Ycsb.requests
+      [| m.Ycsb.w_get; m.Ycsb.w_put; m.Ycsb.w_delete; m.Ycsb.w_scan |]
+  in
+  Alcotest.(check (array int)) "matches apportion" expected counts
+
+let test_apportion () =
+  Alcotest.(check (array int)) "integral split" [| 500; 500 |]
+    (Ycsb.apportion ~n:1000 [| 50; 50 |]);
+  Alcotest.(check (array int)) "ycsb a over 7" [| 4; 3 |] (Ycsb.apportion ~n:7 [| 50; 50 |]);
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"apportion sums to n" ~count:100
+       QCheck.(pair (int_bound 500) (array_of_size Gen.(1 -- 6) (int_bound 20)))
+       (fun (n, w) ->
+         QCheck.assume (Array.fold_left ( + ) 0 w > 0);
+         Array.fold_left ( + ) 0 (Ycsb.apportion ~n w) = n))
+
+(* generator determinism + exactness over arbitrary seeds *)
+let gen_property =
+  QCheck.Test.make ~name:"any seed: stable stream, exact mix" ~count:25
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let cfg = { gen_cfg with Ycsb.seed; requests = 200 } in
+      let s1 = Ycsb.client_stream cfg ~client:0 in
+      let s2 = Ycsb.client_stream cfg ~client:0 in
+      Ycsb.stream_digest s1 = Ycsb.stream_digest s2
+      && count_kinds s1 = Ycsb.apportion ~n:200 [| 70; 20; 5; 5 |])
+
+let sample_counts ~n ~total ~dist ~seed =
+  let cfg =
+    {
+      Ycsb.keys = n;
+      requests = total;
+      mix = Ycsb.mix_c;
+      dist;
+      arrival = Ycsb.Fixed 1;
+      max_scan = 1;
+      seed;
+    }
+  in
+  let counts = Array.make n 0 in
+  Array.iter
+    (fun (r : Ycsb.req) ->
+      match r.Ycsb.r_op with
+      | Ycsb.Get k -> counts.(k) <- counts.(k) + 1
+      | _ -> Alcotest.fail "mix_c must be read-only")
+    (Ycsb.client_stream cfg ~client:0);
+  counts
+
+let chi2_against counts pmf total =
+  let s = ref 0.0 in
+  Array.iteri
+    (fun k c ->
+      let e = float_of_int total *. pmf.(k) in
+      let d = float_of_int c -. e in
+      s := !s +. (d *. d /. e))
+    counts;
+  !s
+
+(* The zipfian sampler hits the configured skew: chi-squared over a
+   large seeded sample against {!Ycsb.zipf_pmf}.  The sampler is Gray
+   et al.'s incremental approximation (YCSB's own): ranks 1-2 are
+   exact, the tail comes from a continuous inverse-CDF, so the
+   statistic carries a small systematic bias on top of sampling noise —
+   measured at ~0.0032 per sample at n = 64, theta = 0.99 (chi2 ~160
+   at 50k draws against ~63 expected from noise alone).  The bound of
+   250 admits that bias plus >5 sd of noise while still rejecting any
+   materially wrong skew: theta 0.8 or 0.95 scores in the thousands on
+   the same sample.  The uniform control shows the harness itself is
+   sharp — an exact sampler sits at the degrees of freedom. *)
+let test_gen_zipf_chi2 () =
+  let n = 64 and total = 50_000 in
+  let counts = sample_counts ~n ~total ~dist:(Ycsb.Zipfian 0.99) ~seed:5 in
+  let pmf = Ycsb.zipf_pmf ~n ~theta:0.99 in
+  let chi2 = chi2_against counts pmf total in
+  Alcotest.(check bool) (Printf.sprintf "chi2 %.1f within bound" chi2) true (chi2 < 250.0);
+  (* the same sample must *reject* visibly different skews *)
+  List.iter
+    (fun theta ->
+      let off = chi2_against counts (Ycsb.zipf_pmf ~n ~theta) total in
+      Alcotest.(check bool)
+        (Printf.sprintf "chi2 %.0f rejects theta %.2f" off theta)
+        true (off > 1_000.0))
+    [ 0.80; 0.60 ];
+  (* rank order: the head of the distribution must dominate *)
+  Alcotest.(check bool) "key 0 hottest" true (counts.(0) > counts.(1));
+  Alcotest.(check bool) "head over tail" true (counts.(0) > 8 * counts.(n - 1));
+  (* control: the uniform sampler is exact, so its chi-squared sits at
+     the degrees of freedom (63): no hidden slack in the harness *)
+  let u = sample_counts ~n ~total ~dist:Ycsb.Uniform ~seed:5 in
+  let upmf = Array.make n (1.0 /. float_of_int n) in
+  let uchi2 = chi2_against u upmf total in
+  Alcotest.(check bool)
+    (Printf.sprintf "uniform control chi2 %.1f ~ df" uchi2)
+    true (uchi2 < 110.0)
+
+(* --- the oracle on hand-written histories ------------------------------- *)
+
+let obs ?(read = []) ~proc ~bucket ~seq ~kind ~key ~value () =
+  {
+    Oracle.o_proc = proc;
+    o_bucket = bucket;
+    o_seq = seq;
+    o_kind = kind;
+    o_key = key;
+    o_value = value;
+    o_read = read;
+    o_sched_ns = 0;
+    o_start_ns = 0;
+    o_done_ns = 0;
+  }
+
+(* keys 0-3 in bucket 0, keys 4-7 in bucket 1 *)
+let passing_history =
+  [
+    obs ~proc:0 ~bucket:0 ~seq:1 ~kind:Oracle.K_load ~key:0 ~value:10 ();
+    obs ~proc:1 ~bucket:0 ~seq:2 ~kind:Oracle.K_put ~key:1 ~value:5 ();
+    obs ~proc:2 ~bucket:0 ~seq:2 ~kind:Oracle.K_get ~key:0 ~value:0
+      ~read:[ (0, true, 10) ] ();
+    obs ~proc:0 ~bucket:0 ~seq:3 ~kind:Oracle.K_delete ~key:0 ~value:0 ();
+    obs ~proc:3 ~bucket:0 ~seq:3 ~kind:Oracle.K_get ~key:0 ~value:0
+      ~read:[ (0, false, 0) ] ();
+    obs ~proc:2 ~bucket:0 ~seq:4 ~kind:Oracle.K_migrate ~key:0 ~value:2 ();
+    obs ~proc:3 ~bucket:1 ~seq:1 ~kind:Oracle.K_put ~key:4 ~value:7 ();
+    obs ~proc:1 ~bucket:1 ~seq:1 ~kind:Oracle.K_scan ~key:4 ~value:0
+      ~read:[ (4, true, 7); (5, false, 0) ] ();
+  ]
+
+let final_ok =
+  {
+    Oracle.f_entries =
+      [|
+        (0, false, 0);
+        (1, true, 5);
+        (2, false, 0);
+        (3, false, 0);
+        (4, true, 7);
+        (5, false, 0);
+        (6, false, 0);
+        (7, false, 0);
+      |];
+    f_opcounts = [| 4; 1 |];
+  }
+
+let run_oracle ?(killed = []) ?(journal = []) ?final history =
+  Oracle.check ~keys:8 ~buckets:2 ~killed ~journal ~final history
+
+let test_oracle_passes () =
+  Alcotest.(check (list string)) "hand-written interleaving linearizes" []
+    (run_oracle ~final:final_ok passing_history);
+  (* reads before any write observe the empty prefix *)
+  Alcotest.(check (list string)) "prefix-0 read" []
+    (run_oracle
+       [ obs ~proc:0 ~bucket:0 ~seq:0 ~kind:Oracle.K_get ~key:2 ~value:0
+           ~read:[ (2, false, 0) ] () ])
+
+let expect_reject name history ?killed ?journal ?final () =
+  match run_oracle ?killed ?journal ?final history with
+  | [] -> Alcotest.failf "%s: oracle accepted a bad history" name
+  | _ -> ()
+
+let test_oracle_rejects () =
+  (* stale read: the get at prefix 2 must see key 0 = 10 *)
+  expect_reject "stale read"
+    (obs ~proc:2 ~bucket:0 ~seq:2 ~kind:Oracle.K_get ~key:0 ~value:0
+       ~read:[ (0, true, 99) ] ()
+    :: passing_history)
+    ();
+  (* lost update: two writes claim the same sequence number *)
+  expect_reject "duplicate seq"
+    (obs ~proc:2 ~bucket:0 ~seq:2 ~kind:Oracle.K_put ~key:2 ~value:9 () :: passing_history)
+    ();
+  (* key routed to the wrong bucket *)
+  expect_reject "wrong bucket"
+    [ obs ~proc:0 ~bucket:1 ~seq:1 ~kind:Oracle.K_put ~key:0 ~value:1 () ]
+    ();
+  (* final state disagreeing with the replay *)
+  expect_reject "final state" passing_history
+    ~final:{ final_ok with Oracle.f_opcounts = [| 4; 2 |] }
+    ()
+
+(* A sequence gap is admissible exactly when a *killed* processor's
+   journal records the missing write — the crash shape the store's
+   release-then-log window can produce — and inadmissible otherwise. *)
+let test_oracle_crash_gaps () =
+  let gapped =
+    [
+      obs ~proc:0 ~bucket:0 ~seq:1 ~kind:Oracle.K_put ~key:0 ~value:3 ();
+      obs ~proc:0 ~bucket:0 ~seq:3 ~kind:Oracle.K_put ~key:1 ~value:4 ();
+      obs ~proc:2 ~bucket:0 ~seq:3 ~kind:Oracle.K_get ~key:2 ~value:0
+        ~read:[ (2, true, 8) ] ();
+    ]
+  in
+  let j =
+    {
+      Oracle.j_bucket = 0;
+      j_proc = 1;
+      j_seq = 2;
+      j_kind = Oracle.K_put;
+      j_key = 2;
+      j_value = 8;
+    }
+  in
+  Alcotest.(check (list string)) "journal-covered gap accepted" []
+    (run_oracle ~killed:[ 1 ] ~journal:[ j ] gapped);
+  expect_reject "uncovered gap" gapped ();
+  expect_reject "journal of a live processor does not cover" gapped ~journal:[ j ] ();
+  expect_reject "wrong seq in journal" gapped ~killed:[ 1 ]
+    ~journal:[ { j with Oracle.j_seq = 4 } ]
+    ()
+
+(* --- the oracle against the real store: seeded mutation test ------------ *)
+
+let run_store ?(cfg = Kv_workload.default) ?(nprocs = 4) ?(backend = Config.Rt) ?(sseed = 1)
+    () =
+  let mcfg = Config.make backend ~nprocs in
+  let mcfg = { mcfg with Config.sched_policy = Engine.Seeded sseed } in
+  let machine = R.create mcfg in
+  let store, prog = Kv_workload.build machine cfg in
+  R.run machine prog;
+  (machine, store)
+
+let test_oracle_mutation () =
+  let machine, store = run_store () in
+  Alcotest.(check (list string)) "unmutated run linearizes" [] (Kvstore.check store);
+  let all = Array.of_list (Kvstore.observations store) in
+  let gets =
+    Array.to_list all
+    |> List.filter (fun o -> o.Oracle.o_kind = Oracle.K_get && o.Oracle.o_read <> [])
+  in
+  Alcotest.(check bool) "run produced gets" true (List.length gets > 5);
+  let prng = ref 0x2545F491 in
+  let next n =
+    prng := ((!prng * 1103515245) + 12345) land 0x3FFFFFFF;
+    !prng lsr 7 mod n
+  in
+  let recheck mutated =
+    Oracle.check ~keys:(Kvstore.keys store) ~buckets:(Kvstore.buckets store)
+      ~killed:(R.killed_procs machine) ~journal:(Kvstore.journal store)
+      ~final:(Some (Kvstore.final_state store))
+      (Array.to_list mutated)
+  in
+  (* corrupt one observed get five different ways: flip the value, flip
+     the presence — the oracle must reject every mutant *)
+  for trial = 1 to 5 do
+    let victim = List.nth gets (next (List.length gets)) in
+    let mutated =
+      Array.map
+        (fun o ->
+          if o == victim then
+            {
+              o with
+              Oracle.o_read =
+                (* the mutation must be observable: flipping presence
+                   always contradicts the model; bumping the value only
+                   does when the key is present *)
+                List.map
+                  (fun (k, p, v) ->
+                    if trial mod 2 = 0 || not p then (k, not p, v) else (k, p, v + 1))
+                  o.Oracle.o_read;
+            }
+          else o)
+        all
+    in
+    match recheck mutated with
+    | [] ->
+        Alcotest.failf "mutant %d accepted: %s" trial (Oracle.describe victim)
+    | _ -> ()
+  done;
+  (* and the untouched history still passes through the same path *)
+  Alcotest.(check (list string)) "identity mutation accepted" [] (recheck all)
+
+(* --- migration edge cases ----------------------------------------------- *)
+
+let seeded_config ?(ecsan = true) backend sseed =
+  let cfg = Config.make backend ~nprocs:4 in
+  { cfg with Config.ecsan; sched_policy = Engine.Seeded sseed }
+
+let sweep name w mk_cfg =
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun sseed ->
+          let j = Explore.execute w (mk_cfg backend sseed) in
+          if j.Explore.j_failed then
+            Alcotest.failf "%s [%s seed %d]: %s" name
+              (Config.backend_name backend)
+              sseed j.Explore.j_reason)
+        [ 1; 2; 3 ])
+    [ Config.Rt; Config.Vm ]
+
+(* re-bind racing shared holders: read-heavy mix, frequent migrations *)
+let test_migrate_under_readers () =
+  let cfg =
+    {
+      Kv_workload.default with
+      Kv_workload.ycsb = { Kv_workload.default.Kv_workload.ycsb with Ycsb.mix = Ycsb.mix_b };
+      migrate_every = 5;
+    }
+  in
+  sweep "migrate under shared readers"
+    (Kv_workload.workload ~name:"kv-readers-migrate" cfg)
+    (fun b s -> seeded_config b s)
+
+(* re-bind while puts are in flight on the lossy reliable channel *)
+let test_migrate_under_faults () =
+  let cfg = { Kv_workload.default with Kv_workload.migrate_every = 5 } in
+  sweep "migrate under message faults"
+    (Kv_workload.workload ~name:"kv-faulty-migrate" cfg)
+    (fun b s -> Config.with_faults ~drop:0.08 ~seed:(40 + s) (seeded_config b s))
+
+(* re-bind composed with a crash of the previous owner: client 1 is
+   crash-stopped mid-run while every client keeps re-homing buckets, so
+   buckets whose owner died fail over and buckets migrated away from the
+   victim keep serving.  The refinement oracle (journal-aware) must hold
+   and the run must stay ECSan-clean. *)
+let test_migrate_across_crash () =
+  let cfg = { Kv_workload.default with Kv_workload.migrate_every = 8 } in
+  sweep "migrate across owner crash"
+    (Kv_workload.crashy_workload ~name:"kv-crash-migrate" cfg)
+    (fun b s -> seeded_config b s)
+
+(* --- latency percentiles ------------------------------------------------ *)
+
+(* p50/p95/p99 from the store's bucketed histogram must bracket the exact
+   nearest-rank percentiles of the raw per-observation sojourn times.
+   The quantization bound: {!Metrics.latency_buckets} steps by at most
+   ~1.8x, so [quantile] returns (lo, hi] with hi <= ~1.8*lo (hi is what
+   the report prints — a conservative upper end). *)
+let test_percentiles_vs_raw () =
+  let cfg =
+    {
+      Kv_workload.default with
+      Kv_workload.ycsb =
+        { Kv_workload.default.Kv_workload.ycsb with Ycsb.requests = 120; seed = 21 };
+      service_ns = 2_000;
+    }
+  in
+  let _machine, store = run_store ~cfg () in
+  Alcotest.(check (list string)) "run linearizes" [] (Kvstore.check store);
+  let raw =
+    Kvstore.observations store
+    |> List.filter (fun o -> o.Oracle.o_kind = Oracle.K_get)
+    |> List.map (fun o -> o.Oracle.o_done_ns - o.Oracle.o_sched_ns)
+    |> List.sort compare |> Array.of_list
+  in
+  let n = Array.length raw in
+  Alcotest.(check bool) "enough gets" true (n > 50);
+  let snap = Metrics.snapshot (Kvstore.metrics store) in
+  let hv =
+    match Metrics.find_hist snap ~name:"kv_latency_ns" ~label:"get" with
+    | Some hv -> hv
+    | None -> Alcotest.fail "no get histogram"
+  in
+  Alcotest.(check int) "histogram saw every get" n hv.Metrics.h_count;
+  List.iter
+    (fun q ->
+      let exact = raw.(max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)) in
+      let lo, hi = Metrics.quantile hv q in
+      if not (lo < exact && exact <= hi) then
+        Alcotest.failf "p%.0f: exact %d outside bucket (%d, %d]" (q *. 100.) exact lo hi;
+      Alcotest.(check int) "reported percentile is the bracket's upper end" hi
+        (Metrics.quantile_le hv q);
+      (* documented quantization error: one ~1.8x bucket, above the
+         1 microsecond floor *)
+      if lo >= 1_000 then
+        Alcotest.(check bool)
+          (Printf.sprintf "p%.0f bracket within 1.8x" (q *. 100.))
+          true
+          (float_of_int hi <= (1.8 *. float_of_int lo) +. 1.))
+    [ 0.5; 0.95; 0.99 ]
+
+let test_quantile_units () =
+  let m = Metrics.create () in
+  (* 1000 observations of 1..1000 microseconds: exact percentiles known *)
+  for i = 1 to 1000 do
+    Metrics.observe m ~name:"h" ~label:"x" ~buckets:Metrics.latency_buckets (i * 1_000)
+  done;
+  let snap = Metrics.snapshot m in
+  let hv =
+    match Metrics.find_hist snap ~name:"h" ~label:"x" with
+    | Some hv -> hv
+    | None -> Alcotest.fail "no histogram"
+  in
+  List.iter
+    (fun q ->
+      let exact = int_of_float (ceil (q *. 1000.)) * 1_000 in
+      let lo, hi = Metrics.quantile hv q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q%.2f bracket (%d,%d] holds %d" q lo hi exact)
+        true
+        (lo < exact && exact <= hi))
+    [ 0.01; 0.25; 0.5; 0.9; 0.95; 0.99; 1.0 ]
+
+(* --- cross-backend end-to-end ------------------------------------------- *)
+
+(* the same seeded workload linearizes on both backends, and the two
+   backends issue bit-identical request streams (the generator never
+   consults the machine) *)
+let test_backends_agree () =
+  let _m_rt, s_rt = run_store ~backend:Config.Rt () in
+  let _m_vm, s_vm = run_store ~backend:Config.Vm () in
+  Alcotest.(check (list string)) "rt linearizes" [] (Kvstore.check s_rt);
+  Alcotest.(check (list string)) "vm linearizes" [] (Kvstore.check s_vm);
+  Alcotest.(check int) "same request count" (Kvstore.request_count s_rt)
+    (Kvstore.request_count s_vm)
+
+let () =
+  Alcotest.run "kv"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "seeded determinism" `Quick test_gen_determinism;
+          Alcotest.test_case "exact mix" `Quick test_gen_exact_mix;
+          Alcotest.test_case "apportionment" `Quick test_apportion;
+          qtest gen_property;
+          Alcotest.test_case "zipfian chi-squared" `Quick test_gen_zipf_chi2;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "passing interleavings" `Quick test_oracle_passes;
+          Alcotest.test_case "rejections" `Quick test_oracle_rejects;
+          Alcotest.test_case "crash gaps" `Quick test_oracle_crash_gaps;
+          Alcotest.test_case "seeded mutation" `Quick test_oracle_mutation;
+        ] );
+      ( "migration",
+        [
+          Alcotest.test_case "under shared readers" `Quick test_migrate_under_readers;
+          Alcotest.test_case "under message faults" `Quick test_migrate_under_faults;
+          Alcotest.test_case "across owner crash" `Quick test_migrate_across_crash;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "percentiles vs raw log" `Quick test_percentiles_vs_raw;
+          Alcotest.test_case "quantile brackets" `Quick test_quantile_units;
+        ] );
+      ("backends", [ Alcotest.test_case "rt/vm agree" `Quick test_backends_agree ]);
+    ]
