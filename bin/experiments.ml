@@ -172,8 +172,146 @@ let run_kv scale nprocs =
     [ Midway.Config.Rt; Midway.Config.Vm ];
   if !bad then exit 1
 
+(* Per-region hybrid write detection (extension; not a paper table):
+   every workload under pure RT, pure VM and the adaptive per-region
+   controller (base rt plus Config.adaptive), reporting simulated
+   elapsed time.  Every run is oracle-checked — a win from an incoherent
+   run would be meaningless.  The sweep itself only asserts correctness;
+   the committed BENCH_hybrid.md records where adaptive beats both pure
+   backends. *)
+let run_hybrid scale nprocs md_file =
+  let module C = Midway.Config in
+  let module Outcome = Midway_apps.Outcome in
+  let mk backend ~adaptive = { (C.make backend ~nprocs) with C.adaptive } in
+  Printf.printf "Per-region hybrid write detection sweep (extension; not a paper table)\n";
+  Printf.printf
+    "  each workload under pure rt, pure vm and the adaptive per-region controller\n\
+    \  (base rt + Config.adaptive); simulated elapsed ns, every run oracle-checked\n\n";
+  let check name (o : Outcome.t) =
+    if not o.Outcome.ok then begin
+      Printf.eprintf "hybrid sweep: %s failed oracle verification\n" name;
+      exit 1
+    end;
+    (match Midway.Runtime.check_invariants o.Outcome.machine with
+    | [] -> ()
+    | v ->
+        Printf.eprintf "hybrid sweep: %s violated protocol invariants: %s\n" name
+          (String.concat "; " v);
+        exit 1);
+    o
+  in
+  let rounds f = max 2 (int_of_float (f *. scale)) in
+  let gran name items =
+    ( name,
+      fun cfg ->
+        Midway_apps.Granularity.run cfg
+          { Midway_apps.Granularity.total_bytes = 128 * 1024; items; rounds = rounds 8. } )
+  in
+  let kv_run cfg =
+    let module Ycsb = Midway_explore.Ycsb in
+    let module Kv_workload = Midway_explore.Kv_workload in
+    let module Kvstore = Midway_kv.Kvstore in
+    let machine = Midway.Runtime.create cfg in
+    let kv_cfg =
+      {
+        Kv_workload.ycsb =
+          {
+            Ycsb.keys = 1024;
+            requests = max 100 (int_of_float (4_000. *. scale));
+            mix = Ycsb.mix_a;
+            dist = Ycsb.Zipfian 0.99;
+            arrival = Ycsb.Closed;
+            max_scan = 16;
+            seed = 1;
+          };
+        buckets = 32;
+        service_ns = 300;
+        preload = 512;
+        migrate_every = 200;
+        broken_migration = false;
+      }
+    in
+    let store, prog = Kv_workload.build machine kv_cfg in
+    Midway.Runtime.run machine prog;
+    Outcome.v ~app:"kv" ~machine ~ok:(Kvstore.check store = []) ~notes:[]
+  in
+  let workloads =
+    List.map
+      (fun app ->
+        ( Midway_report.Suite.app_name app,
+          fun cfg -> Midway_report.Suite.run_app app cfg ~scale ))
+      Midway_report.Suite.apps
+    @ [
+        gran "granularity/coarse" 8;
+        gran "granularity/fine" 256;
+        ( "hybrid",
+          fun cfg ->
+            Midway_apps.Hybrid.run cfg
+              { Midway_apps.Hybrid.default with Midway_apps.Hybrid.rounds = rounds 48. } );
+        ("kv/migrate", kv_run);
+      ]
+  in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        Printf.printf "  running %s...\n%!" name;
+        let rt = check name (f (mk C.Rt ~adaptive:false)) in
+        let vm = check name (f (mk C.Vm ~adaptive:false)) in
+        let ad = check name (f (mk C.Rt ~adaptive:true)) in
+        (name, rt, vm, ad))
+      workloads
+  in
+  let ns (o : Outcome.t) = Midway.Runtime.elapsed_ns o.Outcome.machine in
+  let line (name, rt, vm, ad) =
+    let rt_ns = ns rt and vm_ns = ns vm and ad_ns = ns ad in
+    let sw = Midway.Runtime.backend_switches ad.Outcome.machine in
+    let best_pure = min rt_ns vm_ns in
+    let verdict =
+      if ad_ns < best_pure then
+        Printf.sprintf "adaptive wins (%.2fx best pure)"
+          (float_of_int best_pure /. float_of_int ad_ns)
+      else if rt_ns <= vm_ns then "rt"
+      else "vm"
+    in
+    Printf.sprintf "%-20s %14d %14d %14d %4d   %s" name rt_ns vm_ns ad_ns sw verdict
+  in
+  Printf.printf "\n  %-20s %14s %14s %14s %4s   %s\n" "workload" "rt (ns)" "vm (ns)"
+    "adaptive (ns)" "sw" "best";
+  List.iter (fun r -> Printf.printf "  %s\n" (line r)) rows;
+  (match md_file with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "# Per-region hybrid write detection\n\n\
+         Generated by `experiments --hybrid --scale %g --nprocs %d --md %s`.\n\n\
+         Each workload runs under pure RT, pure VM, and the adaptive per-region\n\
+         controller (machine default `rt` with `Config.adaptive` on).  Numbers are\n\
+         simulated elapsed nanoseconds; `sw` counts committed per-region backend\n\
+         switches; every run passed its oracle and the protocol invariants.\n\n\
+         | workload | rt (ns) | vm (ns) | adaptive (ns) | sw | best |\n\
+         |---|---:|---:|---:|---:|---|\n"
+        scale nprocs path;
+      List.iter
+        (fun (name, rt, vm, ad) ->
+          let rt_ns = ns rt and vm_ns = ns vm and ad_ns = ns ad in
+          let sw = Midway.Runtime.backend_switches ad.Outcome.machine in
+          let best_pure = min rt_ns vm_ns in
+          let verdict =
+            if ad_ns < best_pure then
+              Printf.sprintf "**adaptive** (%.2fx best pure)"
+                (float_of_int best_pure /. float_of_int ad_ns)
+            else if rt_ns <= vm_ns then "rt"
+            else "vm"
+          in
+          Printf.fprintf oc "| %s | %d | %d | %d | %d | %s |\n" name rt_ns vm_ns ad_ns sw
+            verdict)
+        rows;
+      close_out oc;
+      Printf.printf "\nwrote %s\n" path)
+
 let run only scale nprocs apps csv_file md_file faults crash_spec ecsan obs trace_out
-    metrics_out kv =
+    metrics_out kv hybrid =
   let obs = obs || trace_out <> None || metrics_out <> None in
   let crash =
     match crash_spec with
@@ -214,6 +352,10 @@ let run only scale nprocs apps csv_file md_file faults crash_spec ecsan obs trac
     scale nprocs;
   if kv then begin
     run_kv scale nprocs;
+    exit 0
+  end;
+  if hybrid then begin
+    run_hybrid scale nprocs md_file;
     exit 0
   end;
   match (faults, crash) with
@@ -382,12 +524,23 @@ let kv =
            0.99 with periodic bucket migrations on rt and vm, throughput and get-latency \
            percentiles, every run checked by the refinement oracle.")
 
+let hybrid =
+  Arg.(
+    value & flag
+    & info [ "hybrid" ]
+        ~doc:
+          "Run the per-region hybrid write detection sweep instead of the paper \
+           experiments: every workload (the five applications, two sharing-granularity \
+           points, the two-region hybrid microbenchmark and the KV store) under pure rt, \
+           pure vm and the adaptive per-region controller, reporting simulated elapsed \
+           time.  With $(b,--md FILE) also writes the table as markdown.")
+
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "midway-experiments" ~doc)
     Term.(
       const run $ only $ scale $ nprocs $ apps $ csv_file $ md_file $ faults $ crash_spec
-      $ ecsan $ obs $ trace_out $ metrics_out $ kv)
+      $ ecsan $ obs $ trace_out $ metrics_out $ kv $ hybrid)
 
 let () = exit (Cmd.eval cmd)

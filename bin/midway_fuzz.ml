@@ -44,11 +44,15 @@ let demo_static_expectations =
 let static_flags report slug =
   List.exists (fun f -> Analyze.class_slug f.Analyze.cls = slug) report.Analyze.warnings
 
+(* Names go to the strict shared parsers verbatim — no trimming or case
+   folding here, so " rt" and "RT" are rejected with the same
+   did-you-mean hint every tool gives.  Only genuinely empty segments
+   (a trailing comma) are skipped. *)
 let parse_names of_name csv =
   String.split_on_char ',' csv
-  |> List.filter (fun s -> String.trim s <> "")
+  |> List.filter (fun s -> s <> "")
   |> List.map (fun s ->
-         match of_name (String.trim s) with
+         match of_name s with
          | Ok v -> v
          | Error msg ->
              Printf.eprintf "%s\n" msg;
@@ -110,7 +114,8 @@ let run_replay scale trace_out metrics_out path =
       end
 
 let run apps_csv backends_csv schedules schedule_seed nprocs scale faults fault_seed crash
-    crash_events crash_seed crash_horizon trace no_ecsan demo_bug analyze shrink_budget dump
+    crash_events crash_seed crash_horizon trace no_ecsan adaptive demo_bug analyze
+    shrink_budget dump
     replay_file trace_out metrics_out =
   match replay_file with
   | Some path -> run_replay scale trace_out metrics_out path
@@ -150,6 +155,7 @@ let run apps_csv backends_csv schedules schedule_seed nprocs scale faults fault_
           schedule_seed;
           nprocs;
           ecsan = not no_ecsan;
+          adaptive;
           fault_drop = faults;
           fault_seed;
           crash_events;
@@ -308,6 +314,15 @@ let trace =
 let no_ecsan =
   Arg.(value & flag & info [ "no-ecsan" ] ~doc:"Judge runs without the entry-consistency sanitizer.")
 
+let adaptive =
+  Arg.(
+    value & flag
+    & info [ "adaptive" ]
+        ~doc:
+          "Arm per-region adaptive hybrid write detection on every rt and vm run, composing \
+           the controller's online backend switches with the schedule, fault and crash \
+           dimensions; counterexamples record the flag and replay with it.")
+
 let demo_bug =
   Arg.(
     value & flag
@@ -368,6 +383,7 @@ let cmd =
     Term.(
       const run $ apps $ backends $ schedules $ schedule_seed $ nprocs $ scale $ faults
       $ fault_seed $ crash $ crash_events $ crash_seed $ crash_horizon $ trace $ no_ecsan
+      $ adaptive
       $ demo_bug $ analyze $ shrink_budget $ dump $ replay_file $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval' cmd)

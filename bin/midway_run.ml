@@ -39,8 +39,8 @@ let print_stats outcome =
   Printf.printf "  collection time        : %s\n"
     (Midway_util.Units.pp_time avg.Counters.collect_time_ns)
 
-let run app_name backend_name nprocs scale rt_mode_name untargetted crash_spec trace_n ecsan
-    obs trace_out metrics_out =
+let run app_name backend_name nprocs scale rt_mode_name untargetted adaptive crash_spec
+    trace_n ecsan obs trace_out metrics_out =
   let app =
     match Midway_report.Suite.app_of_string app_name with
     | Ok a -> a
@@ -68,6 +68,14 @@ let run app_name backend_name nprocs scale rt_mode_name untargetted crash_spec t
     Printf.eprintf "--ecsan does not support the untargetted model (no per-lock bindings to check)\n";
     exit 2
   end;
+  if adaptive && not (backend = Midway.Config.Rt || backend = Midway.Config.Vm) then begin
+    Printf.eprintf "--adaptive needs --backend rt or vm (the per-region electable backends)\n";
+    exit 2
+  end;
+  if adaptive && untargetted then begin
+    Printf.eprintf "--adaptive needs per-lock bindings (not the untargetted model)\n";
+    exit 2
+  end;
   let nprocs = if backend = Midway.Config.Standalone then 1 else nprocs in
   let crash_plan =
     match crash_spec with
@@ -89,6 +97,7 @@ let run app_name backend_name nprocs scale rt_mode_name untargetted crash_spec t
       (Midway.Config.make backend ~nprocs) with
       Midway.Config.rt_mode;
       untargetted;
+      adaptive;
       trace_capacity = trace_n;
       ecsan;
       obs;
@@ -113,6 +122,19 @@ let run app_name backend_name nprocs scale rt_mode_name untargetted crash_spec t
          else String.concat "," (List.map (Printf.sprintf "p%d") killed));
       Printf.printf "  quorum failovers       : %d\n" (Midway.Runtime.failover_count machine);
       Printf.printf "  availability           : %.2f\n" (Midway.Runtime.availability machine));
+  if adaptive then begin
+    let machine = outcome.Midway_apps.Outcome.machine in
+    Printf.printf "adaptive detection  : %d backend switch(es)\n"
+      (Midway.Runtime.backend_switches machine);
+    match Midway.Runtime.region_assignments machine with
+    | [] -> ()
+    | l ->
+        Printf.printf "  re-elected regions     : %s\n"
+          (String.concat ", "
+             (List.map
+                (fun (r, b) -> Printf.sprintf "%d->%s" r (Midway.Config.backend_name b))
+                l))
+  end;
   Printf.printf "host time           : %.2f s\n" host;
   if trace_n > 0 then begin
     let tr = Midway.Runtime.trace outcome.Midway_apps.Outcome.machine in
@@ -177,6 +199,15 @@ let untargetted =
     & info [ "untargetted" ]
         ~doc:"Use the untargetted consistency model (RT backend, lock-based programs only).")
 
+let adaptive =
+  Arg.(
+    value & flag
+    & info [ "adaptive" ]
+        ~doc:
+          "Arm the per-region adaptive hybrid write detection controller: regions start on \
+           the configured backend (rt or vm) and are re-elected online at safe points from \
+           observed transfer costs (see doc/ADAPTIVE.md).")
+
 let crash_spec =
   Arg.(
     value & opt (some string) None
@@ -227,7 +258,7 @@ let cmd =
   let doc = "run one DSM benchmark application" in
   Cmd.v (Cmd.info "midway-run" ~doc)
     Term.(
-      const run $ app_arg $ backend $ nprocs $ scale $ rt_mode $ untargetted $ crash_spec
-      $ trace_n $ ecsan $ obs $ trace_out $ metrics_out)
+      const run $ app_arg $ backend $ nprocs $ scale $ rt_mode $ untargetted $ adaptive
+      $ crash_spec $ trace_n $ ecsan $ obs $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval cmd)

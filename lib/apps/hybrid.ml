@@ -1,0 +1,139 @@
+module R = Midway.Runtime
+module Range = Midway.Range
+
+type params = {
+  fine_items : int;
+  fine_item_bytes : int;
+  dense_chunks : int;
+  dense_chunk_bytes : int;
+  overwrites : int;
+  rounds : int;
+}
+
+let default =
+  {
+    fine_items = 32;
+    fine_item_bytes = 64;
+    dense_chunks = 8;
+    dense_chunk_bytes = 16 * 1024;
+    overwrites = 2;
+    rounds = 6;
+  }
+
+(* value layout: round | object | word, wide enough for any sweep point *)
+let encode ~round ~obj ~word = (((round * 1_000_000) + obj) * 100_000) + word
+
+let run cfg p =
+  if cfg.Midway.Config.nprocs < 2 then invalid_arg "Hybrid.run: needs 2 processors";
+  if p.fine_item_bytes < 8 || p.fine_item_bytes mod 8 <> 0 then
+    invalid_arg "Hybrid.run: fine_item_bytes must be a positive multiple of 8";
+  if p.dense_chunk_bytes < 8 || p.dense_chunk_bytes mod 8 <> 0 then
+    invalid_arg "Hybrid.run: dense_chunk_bytes must be a positive multiple of 8";
+  let machine = R.create cfg in
+  (* Two regions with opposite detection profiles.  Allocating with
+     distinct line sizes places the two working sets in distinct regions
+     (the space bump-allocates per line size), so a per-region backend
+     election can treat them differently. *)
+  let fine_line = p.fine_item_bytes in
+  let dense_line = if fine_line = 256 then 512 else 256 in
+  let fine_base =
+    Array.init p.fine_items (fun _ -> R.alloc machine ~line_size:fine_line p.fine_item_bytes)
+  in
+  let fine_locks =
+    Array.init p.fine_items (fun i ->
+        R.new_lock machine [ Range.v fine_base.(i) p.fine_item_bytes ])
+  in
+  let dense_base =
+    R.alloc machine ~line_size:dense_line (p.dense_chunks * p.dense_chunk_bytes)
+  in
+  let chunk k = dense_base + (k * p.dense_chunk_bytes) in
+  let dense_lock = R.new_lock machine [ Range.v (chunk 0) p.dense_chunk_bytes ] in
+  let bar = R.new_barrier machine [] in
+  let fine_words = p.fine_item_bytes / 8 in
+  let dense_words = p.dense_chunk_bytes / 8 in
+  let ok = ref true in
+  R.run machine (fun c ->
+      let me = R.id c in
+      (* Phase A — fine-grained sharing: many small independently locked
+         objects ping-ponged producer -> consumer.  Each transfer moves a
+         few words but, under VM detection, pays page machinery (the
+         objects share pages, so every handoff re-faults and re-diffs). *)
+      for round = 1 to p.rounds do
+        if me = 0 then
+          for i = 0 to p.fine_items - 1 do
+            R.acquire c fine_locks.(i);
+            for w = 0 to fine_words - 1 do
+              R.write_int c (fine_base.(i) + (w * 8)) (encode ~round ~obj:i ~word:w)
+            done;
+            R.work_cycles c (fine_words * 4);
+            R.release c fine_locks.(i)
+          done;
+        R.barrier c bar;
+        if me = 1 then
+          for i = 0 to p.fine_items - 1 do
+            R.acquire c fine_locks.(i);
+            for w = 0 to fine_words - 1 do
+              let v = R.read_int c (fine_base.(i) + (w * 8)) in
+              if v <> encode ~round ~obj:i ~word:w then ok := false
+            done;
+            R.work_cycles c (fine_words * 2);
+            R.release c fine_locks.(i)
+          done;
+        R.barrier c bar
+      done;
+      (* Phase B — rebinding-heavy dense chunks (the paper's quicksort
+         pattern): one lock handed a different chunk each iteration, the
+         whole chunk rewritten [overwrites] times.  Every serve is a
+         rebinding-forced full — diff-free and fault-free under VM, but a
+         full scan plus a store template per word per pass under RT. *)
+      for round = 1 to p.rounds do
+        for k = 0 to p.dense_chunks - 1 do
+          if me = 0 then begin
+            R.acquire c dense_lock;
+            R.rebind c dense_lock [ Range.v (chunk k) p.dense_chunk_bytes ];
+            for _pass = 1 to p.overwrites do
+              for w = 0 to dense_words - 1 do
+                R.write_int c (chunk k + (w * 8)) (encode ~round ~obj:k ~word:w)
+              done
+            done;
+            R.work_cycles c (dense_words * 4);
+            R.release c dense_lock
+          end;
+          R.barrier c bar;
+          if me = 1 then begin
+            R.acquire c dense_lock;
+            for w = 0 to dense_words - 1 do
+              let v = R.read_int c (chunk k + (w * 8)) in
+              if v <> encode ~round ~obj:k ~word:w then ok := false
+            done;
+            R.work_cycles c (dense_words * 2);
+            R.release c dense_lock
+          end;
+          R.barrier c bar
+        done
+      done);
+  (* Final state, read directly out of the backing memory: the fine
+     items at their lock owners, the dense chunks at the producer (the
+     last writer of every chunk), must hold the last round's values. *)
+  for i = 0 to p.fine_items - 1 do
+    let owner = fine_locks.(i).Midway.Sync.owner in
+    for w = 0 to fine_words - 1 do
+      let v = Common.read_int_direct machine ~proc:owner (fine_base.(i) + (w * 8)) in
+      if v <> encode ~round:p.rounds ~obj:i ~word:w then ok := false
+    done
+  done;
+  for k = 0 to p.dense_chunks - 1 do
+    for w = 0 to dense_words - 1 do
+      let v = Common.read_int_direct machine ~proc:0 (chunk k + (w * 8)) in
+      if v <> encode ~round:p.rounds ~obj:k ~word:w then ok := false
+    done
+  done;
+  Outcome.v ~app:"hybrid" ~machine ~ok:!ok
+    ~notes:
+      [
+        Printf.sprintf "%d fine items x %d B (line %d), %d dense chunks x %d B (line %d)"
+          p.fine_items p.fine_item_bytes fine_line p.dense_chunks p.dense_chunk_bytes
+          dense_line;
+        Printf.sprintf "%d rounds, %d write pass(es) per chunk, %d backend switch(es)"
+          p.rounds p.overwrites (R.backend_switches machine);
+      ]

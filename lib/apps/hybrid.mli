@@ -1,0 +1,43 @@
+(** A two-region workload with opposite write-detection profiles
+    (extension experiment for per-region hybrid detection).
+
+    The paper's measurements show neither detection technique dominating:
+    software (RT) detection wins on fine-grained sharing, virtual-memory
+    (VM) detection wins when frequent rebinding makes transfers diff-free
+    fulls (quicksort).  This synthetic workload puts both behaviours in
+    one address space, in two distinct regions:
+
+    - {e fine}: [fine_items] small objects, each under its own lock,
+      ping-ponged between a producer and a consumer.  The objects share
+      pages, so under VM every handoff pays a write fault, a page diff
+      and a re-protection; under RT it pays a store template per word.
+
+    - {e dense}: one lock rebound to a different [dense_chunk_bytes]
+      chunk every iteration, the chunk fully rewritten [overwrites]
+      times before each handoff.  Every transfer is a rebinding-forced
+      full — diff-free and fault-free under VM, a full scan plus a store
+      template per word per pass under RT.
+
+    A machine-wide backend is therefore wrong for one of the two regions;
+    per-region election ({!Midway.Config.t.adaptive} or
+    {!Midway.Runtime.set_region_backend}) can beat both pure
+    configurations.  `experiments --hybrid` sweeps exactly that. *)
+
+type params = {
+  fine_items : int;  (** independently locked small objects *)
+  fine_item_bytes : int;  (** bytes per fine object (also its line size) *)
+  dense_chunks : int;  (** chunks the dense lock cycles through *)
+  dense_chunk_bytes : int;  (** bytes per dense chunk *)
+  overwrites : int;  (** full write passes over a chunk per handoff *)
+  rounds : int;  (** producer/consumer iterations over both regions *)
+}
+
+val default : params
+(** 32 x 64 B fine items; 8 x 16 KB dense chunks, 2 write passes;
+    6 rounds. *)
+
+val run : Midway.Config.t -> params -> Outcome.t
+(** Runs on processors 0 (producer) and 1 (consumer); additional
+    processors only participate in the ordering barrier.  Verifies every
+    consumed value and the final memory image against the encoding
+    oracle. *)

@@ -8,14 +8,35 @@ let backend_name = function
   | Vm_fine -> "vm-fine"
   | Standalone -> "standalone"
 
-let backend_of_string = function
-  | "rt" -> Ok Rt
-  | "vm" -> Ok Vm
-  | "blast" -> Ok Blast
-  | "twin" -> Ok Twin
-  | "vm-fine" | "vmfine" -> Ok Vm_fine
-  | "standalone" | "uni" -> Ok Standalone
-  | s -> Error (Printf.sprintf "unknown backend %S (expected rt|vm|blast|twin|vm-fine|standalone)" s)
+let backend_names = [ "rt"; "vm"; "blast"; "twin"; "vm-fine"; "standalone" ]
+
+(* THE backend parser: every binary (midway_run, experiments,
+   midway_fuzz, midway_kv) routes backend names through here, with no
+   local trimming or case-folding, so whitespace and case drift are
+   rejected identically everywhere.  A name that would parse after
+   normalization gets a did-you-mean hint instead of a bare failure. *)
+let backend_of_string s =
+  let exact = function
+    | "rt" -> Some Rt
+    | "vm" -> Some Vm
+    | "blast" -> Some Blast
+    | "twin" -> Some Twin
+    | "vm-fine" | "vmfine" -> Some Vm_fine
+    | "standalone" | "uni" -> Some Standalone
+    | _ -> None
+  in
+  match exact s with
+  | Some b -> Ok b
+  | None -> (
+      let valid = String.concat "|" backend_names in
+      let norm = String.lowercase_ascii (String.trim s) in
+      match exact norm with
+      | Some _ when norm <> s ->
+          Error
+            (Printf.sprintf
+               "unknown backend %S: names are matched exactly, did you mean %S? (valid: %s)" s
+               norm valid)
+      | _ -> Error (Printf.sprintf "unknown backend %S (valid: %s)" s valid))
 
 type rt_mode = Plain | Two_level | Update_queue
 
@@ -60,6 +81,8 @@ type t = {
   retrans_max_attempts : int;
   obs : bool;
   obs_span_cap : int;
+  adaptive : bool;
+  striped : backend option;
 }
 
 let make ?(cost = Midway_stats.Cost_model.default) backend ~nprocs =
@@ -94,6 +117,8 @@ let make ?(cost = Midway_stats.Cost_model.default) backend ~nprocs =
       Midway_simnet.Reliable.default_config.Midway_simnet.Reliable.max_attempts;
     obs = false;
     obs_span_cap = 0;
+    adaptive = false;
+    striped = None;
   }
 
 let with_schedule_seed seed cfg = { cfg with sched_policy = Midway_sched.Engine.Seeded seed }

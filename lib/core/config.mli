@@ -14,7 +14,15 @@ type backend =
 
 val backend_name : backend -> string
 
+val backend_names : string list
+(** The canonical spellings, in declaration order — what
+    {!backend_of_string} errors list as valid. *)
+
 val backend_of_string : string -> (backend, string) result
+(** The one shared backend parser: names are matched exactly (no
+    trimming, no case folding), so every binary rejects whitespace and
+    case drift identically.  Errors list the valid names; a name that
+    would parse after normalization gets a did-you-mean hint. *)
 
 type rt_mode =
   | Plain  (** one dirtybit (timestamp word) per line — the paper's main scheme *)
@@ -132,6 +140,22 @@ type t = {
       (** maximum spans retained when [obs] is armed; [0] = unbounded.
           Past the cap spans are counted as dropped, not recorded;
           metrics are unaffected. *)
+  (* per-region hybrid detection *)
+  adaptive : bool;
+      (** arm the online per-region backend controller ({!Policy}): at
+          every release whose lock has no other holders, the policy may
+          re-elect the detection backend of the regions the lock binds,
+          using the same quantities the lib/obs metrics export (dirty
+          bytes per collect, trap counts, fault counts, re-binding
+          rate).  [false] (the default) never switches, so runs are
+          bit-identical to a fixed-backend build — the same
+          off-is-invisible contract as [ecsan] / [faults] / [obs]. *)
+  striped : backend option;
+      (** [Some b]: shared regions alternate between [backend] (even
+          allocation ordinals) and [b] (odd ordinals) at creation, a
+          static mixed-backend machine — the per-region dispatch test
+          rig.  [None] (the default) gives every region [backend],
+          which is the bit-identical degenerate case. *)
 }
 
 val make : ?cost:Midway_stats.Cost_model.t -> backend -> nprocs:int -> t

@@ -282,3 +282,23 @@ let scan t ~region_of ~ranges ~stamp ~select ~emit =
   counts
 
 let queue_length t = t.queue_len
+
+(* Forget everything about one region: detection restarts from the
+   initial stamp, exactly as if the region had never been written here.
+   Post-reset, [Timestamp.initial] still exceeds a rebound lock's
+   [Timestamp.never_seen] cursor, so the data itself is not lost — the
+   next transfer ships it in full. *)
+let reset_region t (r : Region.t) =
+  (if r.Region.index < Array.length t.tables then
+     match t.tables.(r.Region.index) with
+     | None -> ()
+     | Some tbl ->
+         Array.fill tbl.ts 0 (Array.length tbl.ts) Timestamp.initial;
+         Bytes.fill tbl.l1 0 (Bytes.length tbl.l1) '\000';
+         Array.fill tbl.group_max 0 (Array.length tbl.group_max) Timestamp.initial);
+  if t.queue <> [] then begin
+    let span = Range.v (Region.base r) r.Region.region_size in
+    let keep = List.concat_map (fun e -> Range.subtract e ~minus:[ span ]) t.queue in
+    t.queue <- keep;
+    t.queue_len <- List.length keep
+  end

@@ -87,3 +87,11 @@ val scan :
 
 val queue_length : t -> int
 (** [Update_queue] mode: entries currently queued (0 in other modes). *)
+
+val reset_region : t -> Midway_memory.Region.t -> unit
+(** Forget all detection state for one region: timestamps back to
+    {!Timestamp.initial}, first-level bits and group maxima cleared,
+    queued writes inside the region dropped.  Used when a region's
+    detection backend is switched; the accompanying per-lock epoch bump
+    makes the next transfer ship the bound data in full, so nothing
+    forgotten is lost. *)

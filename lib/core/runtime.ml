@@ -25,7 +25,13 @@ type ctx = {
   counters : Counters.t;
   mutable lamport : int;
   mutable rt_global_seen : Timestamp.t;  (* untargetted mode: everything-consistent-as-of cursor *)
-  backend : backend_state;
+  backend : backend_state;  (* the machine-default detection state *)
+  (* Lazily created alternate detection states, used by regions elected
+     away from the machine default (hybrid write detection).  A fixed
+     configuration never touches them. *)
+  mutable alt_rt : Dirtybits.t option;
+  mutable alt_vm : Vm_state.t option;
+  mutable alt_twin : Twin_state.t option;
   gather : Gather.t;  (* reusable run buffer for write collection *)
   check : Midway_check.Check.t option;  (* ECSan, when cfg.ecsan *)
 }
@@ -55,6 +61,20 @@ and t = {
   mutable barriers : Sync.barrier list;
   mutable next_sync_id : int;
   mutable ran : bool;
+  (* --- per-region backend election (hybrid write detection) --- *)
+  mutable region_backend : Config.backend option array;
+      (* by region index; [None] means the machine default.  Only
+         consulted when [mixed] is set, so fixed configurations take the
+         exact pre-hybrid code path. *)
+  mutable mixed : bool;  (* some region's backend differs from the default *)
+  mutable striped_ord : int;  (* shared regions assigned under cfg.striped *)
+  mutable switches : int;  (* backend switches committed so far *)
+  region_ns : (int, int) Hashtbl.t;
+      (* region index -> collect+apply ns attributed to transfers of
+         bindings rooted there (host-side accounting; -1 buckets
+         transfers with no bound data).  Mirrors every increment of the
+         per-processor [collect_time_ns] counters. *)
+  policy : Policy.t option;  (* Some iff cfg.adaptive *)
   checker : Midway_check.Check.t option;
   obsv : Obs.t option;
       (* Some iff cfg.obs: the structured span log and metrics registry.
@@ -63,11 +83,27 @@ and t = {
          pre-obs code path. *)
 }
 
+let electable = function
+  | Config.Rt | Config.Vm | Config.Twin | Config.Blast -> true
+  | Config.Vm_fine | Config.Standalone -> false
+
 let create (cfg : Config.t) =
   if cfg.backend = Config.Standalone && cfg.nprocs > 1 then
     invalid_arg "Runtime.create: the standalone backend is uniprocessor only";
   if cfg.untargetted && cfg.backend <> Config.Rt then
     invalid_arg "Runtime.create: the untargetted model is implemented for the RT backend only";
+  if (cfg.adaptive || cfg.striped <> None) && cfg.untargetted then
+    invalid_arg
+      "Runtime.create: per-region backends need targetted bindings (untargetted consistency \
+       is machine-wide by construction)";
+  if cfg.adaptive && not (cfg.backend = Config.Rt || cfg.backend = Config.Vm) then
+    invalid_arg "Runtime.create: adaptive elects between rt and vm; start from one of them";
+  (match cfg.striped with
+  | Some alt when not (electable alt && electable cfg.backend) ->
+      invalid_arg
+        "Runtime.create: striped regions need per-region electable backends \
+         (rt|vm|twin|blast) on both sides"
+  | _ -> ());
   let engine = Engine.create ~policy:cfg.sched_policy ~nprocs:cfg.nprocs () in
   let space = Space.create ~region_size:cfg.region_size ~nprocs:cfg.nprocs () in
   let net =
@@ -173,6 +209,12 @@ let create (cfg : Config.t) =
       barriers = [];
       next_sync_id = 0;
       ran = false;
+      region_backend = Array.make 16 None;
+      mixed = false;
+      striped_ord = 0;
+      switches = 0;
+      region_ns = Hashtbl.create 16;
+      policy = (if cfg.adaptive then Some (Policy.create ~cost:cfg.cost ()) else None);
       checker = check;
       obsv;
     }
@@ -196,6 +238,9 @@ let create (cfg : Config.t) =
                   ( Vm_state.create ~page_size:cfg.cost.page_size,
                     Dirtybits.create ~mode:Config.Plain ~group:cfg.two_level_group )
             | Config.Blast | Config.Standalone -> B_none);
+          alt_rt = None;
+          alt_vm = None;
+          alt_twin = None;
           gather = Gather.create ();
           check;
         });
@@ -229,10 +274,120 @@ let diff_note = function
   | B_vmfine _ -> "page diff + dirtybit scan"
   | B_none -> "no detection"
 
+(* ------------------------------------------------------------------ *)
+(* Per-region backend election (hybrid write detection)                *)
+(*                                                                     *)
+(* Each lock-bound region carries its own detection choice.  The       *)
+(* machine default (cfg.backend) is the degenerate case: [mixed] stays *)
+(* false, every helper below collapses to the default in O(1), and the *)
+(* protocol runs the exact pre-hybrid code path.                       *)
+(* ------------------------------------------------------------------ *)
+
+let region_index_of t addr = addr / t.cfg.region_size
+
+let ensure_region_slot t idx =
+  let cap = Array.length t.region_backend in
+  if idx >= cap then begin
+    let fresh = Array.make (max (idx + 1) (cap * 2)) None in
+    Array.blit t.region_backend 0 fresh 0 cap;
+    t.region_backend <- fresh
+  end
+
+let backend_of_region t idx =
+  if (not t.mixed) || idx < 0 || idx >= Array.length t.region_backend then t.cfg.backend
+  else match t.region_backend.(idx) with Some b -> b | None -> t.cfg.backend
+
+(* The detection state [c] uses for backend [b]: the machine-default
+   state when [b] is the default, a lazily created alternate otherwise.
+   One state per backend serves every region elected to it — the states
+   are address-keyed internally, and a switch resets the region's slice
+   of each (see [switch_region_backend]). *)
+let state_for (c : ctx) (b : Config.backend) =
+  let cfg = c.machine.cfg in
+  if b = cfg.backend then c.backend
+  else
+    match b with
+    | Config.Rt -> (
+        match c.alt_rt with
+        | Some db -> B_rt db
+        | None ->
+            let db = Dirtybits.create ~mode:cfg.rt_mode ~group:cfg.two_level_group in
+            c.alt_rt <- Some db;
+            B_rt db)
+    | Config.Vm -> (
+        match c.alt_vm with
+        | Some vm -> B_vm vm
+        | None ->
+            let vm = Vm_state.create ~page_size:cfg.cost.page_size in
+            c.alt_vm <- Some vm;
+            B_vm vm)
+    | Config.Twin -> (
+        match c.alt_twin with
+        | Some tw -> B_twin tw
+        | None ->
+            let tw = Twin_state.create () in
+            c.alt_twin <- Some tw;
+            B_twin tw)
+    | Config.Blast -> B_none
+    | Config.Vm_fine | Config.Standalone ->
+        invalid_arg "Runtime.state_for: vm-fine and standalone are machine-wide backends"
+
+(* The backend a binding runs under: the unanimous election over the
+   regions its non-empty ranges live in.  A binding spanning regions
+   with *different* elections degrades to [conflict] — Blast for locks
+   (whole-data copy: always correct, never clever), Twin for barriers
+   (Blast cannot carry barrier-bound data). *)
+let elected_backend ?(conflict = Config.Blast) t ranges =
+  if not t.mixed then t.cfg.backend
+  else begin
+    let b = ref None and clash = ref false in
+    List.iter
+      (fun (r : Range.t) ->
+        if not (Range.is_empty r) then begin
+          let rb = backend_of_region t (region_index_of t r.Range.addr) in
+          match !b with
+          | None -> b := Some rb
+          | Some prev -> if prev <> rb then clash := true
+        end)
+      ranges;
+    if !clash then conflict else match !b with Some rb -> rb | None -> t.cfg.backend
+  end
+
+(* Host-side per-region time accounting: mirrors every increment of the
+   per-processor [collect_time_ns] counters, attributed to the region of
+   the binding's first non-empty range (-1 when there is none). *)
+let bump_region_ns t ranges ns =
+  if ns <> 0 then begin
+    let idx =
+      match List.find_opt (fun (r : Range.t) -> not (Range.is_empty r)) ranges with
+      | Some r -> region_index_of t r.Range.addr
+      | None -> -1
+    in
+    let cur = match Hashtbl.find_opt t.region_ns idx with Some v -> v | None -> 0 in
+    Hashtbl.replace t.region_ns idx (cur + ns)
+  end
+
 let alloc t ?line_size ?(private_ = false) bytes =
   let line_size = Option.value line_size ~default:t.cfg.default_line_size in
   let kind = if private_ then Region.Private else Region.Shared in
-  Space.alloc t.space ~kind ~line_size bytes
+  let a = Space.alloc t.space ~kind ~line_size bytes in
+  (* Static striping: alternate shared regions between the machine
+     default and the configured alternate, by shared-region creation
+     ordinal.  Deterministic in the allocation order, so the qcheck
+     mixed-digest property can build half-RT/half-VM machines from
+     configuration alone. *)
+  (match t.cfg.striped with
+  | Some alt when not private_ ->
+      let idx = region_index_of t a in
+      ensure_region_slot t idx;
+      if t.region_backend.(idx) = None then begin
+        let b = if t.striped_ord land 1 = 1 then alt else t.cfg.backend in
+        t.striped_ord <- t.striped_ord + 1;
+        t.region_backend.(idx) <- Some b;
+        if b <> t.cfg.backend then t.mixed <- true
+      end
+  | _ -> ());
+  a
 
 (* ECSan sees the caller's raw range lists (pre-normalization), so its
    lint can flag degenerate entries the protocol silently drops. *)
@@ -379,7 +534,14 @@ let vm_trap c vm addr len =
 let trap c addr len =
   let cfg = c.machine.cfg in
   let cost = cfg.cost in
-  match c.backend with
+  (* On a mixed machine the store template is the *region's* — a write
+     into a VM-elected region faults, one into an RT-elected region sets
+     dirtybits, whatever the machine default says. *)
+  let bst =
+    if not c.machine.mixed then c.backend
+    else state_for c (backend_of_region c.machine (region_index_of c.machine addr))
+  in
+  match bst with
   | B_none | B_twin _ -> ()
   | B_vmfine (vm, _) -> vm_trap c vm addr len
   | B_rt db -> begin
@@ -1001,7 +1163,7 @@ let install_replica (nc : ctx) (l : Sync.lock) (pieces : Payload.vm_piece list) 
   let t = nc.machine in
   let cost = t.cfg.cost in
   let bytes = Payload.pieces_bytes pieces in
-  match nc.backend with
+  match state_for nc (elected_backend t l.Sync.ranges) with
   | B_rt db | B_vmfine (_, db) ->
       let time = 1 + Array.fold_left (fun acc (c : ctx) -> max acc c.lamport) 0 t.ctxs in
       nc.lamport <- time;
@@ -1123,7 +1285,7 @@ let crash_failover (t : t) (l : Sync.lock) ~new_owner ~suspect ~at =
           | None -> ());
           nc.counters.data_received_bytes <- nc.counters.data_received_bytes + bytes;
           t_done := !t_done + install_replica nc l snapshot;
-          (match nc.backend with
+          (match state_for nc (elected_backend t l.Sync.ranges) with
           | B_vm _ | B_twin _ -> l.Sync.vm_inc_seen.(new_owner) <- l.Sync.incarnation
           | _ -> ())
       | None ->
@@ -1158,6 +1320,153 @@ let crash_failover (t : t) (l : Sync.lock) ~new_owner ~suspect ~at =
     Some !t_done
   end
 
+(* ------------------------------------------------------------------ *)
+(* Switching a region's backend                                        *)
+(* ------------------------------------------------------------------ *)
+
+let region_span t idx = Range.v (idx * t.cfg.region_size) t.cfg.region_size
+
+let binding_intersects ranges span =
+  List.exists (fun (r : Range.t) -> (not (Range.is_empty r)) && Range.overlaps r span) ranges
+
+(* A switch is safe when no binding rooted in the region is mid-
+   transfer: no lock held or read-held, no barrier with parked arrivals
+   (their mailboxed payloads were collected under the old backend).
+   Pending lock requests are fine — they are served after the switch,
+   and the epoch bump below makes that service a full transfer. *)
+let safe_to_switch t idx =
+  let span = region_span t idx in
+  List.for_all
+    (fun (l : Sync.lock) ->
+      (not (binding_intersects l.Sync.ranges span))
+      || (l.Sync.held_by = None && l.Sync.readers = []))
+    t.locks
+  && List.for_all
+       (fun (b : Sync.barrier) ->
+         (not (binding_intersects b.Sync.branges span)) || b.Sync.arrived = [])
+       t.barriers
+
+(* Re-elect a region's detection backend.  Correctness rests on the
+   rebinding rules: every binding overlapping the region is epoch-bumped
+   (RT cursors to never-seen, VM incarnation bump with a full marker),
+   so the next transfer of each ships the bound data in full from its
+   owner — which makes it safe to wipe the region's slice of every
+   per-processor detection state, old and new alike.  The modeled cost
+   of a switch is exactly those forced full transfers. *)
+let switch_region_backend t ~region_index ~to_ ~at =
+  if not (electable to_) then
+    invalid_arg "Runtime.switch_region_backend: vm-fine and standalone are machine-wide";
+  if not (electable t.cfg.backend) then
+    invalid_arg "Runtime.switch_region_backend: the machine backend is not per-region electable";
+  if t.cfg.untargetted then
+    invalid_arg "Runtime.switch_region_backend: untargetted bindings are machine-wide";
+  ensure_region_slot t region_index;
+  let from_ = backend_of_region t region_index in
+  if from_ <> to_ then begin
+    t.region_backend.(region_index) <- Some to_;
+    if to_ <> t.cfg.backend then t.mixed <- true;
+    t.switches <- t.switches + 1;
+    let span = region_span t region_index in
+    List.iter
+      (fun (l : Sync.lock) ->
+        if binding_intersects l.Sync.ranges span then begin
+          Sync.rebind_lock l ~nprocs:t.cfg.nprocs ~ranges:l.Sync.ranges;
+          l.Sync.switch_inc <- l.Sync.incarnation
+        end)
+      t.locks;
+    (match Space.find_region t.space span.Range.addr with
+    | None -> ()  (* nothing allocated there yet: no state to wipe *)
+    | Some region ->
+        Array.iter
+          (fun c ->
+            (match c.backend with
+            | B_rt db | B_vmfine (_, db) -> Dirtybits.reset_region db region
+            | _ -> ());
+            (match c.alt_rt with Some db -> Dirtybits.reset_region db region | None -> ());
+            (match c.backend with
+            | B_vm vm | B_vmfine (vm, _) -> Vm_state.forget vm ~ranges:[ span ]
+            | _ -> ());
+            (match c.alt_vm with Some vm -> Vm_state.forget vm ~ranges:[ span ] | None -> ()))
+          t.ctxs);
+    Trace.record t.trace
+      (Trace.Backend_switched
+         {
+           t = at;
+           region = region_index;
+           from_ = Config.backend_name from_;
+           to_ = Config.backend_name to_;
+         });
+    match t.obsv with
+    | None -> ()
+    | Some o ->
+        Metrics.incr (Obs.metrics o) ~name:"backend_switches"
+          ~label:(Printf.sprintf "region%d" region_index) 1
+  end
+
+(* Payload shape as the policy sees it: distinct pages and contiguous
+   runs covered by the shipped data (pieces arrive in ascending address
+   order from both the gather buffer and the diff engine). *)
+let payload_page_stats t payload =
+  let psize = t.cfg.cost.Cost_model.page_size in
+  let pages = ref 0 and runs = ref 0 and last = ref (-1) in
+  let note addr len =
+    if len > 0 then begin
+      incr runs;
+      let first = addr / psize and last_page = (addr + len - 1) / psize in
+      let first = if first = !last then first + 1 else first in
+      if last_page >= first then pages := !pages + (last_page - first + 1);
+      if last_page > !last then last := last_page
+    end
+  in
+  let note_piece (p : Payload.vm_piece) = note p.Payload.addr (Bytes.length p.Payload.data) in
+  (match payload with
+  | Payload.Rt_lines lines ->
+      List.iter (fun (ln : Payload.rt_line) -> note ln.Payload.addr ln.Payload.len) lines
+  | Payload.Vm_full pieces | Payload.Blast_data pieces -> List.iter note_piece pieces
+  | Payload.Vm_updates updates ->
+      List.iter (fun (u : Payload.vm_update) -> List.iter note_piece u.Payload.pieces) updates
+  | Payload.Empty -> ());
+  (!pages, !runs)
+
+let first_bound_region t ranges =
+  match List.find_opt (fun (r : Range.t) -> not (Range.is_empty r)) ranges with
+  | Some r -> Space.find_region t.space r.Range.addr
+  | None -> None
+
+(* Adaptive decision point: ask the policy about each region the just-
+   quiesced binding touches, and commit recommended switches that are
+   safe right now.  A no-op without [Config.adaptive]. *)
+let maybe_adapt t ranges ~at =
+  match t.policy with
+  | None -> ()
+  | Some p ->
+      let seen = ref [] in
+      List.iter
+        (fun (r : Range.t) ->
+          if not (Range.is_empty r) then begin
+            let idx = region_index_of t r.Range.addr in
+            if not (List.mem idx !seen) then begin
+              seen := idx :: !seen;
+              match backend_of_region t idx with
+              | (Config.Rt | Config.Vm) as current ->
+                  if safe_to_switch t idx then (
+                    let w = Policy.window p ~region:idx in
+                    match Policy.decide p ~region:idx ~current with
+                    | Some target ->
+                        (if Sys.getenv_opt "MIDWAY_POLICY_DEBUG" <> None then
+                           let collects, rt_ns, vm_ns = w in
+                           Printf.eprintf
+                             "[policy] region %d %s->%s collects=%d est_rt=%d est_vm=%d\n%!"
+                             idx (Config.backend_name current) (Config.backend_name target)
+                             collects rt_ns vm_ns);
+                        switch_region_backend t ~region_index:idx ~to_:target ~at;
+                        Policy.note_switch p ~region:idx
+                    | None -> ())
+              | _ -> ()
+            end
+          end)
+        ranges
+
 (* Serve one pending request: runs at the releaser side (conceptually on
    its runtime thread), computes the update payload, applies it at the
    requester and schedules the requester's resumption.  A shared-mode
@@ -1171,8 +1480,30 @@ let rec serve t (l : Sync.lock) ~requester:q ~arrival ~mode ~waker =
      collection's page-diff output to the obs registry. *)
   let pages0 = if t.obsv = None then 0 else rc.counters.pages_diffed in
   let dirty0 = if t.obsv = None then 0 else rc.counters.dirty_bytes_found in
+  (* The lock's elected backend decides both sides of the transfer; on a
+     fixed machine this is the machine default and [state_for] hands
+     back the per-processor state untouched. *)
+  let lb = elected_backend t l.Sync.ranges in
+  let rbst = state_for rc lb in
+  (* Whether this transfer will be a rebinding-forced full, read off the
+     cursors before the collection consumes them (policy input only). *)
+  let policy_rebound =
+    (* Only *application* rebinds count as rebinding-heavy behaviour:
+       epoch bumps at or below the lock's [switch_inc] watermark were
+       forced by a backend switch (and a first-ever transfer is merely
+       cold), so without the watermark gate the policy's own switches —
+       and program start — would read as diff-free-full traffic and bias
+       it toward VM. *)
+    t.policy <> None
+    && l.Sync.incarnation > l.Sync.switch_inc
+    &&
+    match rbst with
+    | B_vm _ | B_twin _ ->
+        vm_rebound_since l ~seen:l.Sync.vm_inc_seen.(q) ~current:l.Sync.incarnation
+    | _ -> l.Sync.rt_last_seen.(q) = Timestamp.never_seen
+  in
   let payload, collect_ns, stamp_info =
-    match rc.backend with
+    match rbst with
     | B_rt db ->
         let lines, ns, stamp = rt_collect_lock rc db l ~for_:q in
         ((if lines = [] then Payload.Empty else Payload.Rt_lines lines), ns, stamp)
@@ -1190,7 +1521,19 @@ let rec serve t (l : Sync.lock) ~requester:q ~arrival ~mode ~waker =
     | B_none -> (blast_collect rc l, 0, 0)
   in
   rc.counters.collect_time_ns <- rc.counters.collect_time_ns + collect_ns;
+  bump_region_ns t l.Sync.ranges collect_ns;
   let app = Payload.app_bytes payload in
+  (match t.policy with
+  | None -> ()
+  | Some p -> (
+      match first_bound_region t l.Sync.ranges with
+      | None -> ()
+      | Some region ->
+          let pages, runs = payload_page_stats t payload in
+          Policy.note_collect p ~region:region.Region.index
+            ~line_size:region.Region.line_size
+            ~bound_bytes:(Sync.lock_bound_bytes l) ~payload_bytes:app ~payload_pages:pages
+            ~payload_runs:runs ~rebound:policy_rebound));
   rc.counters.data_sent_bytes <- rc.counters.data_sent_bytes + app;
   rc.counters.messages <- rc.counters.messages + 1;
   (match t.obsv with
@@ -1201,7 +1544,7 @@ let rec serve t (l : Sync.lock) ~requester:q ~arrival ~mode ~waker =
       let m = Obs.metrics o in
       Obs.span o Obs.Collect ~proc:releaser ~sync:lid ~bytes:app ~t0:service_time
         ~t1:(service_time + collect_ns) ();
-      Obs.span o Obs.Diff ~proc:releaser ~sync:lid ~note:(diff_note rc.backend)
+      Obs.span o Obs.Diff ~proc:releaser ~sync:lid ~note:(diff_note rbst)
         ~t0:service_time ~t1:(service_time + collect_ns) ();
       Metrics.observe m ~name:"collect_ns" ~label:lbl collect_ns;
       Metrics.observe m ~name:"transfer_bytes" ~label:lbl ~buckets:Metrics.bytes_buckets app;
@@ -1214,7 +1557,7 @@ let rec serve t (l : Sync.lock) ~requester:q ~arrival ~mode ~waker =
   let finish deliver =
   (* Apply at the requester (it is blocked; its memory is quiescent). *)
   let apply_ns =
-    match (qc.backend, payload) with
+    match (state_for qc lb, payload) with
     | B_rt db, Payload.Rt_lines lines -> rt_apply qc db lines
     | B_rt _, Payload.Empty -> 0
     | B_vm vm, _ -> vm_apply qc vm payload
@@ -1226,6 +1569,7 @@ let rec serve t (l : Sync.lock) ~requester:q ~arrival ~mode ~waker =
     | _ -> invalid_arg "Runtime.serve: payload/backend mismatch"
   in
   qc.counters.collect_time_ns <- qc.counters.collect_time_ns + apply_ns;
+  bump_region_ns t l.Sync.ranges apply_ns;
   qc.counters.data_received_bytes <- qc.counters.data_received_bytes + app;
   (match t.obsv with
   | None -> ()
@@ -1235,7 +1579,7 @@ let rec serve t (l : Sync.lock) ~requester:q ~arrival ~mode ~waker =
       Metrics.observe (Obs.metrics o) ~name:"apply_ns" ~label:(lock_label q l.Sync.lid)
         apply_ns);
   (* Advance cursors. *)
-  (match rc.backend with
+  (match rbst with
   | B_rt _ | B_vmfine _ ->
       l.Sync.rt_stamp <- stamp_info;
       l.Sync.rt_last_seen.(q) <- stamp_info;
@@ -1432,6 +1776,10 @@ let release c l =
       replicate_at_release c l;
       l.Sync.held_by <- None;
       l.Sync.free_at <- now_ns c;
+      (* A release with no outstanding holders is the adaptive safe
+         point: pending requesters are served *after* any switch, which
+         the epoch bump turns into full transfers. *)
+      maybe_adapt t l.Sync.ranges ~at:(now_ns c);
       service_queue t l
   | _ ->
       if List.mem c.cid l.Sync.readers then begin
@@ -1467,7 +1815,9 @@ let rebind c l ranges =
 let barrier_collect (c : ctx) (b : Sync.barrier) =
   if c.machine.cfg.untargetted && b.Sync.branges <> [] then
     failwith "Runtime.barrier: the untargetted model supports lock-based data sharing only";
-  match c.backend with
+  (* Barriers elect like locks; a barrier spanning differently-elected
+     regions degrades to Twin (Blast cannot carry barrier-bound data). *)
+  match state_for c (elected_backend ~conflict:Config.Twin c.machine b.Sync.branges) with
   | B_rt db ->
       let lines, ns, stamp = rt_collect c db ~ranges:b.Sync.branges ~select:Dirtybits.Fresh_only in
       ((if lines = [] then Payload.Empty else Payload.Rt_lines lines), ns, stamp)
@@ -1585,7 +1935,10 @@ let barrier_release t (b : Sync.barrier) =
             t_release + s.Reliable.s_elapsed_ns
       in
       let apply_ns =
-        match (pc.backend, payload) with
+        match
+          ( state_for pc (elected_backend ~conflict:Config.Twin t b.Sync.branges),
+            payload )
+        with
         | B_rt db, Payload.Rt_lines lines -> rt_apply pc db lines
         | B_vm vm, (Payload.Vm_full _ as pl) -> vm_apply pc vm pl
         | B_twin tw, (Payload.Vm_full _ as pl) ->
@@ -1595,6 +1948,7 @@ let barrier_release t (b : Sync.barrier) =
         | _ -> invalid_arg "Runtime.barrier_release: payload/backend mismatch"
       in
       pc.counters.collect_time_ns <- pc.counters.collect_time_ns + apply_ns;
+      bump_region_ns t b.Sync.branges apply_ns;
       pc.counters.data_received_bytes <- pc.counters.data_received_bytes + app;
       (match t.obsv with
       | None -> ()
@@ -1612,6 +1966,10 @@ let barrier_release t (b : Sync.barrier) =
   b.Sync.episode <- b.Sync.episode + 1;
   b.Sync.crossings <- b.Sync.crossings + 1;
   b.Sync.arrived <- [];
+  (* Barrier-bound regions adapt here: the episode is over, every
+     mailbox is drained, and the next episode's collections run under
+     whatever the switch installs. *)
+  maybe_adapt t b.Sync.branges ~at:t_release;
   match t.checker with
   | Some ch -> Midway_check.Check.on_barrier_complete ch ~id:b.Sync.bid
   | None -> ()
@@ -1637,8 +1995,20 @@ let barrier c b =
     let collect_t0 = now_ns c in
     let payload, collect_ns, stamp = barrier_collect c b in
     c.counters.collect_time_ns <- c.counters.collect_time_ns + collect_ns;
+    bump_region_ns t b.Sync.branges collect_ns;
     Engine.charge c.proc collect_ns;
     let app = Payload.app_bytes payload in
+    (match t.policy with
+    | None -> ()
+    | Some p -> (
+        match first_bound_region t b.Sync.branges with
+        | None -> ()
+        | Some region ->
+            let pages, runs = payload_page_stats t payload in
+            Policy.note_collect p ~region:region.Region.index
+              ~line_size:region.Region.line_size
+              ~bound_bytes:(Range.total_bytes b.Sync.branges) ~payload_bytes:app
+              ~payload_pages:pages ~payload_runs:runs ~rebound:false));
     c.counters.data_sent_bytes <- c.counters.data_sent_bytes + app;
     (match t.obsv with
     | None -> ()
@@ -1648,8 +2018,9 @@ let barrier c b =
         let m = Obs.metrics o in
         Obs.span o Obs.Collect ~proc:c.cid ~sync:bid ~bytes:app ~t0:collect_t0
           ~t1:(now_ns c) ();
-        Obs.span o Obs.Diff ~proc:c.cid ~sync:bid ~note:(diff_note c.backend) ~t0:collect_t0
-          ~t1:(now_ns c) ();
+        Obs.span o Obs.Diff ~proc:c.cid ~sync:bid
+          ~note:(diff_note (state_for c (elected_backend ~conflict:Config.Twin t b.Sync.branges)))
+          ~t0:collect_t0 ~t1:(now_ns c) ();
         Metrics.observe m ~name:"collect_ns" ~label:lbl collect_ns;
         Metrics.observe m ~name:"transfer_bytes" ~label:lbl ~buckets:Metrics.bytes_buckets app;
         let pages = c.counters.pages_diffed - pages0 in
@@ -1891,8 +2262,11 @@ let check_invariants t =
           (List.length l.Sync.pending);
       (* RT: only the owner may have unstamped (locally dirty) lines in
          the lock's bound ranges — a sentinel elsewhere means a processor
-         wrote the data without holding the lock. *)
-      if t.cfg.backend = Config.Rt && not t.cfg.untargetted then
+         wrote the data without holding the lock.  The gate is per lock:
+         on a mixed machine each lock answers to its elected backend
+         (switches reset the departed backend's region state, so the
+         check stays sound across re-elections). *)
+      if elected_backend t l.Sync.ranges = Config.Rt && not t.cfg.untargetted then
         let killed p =
           match t.crash with Some cr -> cr.cr_killed.(p) | None -> false
         in
@@ -1902,8 +2276,8 @@ let check_invariants t =
                in-section writes locally dirty: they were never collected
                and the failover reverted everyone else to the replica. *)
             if p <> l.Sync.owner && not (killed p) then
-              match ctx.backend with
-              | B_rt db ->
+              match (match ctx.backend with B_rt db -> Some db | _ -> ctx.alt_rt) with
+              | Some db ->
                   List.iter
                     (fun (range : Range.t) ->
                       Range.iter_lines range ~line_size:(region_of ctx range.Range.addr).Region.line_size
@@ -1916,7 +2290,7 @@ let check_invariants t =
                               "lock %d: p%d has a locally dirty line at %#x without ownership"
                               l.Sync.lid p addr))
                     l.Sync.ranges
-              | _ -> ())
+              | None -> ())
           t.ctxs)
     t.locks;
   List.iter
@@ -1931,18 +2305,23 @@ let check_invariants t =
       report "reliable channel has %d unacked message(s) in flight at end of run"
         (Reliable.unacked ch)
   | Some _ | None -> ());
-  (* VM: every dirty page must have a twin. *)
+  (* VM: every dirty page must have a twin — in the machine-default
+     state and in any alternate state a hybrid election created. *)
   Array.iter
     (fun (ctx : ctx) ->
-      match ctx.backend with
-      | B_vm vm ->
+      let vms =
+        (match ctx.backend with B_vm vm -> [ vm ] | _ -> [])
+        @ match ctx.alt_vm with Some vm -> [ vm ] | None -> []
+      in
+      List.iter
+        (fun vm ->
           List.iter
             (fun (p : Midway_vmem.Page_table.page) ->
               if p.Midway_vmem.Page_table.twin = None then
                 report "p%d: dirty page %d without a twin" ctx.cid
                   p.Midway_vmem.Page_table.number)
-            (Midway_vmem.Page_table.dirty_pages (Vm_state.page_table vm))
-      | _ -> ())
+            (Midway_vmem.Page_table.dirty_pages (Vm_state.page_table vm)))
+        vms)
     t.ctxs;
   (* Every bound range must point at mapped, allocated memory: a lock
      left bound to freed or never-allocated space would make collection
@@ -2004,3 +2383,27 @@ let failover_count t =
 let availability t =
   let n = t.cfg.nprocs in
   float_of_int (n - List.length (killed_procs t)) /. float_of_int n
+
+(* --- hybrid write detection introspection and control --------------- *)
+
+let region_backend_at t ~addr = backend_of_region t (region_index_of t addr)
+
+let region_assignments t =
+  let out = ref [] in
+  Array.iteri
+    (fun i b -> match b with Some b -> out := (i, b) :: !out | None -> ())
+    t.region_backend;
+  List.rev !out
+
+let backend_switches t = t.switches
+
+let region_collect_ns t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.region_ns [] |> List.sort compare
+
+let set_region_backend t ~addr b =
+  let idx = region_index_of t addr in
+  if not (safe_to_switch t idx) then
+    invalid_arg
+      "Runtime.set_region_backend: a binding in the region is held or mid-episode (not a \
+       safe point)";
+  switch_region_backend t ~region_index:idx ~to_:b ~at:(Engine.elapsed t.engine)

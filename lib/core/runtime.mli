@@ -136,6 +136,44 @@ val failover_count : t -> int
 val availability : t -> float
 (** Fraction of processors still live at the end of the run. *)
 
+(** {1 Per-region hybrid write detection}
+
+    Write detection is a per-region choice: every region runs the
+    machine-wide default backend until it is re-elected, either manually
+    ({!set_region_backend}), at allocation time ({!Config.t.striped}),
+    or online by the adaptive controller ({!Config.t.adaptive}, see
+    {!Policy} and doc/ADAPTIVE.md).  A switch is only legal at a safe
+    point — no intersecting lock held or read-held, no intersecting
+    barrier mid-episode — and epoch-bumps every intersecting binding
+    ({!Sync.rebind_lock}), so the next transfer after a switch is a
+    diff-free full and no stale detection state can leak across the
+    boundary. *)
+
+val region_backend_at : t -> addr:int -> Config.backend
+(** The backend currently electing write detection for the region
+    containing [addr]. *)
+
+val set_region_backend : t -> addr:int -> Config.backend -> unit
+(** Manually re-elect the backend of the region containing [addr].
+    Raises [Invalid_argument] if either side of the switch is not
+    electable ([Vm_fine] and [Standalone] are machine-wide only), if
+    the configuration is untargetted, or if the region is not at a safe
+    point.  A no-op when the region already runs the requested
+    backend. *)
+
+val region_assignments : t -> (int * Config.backend) list
+(** Regions whose backend differs from the machine default, as
+    [(region_index, backend)] pairs in index order. *)
+
+val backend_switches : t -> int
+(** Total committed region backend switches (manual + adaptive). *)
+
+val region_collect_ns : t -> (int * int) list
+(** Simulated nanoseconds spent in collect/apply per region, in index
+    order — the per-region accounting the adaptive controller's cost
+    estimates are judged against.  Transfers whose binding has no
+    non-empty range are accounted under region [-1]. *)
+
 (** {1 Processor operations} *)
 
 val id : ctx -> int

@@ -19,6 +19,7 @@ type lock = {
   mutable incarnation : int;
   vm_inc_seen : int array;
   mutable vm_log : (int * vm_log_entry) list;
+  mutable switch_inc : int;
   (* crash-recovery state (armed by Config.crash; inert otherwise) *)
   mutable backups : int list;
   mutable replica : (int * Payload.vm_piece list) option;
@@ -60,6 +61,7 @@ let make_lock ~lid ~nprocs ~owner ~ranges =
     incarnation = 0;
     vm_inc_seen = Array.make nprocs (-1);
     vm_log = [];
+    switch_inc = 0;
     backups = [];
     replica = None;
     failovers = 0;

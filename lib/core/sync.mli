@@ -45,6 +45,13 @@ type lock = {
   mutable incarnation : int;
   vm_inc_seen : int array;  (** per-processor last incarnation observed *)
   mutable vm_log : (int * vm_log_entry) list;  (** newest first, trimmed to a window *)
+  mutable switch_inc : int;
+      (** the incarnation as of the last per-region backend switch (0 if
+          never switched).  Epoch bumps up to this watermark were forced
+          by the switch itself; only [incarnation > switch_inc] means the
+          application actually rebound the lock — the adaptive policy's
+          rebinding signal, so its own switches do not read as
+          rebinding-heavy workload behaviour *)
   (* crash recovery (armed by [Config.crash]; inert otherwise) *)
   mutable backups : int list;
       (** processors holding a replica of the bound data, freshest first *)

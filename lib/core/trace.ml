@@ -16,6 +16,7 @@ type event =
   | Proc_crashed of { t : int; proc : int }
   | Proc_recovered of { t : int; proc : int }
   | Lock_failover of { t : int; lock : int; from_ : int; to_ : int; epoch : int; votes : int }
+  | Backend_switched of { t : int; region : int; from_ : string; to_ : string }
 
 type t = {
   capacity : int;
@@ -62,7 +63,8 @@ let event_time = function
   | Barrier_completed { t; _ }
   | Proc_crashed { t; _ }
   | Proc_recovered { t; _ }
-  | Lock_failover { t; _ } -> t
+  | Lock_failover { t; _ }
+  | Backend_switched { t; _ } -> t
 
 let pp_event fmt = function
   | Lock_requested { t; lock; proc; shared } ->
@@ -97,6 +99,9 @@ let pp_event fmt = function
   | Lock_failover { t; lock; from_; to_; epoch; votes } ->
       Format.fprintf fmt "%-12s lock %d: failover p%d -> p%d (epoch %d, %d vote(s))"
         (Midway_util.Units.pp_time t) lock from_ to_ epoch votes
+  | Backend_switched { t; region; from_; to_ } ->
+      Format.fprintf fmt "%-12s region %d: backend %s -> %s" (Midway_util.Units.pp_time t)
+        region from_ to_
 
 let dump t =
   let buf = Buffer.create 1024 in

@@ -32,6 +32,9 @@ type event =
       (** quorum ownership transfer away from a suspected-dead owner:
           [epoch] is the lock's incarnation after the bump, [votes] the
           ballots collected (including the initiator's own) *)
+  | Backend_switched of { t : int; region : int; from_ : string; to_ : string }
+      (** hybrid write detection re-elected a region's backend
+          ([Config.backend_name] strings) — manual or adaptive *)
 
 type t
 

@@ -250,3 +250,17 @@ let discard_pending t ~ranges =
     !affected
 
 let pending_pages t = Hashtbl.length t.pending
+
+let forget t ~ranges =
+  let psize = page_size t in
+  List.iter
+    (fun (r : Range.t) ->
+      if not (Range.is_empty r) then begin
+        let first = r.Range.addr / psize and last = (Range.limit r - 1) / psize in
+        for number = first to last do
+          let page = Page_table.page_of_addr t.pt (number * psize) in
+          if page.Page_table.dirty then Page_table.clean t.pt page
+        done
+      end)
+    ranges;
+  discard_pending t ~ranges

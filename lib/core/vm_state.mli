@@ -81,3 +81,12 @@ val discard_pending : t -> ranges:Range.t list -> unit
 
 val pending_pages : t -> int
 (** Number of pages with saved (unshipped) diff data — test hook. *)
+
+val forget : t -> ranges:Range.t list -> unit
+(** Forget all detection state covering [ranges]: untwin, clean and
+    re-protect the overlapping pages and drop their saved diffs, as if
+    no store had ever faulted there.  Used when a region's detection
+    backend is switched away from VM — correctness is preserved because
+    the switch also epoch-bumps every lock bound in the region, so the
+    next transfer ships the bound data in full regardless of what
+    detection forgot. *)

@@ -84,6 +84,7 @@ type spec = {
   schedule_seed : int;  (* base seed; run i uses base + i *)
   nprocs : int;
   ecsan : bool;
+  adaptive : bool;  (* arm per-region adaptive detection on rt/vm runs *)
   fault_drop : float option;  (* compose fault schedules with thread schedules *)
   fault_seed : int;
   crash_events : int;  (* seeded node-crash episodes per run; 0 = off *)
@@ -102,6 +103,7 @@ let default_spec =
     schedule_seed = 1;
     nprocs = 4;
     ecsan = true;
+    adaptive = false;
     fault_drop = None;
     fault_seed = 0x0FA7;
     crash_events = 0;
@@ -134,9 +136,19 @@ let crash_plan_for spec sseed =
           (Crash.seeded ~seed:(effective_crash_seed spec sseed) ~nprocs:spec.nprocs
              ~events:spec.crash_events ~horizon_ns:spec.crash_horizon_ns)
 
+(* The adaptive dimension only applies where the controller is legal:
+   a machine default of rt or vm (the per-region electable backends). *)
+let adaptive_for spec backend =
+  spec.adaptive && (backend = Config.Rt || backend = Config.Vm)
+
 let base_config spec backend =
   let cfg = Config.make backend ~nprocs:spec.nprocs in
-  { cfg with Config.ecsan = spec.ecsan; trace_capacity = spec.trace_capacity }
+  {
+    cfg with
+    Config.ecsan = spec.ecsan;
+    adaptive = adaptive_for spec backend;
+    trace_capacity = spec.trace_capacity;
+  }
 
 (* [crash] overrides the spec-derived plan — the crash-event shrinker
    re-executes with candidate plans through this hook. *)
@@ -159,6 +171,7 @@ type counterexample = {
   c_backend : Config.backend;
   c_nprocs : int;
   c_ecsan : bool;
+  c_adaptive : bool;
   c_fault_drop : float option;
   c_fault_seed : int option;
   c_crash : string option;  (* rendered (possibly shrunk) crash plan *)
@@ -330,6 +343,7 @@ let run_spec ?(progress = null_progress) spec =
                     c_backend = backend;
                     c_nprocs = spec.nprocs;
                     c_ecsan = spec.ecsan;
+                    c_adaptive = adaptive_for spec backend;
                     c_fault_drop = spec.fault_drop;
                     c_fault_seed =
                       Option.map (fun _ -> effective_fault_seed spec sseed) spec.fault_drop;
@@ -366,6 +380,7 @@ let render_counterexample c =
   line "backend=%s" (Config.backend_name c.c_backend);
   line "nprocs=%d" c.c_nprocs;
   line "ecsan=%b" c.c_ecsan;
+  if c.c_adaptive then line "adaptive=true";
   (match (c.c_fault_drop, c.c_fault_seed) with
   | Some drop, Some fseed ->
       line "fault-drop=%g" drop;
@@ -388,6 +403,7 @@ type replay_spec = {
   rp_backend : Config.backend;
   rp_nprocs : int;
   rp_ecsan : bool;
+  rp_adaptive : bool;
   rp_fault_drop : float option;
   rp_fault_seed : int option;
   rp_crash : string option;  (* raw --crash spec; parsed against rp_nprocs *)
@@ -403,6 +419,7 @@ let parse_counterexample text =
         rp_backend = Config.Rt;
         rp_nprocs = 4;
         rp_ecsan = true;
+        rp_adaptive = false;
         rp_fault_drop = None;
         rp_fault_seed = None;
         rp_crash = None;
@@ -437,6 +454,7 @@ let parse_counterexample text =
                    | Error e -> fail "%s" e)
                | "nprocs" -> spec := { !spec with rp_nprocs = int_of_string v }
                | "ecsan" -> spec := { !spec with rp_ecsan = bool_of_string v }
+               | "adaptive" -> spec := { !spec with rp_adaptive = bool_of_string v }
                | "fault-drop" -> spec := { !spec with rp_fault_drop = Some (float_of_string v) }
                | "fault-seed" -> spec := { !spec with rp_fault_seed = Some (int_of_string v) }
                | "crash" -> spec := { !spec with rp_crash = Some v }
@@ -557,7 +575,14 @@ let replay ?scale ?trace_out ?metrics_out rp =
           | None, None -> Midway_sched.Engine.Fifo
         in
         let cfg = Config.make rp.rp_backend ~nprocs:rp.rp_nprocs in
-        let cfg = { cfg with Config.ecsan = rp.rp_ecsan; trace_capacity = 64 } in
+        let cfg =
+          {
+            cfg with
+            Config.ecsan = rp.rp_ecsan;
+            adaptive = rp.rp_adaptive;
+            trace_capacity = 64;
+          }
+        in
         let cfg = { cfg with Config.sched_policy = policy } in
         (* Dumping a trace of the replayed (typically shrunk) schedule
            arms the observability layer; obs never perturbs the run, so

@@ -36,6 +36,10 @@ type spec = {
   schedule_seed : int;  (** base seed; run [i] uses [base + i] *)
   nprocs : int;
   ecsan : bool;
+  adaptive : bool;
+      (** arm {!Midway.Config.t.adaptive} per-region detection on runs
+          whose machine default is rt or vm (other backends run the
+          fixed configuration) *)
   fault_drop : float option;
   fault_seed : int;
   crash_events : int;
@@ -52,9 +56,9 @@ type spec = {
 
 val default_spec : spec
 (** rt+vm backends, 8 schedules from seed 1, 4 processors, ECSan on,
-    no faults, no crashes (crash seed 0xC0DE, horizon 2 ms when
-    armed), trace capacity 64, shrink budget 48 runs.  [workloads] is
-    empty — fill it in. *)
+    adaptive off, no faults, no crashes (crash seed 0xC0DE, horizon
+    2 ms when armed), trace capacity 64, shrink budget 48 runs.
+    [workloads] is empty — fill it in. *)
 
 val clean_workloads : unit -> Workload.t list
 (** The synthetic always-should-pass workloads (counter,
@@ -76,6 +80,7 @@ type counterexample = {
   c_backend : Midway.Config.backend;
   c_nprocs : int;
   c_ecsan : bool;
+  c_adaptive : bool;  (** the failing run had adaptive detection armed *)
   c_fault_drop : float option;
   c_fault_seed : int option;  (** the effective per-run fault seed *)
   c_crash : string option;
@@ -137,6 +142,7 @@ type replay_spec = {
   rp_backend : Midway.Config.backend;
   rp_nprocs : int;
   rp_ecsan : bool;
+  rp_adaptive : bool;
   rp_fault_drop : float option;
   rp_fault_seed : int option;
   rp_crash : string option;

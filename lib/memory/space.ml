@@ -22,6 +22,8 @@ type t = {
 
 exception Unmapped of addr
 
+exception Crosses_region of { addr : addr; len : int; last : addr }
+
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
 let create ?(region_size = 16 * 1024 * 1024) ~nprocs () =
@@ -106,7 +108,17 @@ let alloc t ~kind ?(line_size = 64) ?align bytes =
 let validate_range t a len =
   if len < 0 then invalid_arg "Space.validate_range: negative length";
   let r = region_of_addr t a in
-  if len > 0 && a + len - 1 >= Region.limit r then raise (Unmapped (a + len - 1));
+  (if len > 0 && a + len - 1 >= Region.limit r then
+     (* Distinguish a range that runs off the end of mapped memory from
+        one that genuinely spans two mapped regions.  The latter would
+        previously raise a misleading [Unmapped] even though every byte
+        is mapped — and a caller that swallowed it (or a zero-copy
+        consumer handed only the first region's backing) would silently
+        operate on partial data.  Regions have distinct per-proc backing
+        buffers, so no single slice can ever serve a crossing range. *)
+     let last = a + len - 1 in
+     if mapped t (last / t.region_size) then raise (Crosses_region { addr = a; len; last })
+     else raise (Unmapped last));
   r
 
 (* Resolve the region, fill the cache and return the backing.  Only ever

@@ -25,6 +25,15 @@ val region_size : t -> int
 exception Unmapped of addr
 (** Raised on access to an address outside every allocated region. *)
 
+exception Crosses_region of { addr : addr; len : int; last : addr }
+(** Raised by {!validate_range} (and so by every range accessor,
+    {!backing_slice} included) when [addr .. last] starts and ends in
+    *mapped* memory but spans two regions.  Regions have distinct
+    per-processor backing buffers, so no single zero-copy slice can
+    serve such a range — failing loudly here is what keeps the VM diff
+    engine from silently mis-diffing a page straddling a boundary
+    (e.g. after a migration-style rebinding). *)
+
 val alloc : t -> kind:Region.kind -> ?line_size:int -> ?align:int -> int -> addr
 (** [alloc t ~kind ~line_size bytes] reserves [bytes] bytes in a region of
     the given kind and cache-line size (default line size 64, default
@@ -43,8 +52,9 @@ val regions : t -> Region.t list
 
 val validate_range : t -> addr -> int -> Region.t
 (** [validate_range t addr len] checks that [addr .. addr+len-1] lies in a
-    single mapped region and returns it. Raises {!Unmapped} or
-    [Invalid_argument]. *)
+    single mapped region and returns it.  Raises {!Unmapped} when the
+    range runs off mapped memory, {!Crosses_region} when it spans two
+    mapped regions, or [Invalid_argument] on a negative length. *)
 
 (** {1 Typed access to a processor's copy}
 

@@ -711,6 +711,27 @@ let test_config () =
       ("standalone", Config.Standalone); ("uni", Config.Standalone) ];
   Alcotest.(check bool) "reject junk" true
     (match Config.backend_of_string "nope" with Error _ -> true | Ok _ -> false);
+  (* names are matched exactly: whitespace and case drift are rejected
+     with a did-you-mean hint, and every error lists the valid names *)
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun s ->
+      match Config.backend_of_string s with
+      | Ok _ -> Alcotest.failf "%S must be rejected (exact matching)" s
+      | Error msg ->
+          Alcotest.(check bool) (Printf.sprintf "%S gets a did-you-mean" s) true
+            (contains msg "did you mean");
+          Alcotest.(check bool) (Printf.sprintf "%S lists valid names" s) true
+            (contains msg "standalone"))
+    [ " rt"; "rt "; "RT"; "Vm"; "\tvm"; "BLAST" ];
+  (match Config.backend_of_string "nope" with
+  | Ok _ -> Alcotest.fail "junk accepted"
+  | Error msg ->
+      Alcotest.(check bool) "junk error lists valid names" true (contains msg "vm-fine"));
   let cfg = Config.make Config.Rt ~nprocs:8 in
   Alcotest.(check int) "nprocs" 8 cfg.Config.nprocs;
   Alcotest.(check string) "name round trip" "rt" (Config.backend_name cfg.Config.backend);

@@ -136,6 +136,7 @@ let test_fuzzer_finds_and_shrinks_order_bug () =
               rp_backend = Config.Rt;
               rp_nprocs = spec.Explore.nprocs;
               rp_ecsan = true;
+              rp_adaptive = false;
               rp_fault_drop = None;
               rp_fault_seed = None;
               rp_crash = None;
@@ -286,6 +287,7 @@ let test_counterexample_roundtrip () =
       c_backend = Config.Vm;
       c_nprocs = 5;
       c_ecsan = false;
+      c_adaptive = true;
       c_fault_drop = Some 0.02;
       c_fault_seed = Some 1234;
       c_crash = Some "stop@2000:p1,recover@8000:p1";
@@ -303,6 +305,7 @@ let test_counterexample_roundtrip () =
       Alcotest.(check string) "workload" "mix" rp.Explore.rp_workload;
       Alcotest.(check int) "nprocs" 5 rp.Explore.rp_nprocs;
       Alcotest.(check bool) "ecsan" false rp.Explore.rp_ecsan;
+      Alcotest.(check bool) "the adaptive flag travels" true rp.Explore.rp_adaptive;
       Alcotest.(check (option (list int))) "the shrunk choices travel" (Some [ 2 ])
         rp.Explore.rp_choices;
       Alcotest.(check (option int)) "schedule seed" (Some 17) rp.Explore.rp_schedule_seed;
